@@ -1,0 +1,73 @@
+"""Ablation: cone-of-influence reduction (DESIGN.md §5).
+
+Without the per-train reachability pruning every (train, segment, step)
+triple gets an occupies variable; with it, only positions compatible with
+departure points and deadlines exist.  This bench quantifies the saving in
+variables/clauses and the effect on solving time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding.encoder import EncodingOptions, EtcsEncoding
+from repro.tasks import verify_schedule
+
+
+@pytest.mark.parametrize("use_cone", [True, False])
+def test_encoding_size(benchmark, studies, use_cone):
+    study = studies["Simple Layout"]
+    net = study.discretize()
+    options = EncodingOptions(use_cone=use_cone)
+
+    def build():
+        return EtcsEncoding(
+            net, study.schedule, study.r_t_min, options
+        ).build()
+
+    encoding = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["use_cone"] = use_cone
+    benchmark.extra_info["vars"] = encoding.cnf.num_vars
+    benchmark.extra_info["clauses"] = encoding.cnf.num_clauses
+    benchmark.extra_info["occupies_vars"] = encoding.reg.num_occupies
+
+
+@pytest.mark.parametrize("use_cone", [True, False])
+def test_verification_runtime(benchmark, studies, use_cone):
+    study = studies["Running Example"]
+    net = study.discretize()
+    options = EncodingOptions(use_cone=use_cone)
+    result = benchmark(
+        lambda: verify_schedule(
+            net, study.schedule, study.r_t_min, options=options
+        )
+    )
+    benchmark.extra_info["use_cone"] = use_cone
+    benchmark.extra_info["vars"] = result.actual_vars
+    # The verdict must be identical either way (pruning is sound).
+    assert not result.satisfiable
+
+
+def test_cone_saving_factor(benchmark, studies):
+    """Report the variable-count ratio on the largest case study."""
+    study = studies["Nordlandsbanen"]
+    net = study.discretize()
+
+    def measure():
+        pruned = EtcsEncoding(
+            net, study.schedule, study.r_t_min, EncodingOptions()
+        )
+        dense_positions = (
+            len(pruned.runs) * net.num_segments * pruned.t_max
+        )
+        return pruned.cone.total_positions(), dense_positions
+
+    pruned_positions, dense_positions = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    benchmark.extra_info["pruned_positions"] = pruned_positions
+    benchmark.extra_info["dense_positions"] = dense_positions
+    benchmark.extra_info["saving_factor"] = round(
+        dense_positions / max(pruned_positions, 1), 1
+    )
+    assert pruned_positions < dense_positions / 2

@@ -1,0 +1,39 @@
+"""Extension bench: the VSS-budget vs makespan capacity curve.
+
+Regenerates the trade-off curve on the Running Example (fast) and records
+the whole curve in extra_info; the asserted shape — monotone non-increasing
+makespan, strict improvement somewhere, saturation at the unconstrained
+optimum — is the quantified ETCS Level 3 business case.
+"""
+
+from __future__ import annotations
+
+from repro.tasks import capacity_curve, optimize_schedule
+
+
+def test_running_example_capacity_curve(benchmark, studies):
+    study = studies["Running Example"]
+    net = study.discretize()
+    budgets = [0, 1, 2, 3, 5, None]
+
+    points = benchmark.pedantic(
+        lambda: capacity_curve(
+            net, study.schedule, study.r_t_min, budgets=budgets
+        ),
+        rounds=1, iterations=1,
+    )
+    curve = {
+        ("inf" if p.budget is None else p.budget): p.makespan for p in points
+    }
+    benchmark.extra_info["curve"] = curve
+
+    makespans = [p.makespan for p in points if p.feasible]
+    # Monotone non-increasing and saturating at the plain optimum.
+    assert makespans == sorted(makespans, reverse=True)
+    unconstrained = optimize_schedule(net, study.schedule, study.r_t_min)
+    assert points[-1].makespan == unconstrained.time_steps == 7
+    # Budget 0 is pure TTD operation: the Example 2 deadlock — the four
+    # trains cannot even complete, deadlines aside.
+    assert not points[0].feasible
+    # A single virtual border already restores operability.
+    assert points[1].feasible and points[1].makespan == 8

@@ -1,0 +1,88 @@
+"""Fig. 3 / Examples 3-5: the symbolic formulation of the running example.
+
+The paper's discretisation at r_s = 0.5 km / r_t = 0.5 min yields 16
+segments, 10 time steps, and 654 variables (640 occupies + borders).  This
+bench regenerates those numbers and sweeps the resolutions to show how the
+formulation scales (the paper's discretisation trade-off).
+"""
+
+from __future__ import annotations
+
+from repro.encoding.encoder import EtcsEncoding
+from repro.network.discretize import DiscreteNetwork
+
+
+def test_example3_graph_representation(benchmark, studies):
+    """Example 3: r_s = 0.5 km turns Fig. 1 into the Fig. 3 graph."""
+    study = studies["Running Example"]
+    net = benchmark(lambda: DiscreteNetwork(study.network, 0.5))
+    benchmark.extra_info["segments"] = net.num_segments
+    benchmark.extra_info["vertices"] = net.num_vertices
+    assert net.num_segments == 16
+    assert net.num_ttds == 4
+
+
+def test_example5_time_discretisation(benchmark, studies):
+    """Example 5: r_t = 0.5 min over 5 minutes -> 10 time steps."""
+    study = studies["Running Example"]
+    net = study.discretize()
+
+    def build():
+        return EtcsEncoding(net, study.schedule, study.r_t_min).build()
+
+    encoding = benchmark.pedantic(build, rounds=1, iterations=1)
+    stats = encoding.stats()
+    benchmark.extra_info["t_max"] = stats["t_max"]
+    benchmark.extra_info["paper_equivalent_vars"] = stats[
+        "paper_equivalent_vars"
+    ]
+    benchmark.extra_info["actual_vars_after_cone"] = stats["total"]
+    benchmark.extra_info["clauses"] = stats["clauses"]
+    assert stats["t_max"] == 10
+    # Paper: 654 variables; ours differ only by endpoint-vertex counting.
+    assert abs(stats["paper_equivalent_vars"] - 654) <= 10
+
+
+def test_resolution_sweep(benchmark, studies):
+    """Formulation size as a function of the spatial resolution."""
+    study = studies["Running Example"]
+
+    def sweep():
+        sizes = {}
+        for r_s in (1.0, 0.5, 0.25):
+            net = DiscreteNetwork(study.network, r_s)
+            encoding = EtcsEncoding(net, study.schedule, study.r_t_min)
+            encoding.build()
+            sizes[r_s] = {
+                "segments": net.num_segments,
+                "paper_vars": encoding.paper_equivalent_vars(),
+                "clauses": encoding.cnf.num_clauses,
+            }
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sizes"] = sizes
+    # Halving r_s roughly doubles segments and variables.
+    assert sizes[0.25]["segments"] == 2 * sizes[0.5]["segments"]
+    assert sizes[0.5]["paper_vars"] > sizes[1.0]["paper_vars"]
+
+
+def test_temporal_resolution_sweep(benchmark, studies):
+    """Formulation size as a function of the temporal resolution."""
+    study = studies["Running Example"]
+    net = study.discretize()
+
+    def sweep():
+        sizes = {}
+        for r_t in (1.0, 0.5, 0.25):
+            encoding = EtcsEncoding(net, study.schedule, r_t)
+            encoding.build()
+            sizes[r_t] = {
+                "t_max": encoding.t_max,
+                "paper_vars": encoding.paper_equivalent_vars(),
+            }
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sizes"] = sizes
+    assert sizes[0.25]["t_max"] == 2 * sizes[0.5]["t_max"]

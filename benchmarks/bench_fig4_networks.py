@@ -1,0 +1,56 @@
+"""Fig. 4: the Simple Layout and Complex Layout networks.
+
+The figure shows the two topologies; this bench regenerates their structural
+statistics (stations, TTD counts, track length) and measures construction +
+discretisation cost.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.complex_layout import complex_layout_network
+from repro.casestudies.simple_layout import simple_layout_network
+from repro.network.discretize import DiscreteNetwork
+
+
+def test_fig4a_simple_layout_structure(benchmark):
+    network = benchmark(simple_layout_network)
+    benchmark.extra_info["stations"] = len(network.stations)
+    benchmark.extra_info["ttds"] = network.num_ttds
+    benchmark.extra_info["length_km"] = network.total_length_km
+    assert len(network.stations) == 3  # top, middle, bottom
+    assert network.num_ttds == 10
+
+
+def test_fig4b_complex_layout_structure(benchmark):
+    network = benchmark(complex_layout_network)
+    benchmark.extra_info["stations"] = len(network.stations)
+    benchmark.extra_info["ttds"] = network.num_ttds
+    benchmark.extra_info["length_km"] = network.total_length_km
+    assert len(network.stations) == 6  # "a total of 6 stations"
+    assert network.num_ttds == 22
+
+
+def test_fig4a_discretisation(benchmark):
+    network = simple_layout_network()
+    net = benchmark(lambda: DiscreteNetwork(network, 0.5))
+    benchmark.extra_info["segments"] = net.num_segments
+    assert net.num_segments == 48
+
+
+def test_fig4b_discretisation(benchmark):
+    network = complex_layout_network()
+    net = benchmark(lambda: DiscreteNetwork(network, 1.0))
+    benchmark.extra_info["segments"] = net.num_segments
+    assert net.num_segments == 157
+
+
+def test_nordlandsbanen_construction(benchmark):
+    """The real-life-inspired 58-station network (the paper's §IV list)."""
+    from repro.casestudies.nordlandsbanen import nordlandsbanen_network
+
+    network = benchmark(nordlandsbanen_network)
+    benchmark.extra_info["stations"] = len(network.stations)
+    benchmark.extra_info["length_km"] = network.total_length_km
+    assert len(network.stations) == 58
+    # 822 km of line (plus loop tracks and the Bodø stub).
+    assert network.total_length_km >= 822.0

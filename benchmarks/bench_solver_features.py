@@ -1,0 +1,99 @@
+"""Ablation: contribution of individual CDCL features.
+
+Measured on crafted instances: the pigeonhole principle (hard UNSAT, tests
+clause learning quality) and the running example's generation instance (the
+actual workload).  Every configuration must stay sound — only speed differs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat import Solver, SolveResult
+from repro.sat.types import SolverConfig
+
+CONFIGS = {
+    "full": SolverConfig(),
+    "no-restarts": SolverConfig(use_restarts=False),
+    "no-vsids": SolverConfig(use_vsids=False),
+    "no-phase-saving": SolverConfig(use_phase_saving=False),
+    "no-minimization": SolverConfig(use_minimization=False),
+    "no-deletion": SolverConfig(use_clause_deletion=False),
+}
+
+
+def pigeonhole(holes: int) -> list[list[int]]:
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(holes + 1)]
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+def random_3sat(num_vars: int, ratio: float, seed: int) -> list[list[int]]:
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(int(num_vars * ratio)):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v * rng.choice([1, -1]) for v in chosen])
+    return clauses
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_pigeonhole_by_config(benchmark, name):
+    clauses = pigeonhole(6)
+
+    def solve():
+        solver = Solver(CONFIGS[name])
+        for clause in clauses:
+            solver.add_clause(clause)
+        verdict = solver.solve()
+        return verdict, solver.stats.conflicts
+
+    verdict, conflicts = benchmark.pedantic(solve, rounds=1, iterations=1)
+    benchmark.extra_info["config"] = name
+    benchmark.extra_info["conflicts"] = conflicts
+    assert verdict is SolveResult.UNSAT
+
+
+@pytest.mark.parametrize("name", ["full", "no-vsids", "no-restarts"])
+def test_random_3sat_by_config(benchmark, name):
+    clauses = random_3sat(120, 4.26, seed=7)
+
+    def solve():
+        solver = Solver(CONFIGS[name])
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve(), solver.stats.conflicts
+
+    verdict, conflicts = benchmark.pedantic(solve, rounds=1, iterations=1)
+    benchmark.extra_info["config"] = name
+    benchmark.extra_info["conflicts"] = conflicts
+    assert verdict in (SolveResult.SAT, SolveResult.UNSAT)
+
+
+@pytest.mark.parametrize("name", ["full", "no-vsids"])
+def test_etcs_workload_by_config(benchmark, studies, name):
+    """The actual paper workload: running-example generation instance."""
+    from repro.encoding.encoder import EtcsEncoding
+
+    study = studies["Running Example"]
+    net = study.discretize()
+    encoding = EtcsEncoding(net, study.schedule, study.r_t_min).build()
+
+    def solve():
+        solver = Solver(CONFIGS[name])
+        solver.ensure_var(encoding.cnf.num_vars)
+        for clause in encoding.cnf.clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    verdict = benchmark(solve)
+    benchmark.extra_info["config"] = name
+    assert verdict is SolveResult.SAT  # free borders: feasible

@@ -1,0 +1,54 @@
+"""Table I, rows 7-9: the Complex Layout (r_t = 3 min, r_s = 1 km).
+
+Paper values:   verification 14025 vars / UNSAT / 22 sections /  63.33 s
+                generation   14025 vars / SAT   / 23 sections / 17 steps
+                optimization 14025 vars / SAT   / 25 sections / 14 steps
+"""
+
+from __future__ import annotations
+
+from conftest import record_row
+
+from repro.tasks import generate_layout, optimize_schedule, verify_schedule
+
+
+def test_verification(benchmark, studies):
+    study = studies["Complex Layout"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: verify_schedule(net, study.schedule, study.r_t_min),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[0], result)
+    assert not result.satisfiable
+    assert result.num_sections == 22  # paper: 22 TTDs
+
+
+def test_generation(benchmark, studies):
+    study = studies["Complex Layout"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: generate_layout(net, study.schedule, study.r_t_min),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[1], result)
+    assert result.satisfiable and result.proven_optimal
+    assert result.num_sections == 23  # paper: 23 sections
+    assert result.time_steps == 17  # paper: 17 steps
+
+
+def test_optimization(benchmark, studies):
+    study = studies["Complex Layout"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: optimize_schedule(
+            net, study.schedule, study.r_t_min,
+            minimize_borders_secondary=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[2], result)
+    assert result.satisfiable and result.proven_optimal
+    # Paper: 25 sections / 14 steps; the optimum must beat generation's 17.
+    assert result.time_steps < 17
+    assert 22 < result.num_sections <= 27

@@ -1,0 +1,54 @@
+"""Table I, rows 10-12: Nordlandsbanen (r_t = 5 min, r_s = 5 km).
+
+Paper values:   verification 21156 vars / UNSAT / 51 sections / 62.39 s
+                generation   21156 vars / SAT   / 53 sections / 48 steps
+                optimization 21156 vars / SAT   / 57 sections / 44 steps
+"""
+
+from __future__ import annotations
+
+from conftest import record_row
+
+from repro.tasks import generate_layout, optimize_schedule, verify_schedule
+
+
+def test_verification(benchmark, studies):
+    study = studies["Nordlandsbanen"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: verify_schedule(net, study.schedule, study.r_t_min),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[0], result)
+    assert not result.satisfiable
+    assert 45 <= result.num_sections <= 55  # paper: 51 TTDs
+
+def test_generation(benchmark, studies):
+    study = studies["Nordlandsbanen"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: generate_layout(net, study.schedule, study.r_t_min),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[1], result)
+    assert result.satisfiable and result.proven_optimal
+    # Paper: 53 = 51 TTDs + 2 added; ours: TTDs + a few added borders.
+    assert 1 <= result.objective_value <= 8
+
+
+def test_optimization(benchmark, studies):
+    study = studies["Nordlandsbanen"]
+    net = study.discretize()
+    generated = generate_layout(net, study.schedule, study.r_t_min)
+    result = benchmark.pedantic(
+        lambda: optimize_schedule(
+            net, study.schedule, study.r_t_min,
+            minimize_borders_secondary=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[2], result)
+    assert result.satisfiable and result.proven_optimal
+    # Shape: optimization adds VSS beyond generation and cuts the makespan
+    # (paper: 57 > 53 sections, 44 < 48 steps).
+    assert result.time_steps < generated.time_steps

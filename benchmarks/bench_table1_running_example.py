@@ -1,0 +1,49 @@
+"""Table I, rows 1-3: the Running Example (r_t = 0.5 min, r_s = 0.5 km).
+
+Paper values:   verification 654 vars / UNSAT / 4 sections / 0.10 s
+                generation   654 vars / SAT   / 5 sections / 10 steps / 0.14 s
+                optimization 654 vars / SAT   / 7 sections /  7 steps / 0.25 s
+"""
+
+from __future__ import annotations
+
+from conftest import record_row
+
+from repro.tasks import generate_layout, optimize_schedule, verify_schedule
+
+
+def test_verification(benchmark, studies):
+    study = studies["Running Example"]
+    net = study.discretize()
+    result = benchmark(
+        lambda: verify_schedule(net, study.schedule, study.r_t_min)
+    )
+    record_row(benchmark, study.paper_rows[0], result)
+    assert not result.satisfiable  # paper: No
+    assert result.num_sections == 4  # paper: 4 TTDs
+
+
+def test_generation(benchmark, studies):
+    study = studies["Running Example"]
+    net = study.discretize()
+    result = benchmark(
+        lambda: generate_layout(net, study.schedule, study.r_t_min)
+    )
+    record_row(benchmark, study.paper_rows[1], result)
+    assert result.satisfiable and result.proven_optimal
+    assert result.num_sections == 5  # paper: 5 sections
+
+
+def test_optimization(benchmark, studies):
+    study = studies["Running Example"]
+    net = study.discretize()
+    result = benchmark(
+        lambda: optimize_schedule(
+            net, study.schedule, study.r_t_min,
+            minimize_borders_secondary=True,
+        )
+    )
+    record_row(benchmark, study.paper_rows[2], result)
+    assert result.satisfiable and result.proven_optimal
+    assert result.time_steps == 7  # paper: 7 steps
+    assert result.num_sections == 7  # paper: 7 sections

@@ -1,0 +1,53 @@
+"""Table I, rows 4-6: the Simple Layout (r_t = 1 min, r_s = 0.5 km).
+
+Paper values:   verification 3910 vars / UNSAT / 10 sections /  3.26 s
+                generation   3910 vars / SAT   / 14 sections / 19 steps
+                optimization 3910 vars / SAT   / 14 sections / 15 steps
+"""
+
+from __future__ import annotations
+
+from conftest import record_row
+
+from repro.tasks import generate_layout, optimize_schedule, verify_schedule
+
+
+def test_verification(benchmark, studies):
+    study = studies["Simple Layout"]
+    net = study.discretize()
+    result = benchmark(
+        lambda: verify_schedule(net, study.schedule, study.r_t_min)
+    )
+    record_row(benchmark, study.paper_rows[0], result)
+    assert not result.satisfiable
+    assert result.num_sections == 10  # paper: 10 TTDs
+
+
+def test_generation(benchmark, studies):
+    study = studies["Simple Layout"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: generate_layout(net, study.schedule, study.r_t_min),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[1], result)
+    assert result.satisfiable and result.proven_optimal
+    # Paper: 14 sections (10 TTDs + 4); ours repairs with a handful too.
+    assert 11 <= result.num_sections <= 15
+
+
+def test_optimization(benchmark, studies):
+    study = studies["Simple Layout"]
+    net = study.discretize()
+    result = benchmark.pedantic(
+        lambda: optimize_schedule(
+            net, study.schedule, study.r_t_min,
+            minimize_borders_secondary=True,
+        ),
+        rounds=1, iterations=1,
+    )
+    record_row(benchmark, study.paper_rows[2], result)
+    assert result.satisfiable and result.proven_optimal
+    # Paper: 15 steps on their geometry; the shape target is that the
+    # optimum stays within the generation deadlines' makespan.
+    assert result.time_steps <= 15

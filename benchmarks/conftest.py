@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every Table I / figure benchmark records paper-vs-measured values in
+``benchmark.extra_info`` so that ``pytest benchmarks/ --benchmark-only``
+output doubles as the reproduction record (EXPERIMENTS.md is generated from
+the same numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies import all_case_studies
+
+
+@pytest.fixture(scope="session")
+def studies():
+    """All four case studies, keyed by name."""
+    return {study.name: study for study in all_case_studies()}
+
+
+def record_row(benchmark, paper_row, result) -> None:
+    """Attach a paper-vs-measured comparison to the benchmark record."""
+    benchmark.extra_info.update(
+        {
+            "task": result.task,
+            "paper_sat": paper_row.satisfiable,
+            "measured_sat": result.satisfiable,
+            "paper_sections": paper_row.sections,
+            "measured_sections": result.num_sections,
+            "paper_time_steps": paper_row.time_steps,
+            "measured_time_steps": result.time_steps,
+            "paper_vars": paper_row.variables,
+            "measured_vars": result.variables,
+            "paper_runtime_s": paper_row.runtime_s,
+            "measured_runtime_s": round(result.runtime_s, 3),
+        }
+    )

@@ -1,0 +1,115 @@
+"""Designing your own network: a branch line with a junction.
+
+Shows the full public API on a network that is *not* one of the paper's case
+studies: a main line with a branch to a port, mixed passenger/freight
+traffic, an intermediate stop requirement, and JSON round-tripping.
+
+Run:  python examples/custom_network.py
+"""
+
+from __future__ import annotations
+
+from repro.network import NetworkBuilder
+from repro.network.discretize import DiscreteNetwork
+from repro.network.io import network_from_json, network_to_json
+from repro.tasks import generate_layout, optimize_schedule, verify_schedule
+from repro.trains import Schedule, Stop, Train, TrainRun
+from repro.viz import format_task_result, render_layout, render_spacetime
+
+
+def build_network():
+    """City — Junction — Harbour, with a branch Junction — Port."""
+    return (
+        NetworkBuilder()
+        .boundary("City-end")
+        .link("c1")
+        .switch("jct")
+        .link("h1")
+        .boundary("Harbour-end")
+        .boundary("Port-end")
+        .track("City-end", "c1", length_km=1.0, ttd="CITY", name="staCity")
+        .track("c1", "jct", length_km=3.0, ttd="MAIN1", name="mainWest")
+        .track("jct", "h1", length_km=3.0, ttd="MAIN2", name="mainEast")
+        .track("h1", "Harbour-end", length_km=1.0, ttd="HARB", name="staHarbour")
+        .track("jct", "Port-end", length_km=2.0, ttd="PORT", name="branchPort")
+        .station("City", ["staCity"])
+        .station("Harbour", ["staHarbour"])
+        .station("Port", ["branchPort"])
+        .build()
+    )
+
+
+def build_schedule():
+    return Schedule(
+        [
+            # A passenger shuttle with an intermediate stop requirement at
+            # Harbour cannot exist (wrong direction) — it goes City->Harbour.
+            TrainRun(
+                Train("IC-1", length_m=200, max_speed_kmh=120),
+                start="City",
+                goal="Harbour",
+                departure_min=0.0,
+                arrival_min=6.0,
+            ),
+            # A freight train to the Port branch, departing right behind.
+            TrainRun(
+                Train("FRT-2", length_m=600, max_speed_kmh=60),
+                start="City",
+                goal="Port",
+                departure_min=1.0,
+                arrival_min=9.0,
+            ),
+            # A second passenger service following on the main line.
+            TrainRun(
+                Train("IC-3", length_m=200, max_speed_kmh=120),
+                start="City",
+                goal="Harbour",
+                departure_min=2.0,
+                arrival_min=8.0,
+            ),
+        ],
+        duration_min=12.0,
+    )
+
+
+def main() -> None:
+    network = build_network()
+
+    # JSON round-trip: this is how you would persist a hand-designed network.
+    restored = network_from_json(network_to_json(network))
+    net = DiscreteNetwork(restored, r_s_km=0.5)
+    print(f"Network: {restored}")
+    print(f"Discretised: {net}")
+    print()
+
+    schedule = build_schedule()
+    r_t = 0.5  # minutes per step
+
+    print("== Verification on pure TTDs ==")
+    verification = verify_schedule(net, schedule, r_t)
+    print(format_task_result(verification))
+    print()
+
+    if not verification.satisfiable:
+        print("== Generating the cheapest VSS layout ==")
+        generation = generate_layout(net, schedule, r_t)
+        print(format_task_result(generation))
+        print(render_layout(generation.solution.layout))
+        print()
+        print(render_spacetime(net, generation.solution))
+        print()
+
+    print("== What is the best possible timetable? ==")
+    optimization = optimize_schedule(
+        net, schedule, r_t, minimize_borders_secondary=True
+    )
+    print(format_task_result(optimization))
+    for trajectory in optimization.solution.trajectories:
+        print(
+            f"  {trajectory.name}: arrives step {trajectory.arrival_step} "
+            f"({trajectory.arrival_step * r_t:.1f} min)"
+        )
+
+
+if __name__ == "__main__":
+    main()

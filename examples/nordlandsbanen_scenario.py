@@ -1,0 +1,103 @@
+"""Nordlandsbanen: planning a morning on Norway's longest railway line.
+
+The paper's real-life case study: 822 km of single track from Trondheim to
+Bodø with 58 stations, of which every fifth has a crossing loop.  On today's
+infrastructure the long TTD sections between loops force huge headways; this
+scenario shows how the SAT methodology answers the dispatcher's questions:
+
+* Can the planned morning service run on the existing (pure TTD) blocks?
+* If not — where exactly do virtual subsections have to go?
+* And which stations see trains crossing?
+
+Run:  python examples/nordlandsbanen_scenario.py
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.nordlandsbanen import (
+    STATIONS,
+    is_crossing_station,
+    nordlandsbanen,
+)
+from repro.tasks import generate_layout, verify_schedule
+from repro.viz import format_task_result
+
+
+def station_of_segment(net, segment: int) -> str | None:
+    """Which station (if any) owns a segment?"""
+    track = net.segments[segment].track
+    for name, tracks in net.network.stations.items():
+        if track in tracks:
+            return name
+    return None
+
+
+def main() -> None:
+    study = nordlandsbanen()
+    net = study.discretize()
+
+    loops = [
+        name for index, name in enumerate(STATIONS)
+        if is_crossing_station(index)
+    ]
+    print(f"Nordlandsbanen: {len(STATIONS)} stations, "
+          f"{study.network.total_length_km:.0f} km of track, "
+          f"{net.num_ttds} TTD sections")
+    print(f"Crossing loops at: {', '.join(loops)}")
+    print()
+    print("Morning service:")
+    for run in study.schedule:
+        print(
+            f"  train {run.train.name}: {run.start} -> {run.goal}, "
+            f"dep {run.departure_min:.0f} min, "
+            f"deadline {run.arrival_min:.0f} min"
+        )
+    print()
+
+    print("== Can it run on the existing TTD blocks? ==")
+    verification = verify_schedule(net, study.schedule, study.r_t_min)
+    print(format_task_result(verification))
+    print(
+        "  -> NO: train 3 cannot keep its deadline while staying a full "
+        "block section\n     behind train 1 over the long remote TTDs."
+    )
+    print()
+
+    print("== Where do virtual subsections have to go? ==")
+    generation = generate_layout(net, study.schedule, study.r_t_min)
+    print(format_task_result(generation))
+    layout = generation.solution.layout
+    print(f"  {len(layout.added_borders)} VSS borders added:")
+    for vertex in sorted(layout.added_borders):
+        touching = [
+            net.segments[s].track for s in net.segments_at[vertex]
+        ]
+        print(f"    vertex {vertex} between {' and '.join(touching)}")
+    print()
+
+    print("== Where do trains meet? ==")
+    for step in range(generation.solution.t_max):
+        at_station: dict[str, list[str]] = {}
+        for trajectory in generation.solution.trajectories:
+            for segment in trajectory.steps[step]:
+                station = station_of_segment(net, segment)
+                if station:
+                    at_station.setdefault(station, []).append(trajectory.name)
+        for station, trains in sorted(at_station.items()):
+            if len(trains) > 1:
+                print(
+                    f"  step {step} ({step * study.r_t_min:.0f} min): trains "
+                    f"{' and '.join(sorted(trains))} cross at {station}"
+                )
+
+    print()
+    arrivals = {
+        t.name: t.arrival_step for t in generation.solution.trajectories
+    }
+    for name, step in sorted(arrivals.items()):
+        print(f"  train {name} arrives at step {step} "
+              f"({step * study.r_t_min:.0f} min)")
+
+
+if __name__ == "__main__":
+    main()

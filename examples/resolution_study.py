@@ -1,0 +1,75 @@
+"""Resolution study: how fine must the discretisation be?
+
+The paper's formulation (§III-A) hinges on two knobs — the spatial
+resolution r_s and the temporal resolution r_t.  Finer grids express more
+VSS layouts and schedules but blow up the encoding.  This study sweeps both
+knobs on the running example and shows:
+
+* how the variable/clause counts scale (linear in 1/r_s and 1/r_t),
+* where the verification verdict stabilises,
+* what the paper's chosen point (r_s = 0.5 km, r_t = 0.5 min) costs.
+
+Run:  python examples/resolution_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import resolution_sweep
+from repro.analysis.sensitivity import format_sweep
+from repro.casestudies.running_example import (
+    running_example_network,
+    running_example_schedule,
+)
+
+
+def main() -> None:
+    network = running_example_network()
+    schedule = running_example_schedule()
+
+    print("Verification verdict and encoding size across resolutions")
+    print("(the paper's point is r_s = 0.5 km, r_t = 0.5 min):\n")
+    resolutions = [
+        (2.0, 1.0),
+        (1.0, 1.0),
+        (1.0, 0.5),
+        (0.5, 0.5),   # the paper's Table I point
+        (0.25, 0.5),
+        (0.25, 0.25),
+    ]
+    points = resolution_sweep(network, schedule, resolutions, task="verify")
+    print(format_sweep(points))
+    print()
+
+    paper_point = next(
+        p for p in points if p.r_s_km == 0.5 and p.r_t_min == 0.5
+    )
+    print(
+        f"The paper's point: {paper_point.segments} segments, "
+        f"{paper_point.t_max} steps, {paper_point.paper_vars} variables "
+        f"(Table I: 654), verdict "
+        f"{'SAT' if paper_point.satisfiable else 'UNSAT'} (Table I: No)."
+    )
+    print()
+    print(
+        "Reading: the deadlock verdict is stable from coarse to fine grids —\n"
+        "the infeasibility is structural, not a discretisation artefact —\n"
+        "while the encoding grows linearly with each halving of r_s or r_t."
+    )
+
+    print()
+    print("Layout generation across spatial resolutions (r_t = 0.5 min):")
+    gen_points = resolution_sweep(
+        network, schedule, [(1.0, 0.5), (0.5, 0.5), (0.25, 0.5)],
+        task="generate",
+    )
+    print(format_sweep(gen_points))
+    print()
+    print(
+        "Finer spatial grids expose more candidate VSS borders: the same\n"
+        "schedule may need fewer (shorter) virtual sections at r_s = 0.25 km\n"
+        "than the 0.5 km grid can express."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — automatic design and verification for ETCS Level 3.
+
+A faithful, self-contained reproduction of
+
+    R. Wille, T. Peham, J. Przigoda, N. Przigoda:
+    "Towards Automatic Design and Verification for Level 3 of the
+    European Train Control System", DATE 2021.
+
+The package provides (bottom-up):
+
+* :mod:`repro.sat` — a from-scratch CDCL SAT solver (the oracle substituting
+  for Z3),
+* :mod:`repro.logic` — formula AST, Tseitin transformation, cardinality
+  encodings,
+* :mod:`repro.opt` — SAT-based minimisation engines,
+* :mod:`repro.network` / :mod:`repro.trains` — railway infrastructure and
+  schedule modelling with spatial/temporal discretisation,
+* :mod:`repro.encoding` — the paper's symbolic formulation,
+* :mod:`repro.tasks` — the three design tasks: verification, layout
+  generation, schedule optimization,
+* :mod:`repro.casestudies` — the four evaluation scenarios of the paper,
+* :mod:`repro.viz` — ASCII rendering of layouts and train diagrams.
+
+Quickstart::
+
+    from repro.casestudies import all_case_studies
+    from repro.tasks import verify_schedule, generate_layout
+
+    study = all_case_studies()[0]          # the paper's running example
+    net = study.discretize()
+    print(verify_schedule(net, study.schedule, study.r_t_min).satisfiable)
+    result = generate_layout(net, study.schedule, study.r_t_min)
+    print(result.num_sections, "TTD/VSS sections")
+"""
+
+from repro.encoding import EncodingOptions, EtcsEncoding, validate_solution
+from repro.network import (
+    DiscreteNetwork,
+    NetworkBuilder,
+    RailwayNetwork,
+    VSSLayout,
+)
+from repro.tasks import (
+    TaskResult,
+    generate_layout,
+    optimize_schedule,
+    verify_schedule,
+)
+from repro.trains import Schedule, Stop, Train, TrainRun
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "NetworkBuilder",
+    "RailwayNetwork",
+    "DiscreteNetwork",
+    "VSSLayout",
+    "Train",
+    "TrainRun",
+    "Stop",
+    "Schedule",
+    "EtcsEncoding",
+    "EncodingOptions",
+    "validate_solution",
+    "TaskResult",
+    "verify_schedule",
+    "generate_layout",
+    "optimize_schedule",
+]

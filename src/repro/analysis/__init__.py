@@ -1,0 +1,10 @@
+"""Analysis utilities on top of the design tasks.
+
+* :mod:`repro.analysis.sensitivity` — how do the verdicts, encoding sizes,
+  and runtimes react to the spatial/temporal resolutions ``r_s`` / ``r_t``
+  (the discretisation knobs of the paper's §III-A)?
+"""
+
+from repro.analysis.sensitivity import SweepPoint, resolution_sweep
+
+__all__ = ["SweepPoint", "resolution_sweep"]

@@ -1,0 +1,14 @@
+"""Baseline comparator: a greedy train dispatcher.
+
+The paper's tasks "have been conducted manually thus far"; this package
+implements what a straightforward automation of that manual practice looks
+like — a greedy, myopic dispatcher (:mod:`repro.baseline.greedy`) that moves
+every train toward its goal as fast as the interlocking rules allow, with no
+lookahead.  On contended networks it deadlocks or misses deadlines where the
+SAT methodology provably succeeds, which is exactly the gap the paper's
+contribution closes (measured in ``benchmarks/bench_baseline_greedy.py``).
+"""
+
+from repro.baseline.greedy import GreedyResult, greedy_dispatch
+
+__all__ = ["GreedyResult", "greedy_dispatch"]

@@ -1,0 +1,323 @@
+"""A greedy, myopic train dispatcher (the manual-practice baseline).
+
+Rules, applied step by step with no lookahead:
+
+* trains are processed by urgency (earliest arrival deadline first);
+* a train advances segment by segment toward its goal (shortest-path
+  distance), up to its speed, but never into a VSS section occupied by
+  another train;
+* a train that cannot advance waits;
+* after reaching its goal a train heads for a nearby network boundary and
+  leaves (terminal stations), or parks (interior stations);
+* if a whole step passes in which no train moves and trains are still
+  under way, the system is deadlocked — greedy has no way out.
+
+The dispatcher respects exactly the operational rules of the SAT model (the
+validator in :mod:`repro.encoding.validate` accepts its trajectories), so
+any gap to the SAT results is attributable to *decision quality*, not to
+different physics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.encoding.cone import multi_source_distances
+from repro.network.discretize import DiscreteNetwork
+from repro.network.sections import VSSLayout
+from repro.trains.discretize import DiscreteTrainRun, discretize_schedule
+from repro.trains.schedule import Schedule
+
+#: A goal this close to a network boundary counts as a terminal station:
+#: arrived trains continue to the boundary and leave the network.
+_EXIT_DISTANCE = 3
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy dispatch run.
+
+    Attributes:
+        success: every train entered on time, arrived by its deadline, and
+            no deadlock occurred.
+        reason: human-readable failure cause (empty on success).
+        trajectories: per train, per step, the occupied segment set.
+        arrivals: train name -> first step its goal was touched (or None).
+        makespan: last arrival step (t_max when some train never arrived).
+        deadlock_step: step at which all motion stopped (None if none).
+    """
+
+    success: bool
+    reason: str = ""
+    trajectories: list[list[frozenset[int]]] = field(default_factory=list)
+    arrivals: dict[str, int | None] = field(default_factory=dict)
+    makespan: int = 0
+    deadlock_step: int | None = None
+
+
+class _TrainState:
+    def __init__(self, run: DiscreteTrainRun, net: DiscreteNetwork):
+        self.run = run
+        self.chain: deque[int] = deque()  # head first
+        self.entered = False
+        self.arrived_step: int | None = None
+        self.gone = False
+        self.to_goal = multi_source_distances(net, list(run.goal_segments))
+        goal_exit_distance = min(
+            (self.to_goal[e] for e in net.boundary_segments()
+             if self.to_goal[e] >= 0),
+            default=-1,
+        )
+        self.exits_after_arrival = 0 <= goal_exit_distance <= _EXIT_DISTANCE
+        self.to_exit = multi_source_distances(
+            net, sorted(net.boundary_segments())
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.entered and not self.gone
+
+    def occupied(self) -> frozenset[int]:
+        return frozenset(self.chain)
+
+
+def _find_entry_chain(
+    net: DiscreteNetwork,
+    run: DiscreteTrainRun,
+    free_section: set[int],
+    section_of: list[int],
+    to_goal: list[int],
+) -> list[int] | None:
+    """A connected chain of l* station segments in free sections, or None.
+
+    The returned chain is head-first with the head on the goal-facing end,
+    seeded from the station segment nearest the goal (a berthed train pulls
+    out nose first).
+    """
+    station = set(run.start_segments)
+
+    def grow(path: list[int]) -> list[int] | None:
+        if len(path) == run.length_segments:
+            return path
+        for nxt in net.seg_neighbours[path[-1]]:
+            if nxt in station and nxt not in path:
+                if section_of[nxt] in free_section:
+                    result = grow(path + [nxt])
+                    if result is not None:
+                        return result
+        return None
+
+    for seed in sorted(station, key=lambda e: to_goal[e]):
+        if section_of[seed] in free_section:
+            chain = grow([seed])
+            if chain is not None:
+                if to_goal[chain[-1]] < to_goal[chain[0]]:
+                    chain.reverse()
+                return chain
+    return None
+
+
+def greedy_dispatch(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    layout: VSSLayout | None = None,
+) -> GreedyResult:
+    """Dispatch ``schedule`` greedily on ``layout`` (default: pure TTD)."""
+    if layout is None:
+        layout = VSSLayout.pure_ttd(net)
+    runs, t_max = discretize_schedule(net, schedule, r_t_min)
+    section_of = layout.section_of()
+    num_sections = layout.num_sections
+
+    states = [_TrainState(run, net) for run in runs]
+    # Urgency: earliest deadline first; open deadlines last.
+    order = sorted(
+        range(len(states)),
+        key=lambda i: (
+            runs[i].arrival_step if runs[i].arrival_step is not None
+            else t_max,
+            runs[i].departure_step,
+        ),
+    )
+    trajectories: list[list[frozenset[int]]] = [[] for _ in states]
+    deadlock_step: int | None = None
+    failure = ""
+
+    for t in range(t_max):
+        # Occupancy of VSS sections at the *current* in-step positions.
+        owners: list[int | None] = [None] * num_sections
+        for i, state in enumerate(states):
+            for segment in state.chain:
+                owners[section_of[segment]] = i
+        # The SAT model's collision rule is conservative: a section a train
+        # sweeps *through* during a step may not be touched by any other
+        # train at either boundary instant, and a section a rival merely
+        # vacated (its step-start position) may only be taken as a final
+        # position, never swept through.  Track both so greedy trajectories
+        # stay within the SAT model's semantics.
+        start_owner: list[int | None] = list(owners)
+        swept: set[int] = set()  # entered-and-left mid-step (interiors)
+
+        moved_any = False
+        someone_waiting = False
+
+        for i in order:
+            state = states[i]
+            run = runs[i]
+
+            if not state.entered or state.gone:
+                continue
+
+            # Leaving the network (after arrival, at a boundary segment).
+            if (
+                state.arrived_step is not None
+                and state.exits_after_arrival
+                and any(
+                    e in net.boundary_segments() for e in state.chain
+                )
+            ):
+                for segment in state.chain:
+                    owners[section_of[segment]] = None
+                state.chain.clear()
+                state.gone = True
+                moved_any = True
+                continue
+
+            # Advance up to `speed` segments toward the target.
+            target = (
+                state.to_exit
+                if state.arrived_step is not None and state.exits_after_arrival
+                else state.to_goal
+            )
+            advances = 0
+            own_start = {section_of[e] for e in state.chain}
+            own_swept: list[int] = []
+            while advances < run.speed_segments:
+                head = state.chain[0]
+                best = None
+                best_is_endpoint_only = False
+                blocked_closer = False
+                for nxt in net.seg_neighbours[head]:
+                    if nxt in state.chain:
+                        continue
+                    if not 0 <= target[nxt] < target[head]:
+                        continue
+                    section = section_of[nxt]
+                    if owners[section] is not None and owners[section] != i:
+                        blocked_closer = True  # a rival holds that section
+                        continue
+                    if section in swept:
+                        blocked_closer = True  # a rival swept through it
+                        continue
+                    endpoint_only = (
+                        start_owner[section] is not None
+                        and start_owner[section] != i
+                    )
+                    if best is None or target[nxt] < target[best]:
+                        best = nxt
+                        best_is_endpoint_only = endpoint_only
+                if best is None:
+                    if blocked_closer:
+                        someone_waiting = True
+                    break
+                state.chain.appendleft(best)
+                owners[section_of[best]] = i
+                if len(state.chain) > run.length_segments:
+                    tail = state.chain.pop()
+                    tail_section = section_of[tail]
+                    if all(section_of[s] != tail_section
+                           for s in state.chain):
+                        owners[tail_section] = None
+                        if tail_section not in own_start:
+                            own_swept.append(tail_section)
+                advances += 1
+                moved_any = True
+                if state.arrived_step is None and set(state.chain) & set(
+                    run.goal_segments
+                ):
+                    state.arrived_step = t
+                    break
+                if best_is_endpoint_only:
+                    # A rival stood here at the step start: taking the
+                    # vacated position is fine, sweeping onwards is not.
+                    break
+
+            if state.arrived_step is None and set(state.chain) & set(
+                run.goal_segments
+            ):
+                state.arrived_step = t
+            swept.update(own_swept)
+
+        # Entries happen after movements: within one time step the
+        # dispatcher first clears the station throat, then admits new trains.
+        for i in order:
+            state = states[i]
+            run = runs[i]
+            if state.entered or t != run.departure_step:
+                continue
+            free = {
+                s for s in range(num_sections)
+                if (owners[s] is None or owners[s] == i) and s not in swept
+            }
+            chain = _find_entry_chain(
+                net, run, free, section_of, state.to_goal
+            )
+            if chain is None:
+                failure = (
+                    f"train {run.name}: start station blocked at "
+                    f"its departure step {t}"
+                )
+                break
+            state.chain = deque(chain)
+            state.entered = True
+            for segment in chain:
+                owners[section_of[segment]] = i
+            moved_any = True
+
+        if failure:
+            break
+        for i, state in enumerate(states):
+            trajectories[i].append(state.occupied())
+        pending = any(
+            not state.entered and runs[i].departure_step > t
+            for i, state in enumerate(states)
+        )
+        if not moved_any and someone_waiting and not pending:
+            deadlock_step = t
+            failure = f"deadlock at step {t}: no train can move"
+            break
+
+    # Pad trajectories to t_max for uniform shape.
+    for track in trajectories:
+        while len(track) < t_max:
+            track.append(track[-1] if track else frozenset())
+
+    arrivals = {
+        runs[i].name: states[i].arrived_step for i in range(len(states))
+    }
+    if not failure:
+        for i, run in enumerate(runs):
+            arrived = states[i].arrived_step
+            if arrived is None:
+                failure = f"train {run.name}: never reached its goal"
+                break
+            deadline = run.arrival_step
+            if deadline is not None and arrived > deadline:
+                failure = (
+                    f"train {run.name}: arrived at step {arrived}, "
+                    f"deadline was {deadline}"
+                )
+                break
+
+    known = [a for a in arrivals.values() if a is not None]
+    makespan = max(known) if len(known) == len(states) else t_max
+    return GreedyResult(
+        success=not failure,
+        reason=failure,
+        trajectories=trajectories,
+        arrivals=arrivals,
+        makespan=makespan,
+        deadlock_step=deadlock_step,
+    )

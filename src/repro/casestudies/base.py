@@ -1,0 +1,52 @@
+"""Common shape of a case study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.discretize import DiscreteNetwork
+from repro.network.topology import RailwayNetwork
+from repro.trains.schedule import Schedule
+
+
+@dataclass
+class PaperRow:
+    """One row of the paper's Table I, for comparison in EXPERIMENTS.md."""
+
+    task: str
+    variables: int
+    satisfiable: bool
+    sections: int
+    time_steps: int | None
+    runtime_s: float
+
+
+@dataclass
+class CaseStudy:
+    """A network + schedule + resolutions, as evaluated in the paper."""
+
+    name: str
+    network: RailwayNetwork
+    schedule: Schedule
+    r_s_km: float
+    r_t_min: float
+    paper_rows: list[PaperRow] = field(default_factory=list)
+
+    def discretize(self) -> DiscreteNetwork:
+        """The segment graph at this case study's spatial resolution."""
+        return DiscreteNetwork(self.network, self.r_s_km)
+
+
+def all_case_studies() -> list[CaseStudy]:
+    """All four §IV case studies, in the paper's order."""
+    from repro.casestudies.complex_layout import complex_layout
+    from repro.casestudies.nordlandsbanen import nordlandsbanen
+    from repro.casestudies.running_example import running_example
+    from repro.casestudies.simple_layout import simple_layout
+
+    return [
+        running_example(),
+        simple_layout(),
+        complex_layout(),
+        nordlandsbanen(),
+    ]

@@ -1,0 +1,138 @@
+"""The "Complex Layout" of Fig. 4b: six stations, connected differently.
+
+Reconstruction: two single-track corridors — A—B—C and D—E—F — joined by a
+connector line between the interior stations B and E:
+
+.. code-block:: text
+
+    A == lineAB == B == lineBC == C        (corridor 1)
+                   ||
+                connector
+                   ||
+    D == lineDE == E == lineEF == F        (corridor 2)
+
+Every station has two platform tracks; terminals (A, C, D, F) end in
+boundary nodes.  Lines are 30 km (two 15 km TTD sections each), the
+connector 25 km (two TTD sections).  Total: 22 TTD sections and 157 segments
+at ``r_s = 1 km`` — the paper-equivalent variable count is 156 vertices +
+5 trains x 157 segments x 18 steps = 14286 ≈ the paper's 14025.
+
+The schedule crosses two expresses at station B (feasible on pure TTDs) and
+runs a three-train sequence on corridor 2 whose local follower (train 5,
+D -> E behind train 3) cannot meet its deadline with full-TTD headways — the
+pure TTD layout is infeasible and VSS borders on lineDE repair it, which in
+turn un-blocks the opposing train 4.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy, PaperRow
+from repro.network.builder import NetworkBuilder
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+def complex_layout_network():
+    """The Fig. 4b track layout (6 stations, 22 TTDs, 157 km)."""
+    builder = NetworkBuilder()
+    # Terminal stations: two boundary stubs meeting in one switch.
+    for terminal, switch in (("A", "a1"), ("C", "c1"), ("D", "d1"), ("F", "f1")):
+        builder.boundary(f"{terminal}B1").boundary(f"{terminal}B2")
+        builder.switch(switch)
+        builder.track(
+            f"{terminal}B1", switch, length_km=1.0,
+            ttd=f"{terminal}1", name=f"sta{terminal}1",
+        )
+        builder.track(
+            f"{terminal}B2", switch, length_km=1.0,
+            ttd=f"{terminal}2", name=f"sta{terminal}2",
+        )
+    # Interior stations: two platforms between a pair of switches.
+    for interior, (sw_in, sw_out) in (("B", ("b1", "b2")), ("E", ("e1", "e2"))):
+        builder.switch(sw_in).switch(sw_out)
+        builder.track(
+            sw_in, sw_out, length_km=1.0,
+            ttd=f"{interior}1", name=f"sta{interior}1",
+        )
+        builder.track(
+            sw_in, sw_out, length_km=1.0,
+            ttd=f"{interior}2", name=f"sta{interior}2",
+        )
+    # Lines (each 30 km, two 15 km TTD halves split at a link node).
+    for name, (left, right) in (
+        ("AB", ("a1", "b1")),
+        ("BC", ("b2", "c1")),
+        ("DE", ("d1", "e1")),
+        ("EF", ("e2", "f1")),
+    ):
+        mid = f"l{name}"
+        builder.link(mid)
+        builder.track(left, mid, length_km=15.0, ttd=f"{name}a", name=f"line{name}a")
+        builder.track(mid, right, length_km=15.0, ttd=f"{name}b", name=f"line{name}b")
+    # The connector between the corridors (25 km, two TTD sections).
+    builder.link("lBE")
+    builder.track("b2", "lBE", length_km=13.0, ttd="BEa", name="connectorA")
+    builder.track("lBE", "e1", length_km=12.0, ttd="BEb", name="connectorB")
+
+    for station, switchish in (("A", "A"), ("C", "C"), ("D", "D"), ("F", "F"),
+                               ("B", "B"), ("E", "E")):
+        builder.station(station, [f"sta{switchish}1", f"sta{switchish}2"])
+    return builder.build()
+
+
+def complex_layout_schedule() -> Schedule:
+    """Five trains over 54 minutes (r_t = 3 min -> 18 steps)."""
+    runs = [
+        TrainRun(
+            Train("1", length_m=400, max_speed_kmh=120),
+            start="A",
+            goal="C",
+            departure_min=0.0,
+            arrival_min=39.0,  # step 13
+        ),
+        TrainRun(
+            Train("2", length_m=400, max_speed_kmh=120),
+            start="C",
+            goal="A",
+            departure_min=0.0,
+            arrival_min=39.0,  # step 13
+        ),
+        TrainRun(
+            Train("3", length_m=600, max_speed_kmh=100),
+            start="D",
+            goal="F",
+            departure_min=0.0,
+            arrival_min=45.0,  # step 15
+        ),
+        TrainRun(
+            Train("4", length_m=600, max_speed_kmh=100),
+            start="F",
+            goal="D",
+            departure_min=3.0,  # step 1
+            arrival_min=51.0,  # step 17
+        ),
+        TrainRun(
+            Train("5", length_m=300, max_speed_kmh=80),
+            start="D",
+            goal="E",
+            departure_min=3.0,  # step 1
+            arrival_min=30.0,  # step 10
+        ),
+    ]
+    return Schedule(runs, duration_min=54.0)
+
+
+def complex_layout() -> CaseStudy:
+    """The complete Complex Layout case study with the paper's Table I rows."""
+    return CaseStudy(
+        name="Complex Layout",
+        network=complex_layout_network(),
+        schedule=complex_layout_schedule(),
+        r_s_km=1.0,
+        r_t_min=3.0,
+        paper_rows=[
+            PaperRow("verification", 14025, False, 22, None, 63.33),
+            PaperRow("generation", 14025, True, 23, 17, 151.80),
+            PaperRow("optimization", 14025, True, 25, 14, 210.70),
+        ],
+    )

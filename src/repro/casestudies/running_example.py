@@ -1,0 +1,102 @@
+"""The paper's running example (Fig. 1, Fig. 2, Fig. 3).
+
+Reconstruction: a single-track line from boundary station A to boundary
+station B with a two-track passing area in the middle whose lower track is
+platform "Station C":
+
+.. code-block:: text
+
+    A ===staA=== a1 ===appA=== p1 ===through=== p2 ===appB=== b1 ===staB=== B
+       (TTD1)        (TTD1)       \\==platform==/    (TTD4)        (TTD4)
+                                      (TTD3, station C; through is TTD2)
+
+At ``r_s = 0.5 km`` this discretises into 16 segments — matching the paper's
+640 occupies-variables (4 trains x 16 segments x 10 steps) plus border
+variables (Fig. 3 / Table I: 654).
+
+The schedule is Fig. 1b verbatim: trains 1/3 start at A, trains 2/4 at B,
+with opposing traffic that deadlocks on the pure TTD layout (Example 2) —
+trains 2 and 4 must share TTD4 around 0:01, which no pure-TTD operation
+allows.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy, PaperRow
+from repro.network.builder import NetworkBuilder
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+def running_example_network():
+    """The Fig. 1 track layout (4 TTDs, 8 km)."""
+    return (
+        NetworkBuilder()
+        .boundary("A")
+        .link("a1")
+        .switch("p1")
+        .switch("p2")
+        .link("b1")
+        .boundary("B")
+        .track("A", "a1", length_km=1.0, ttd="TTD1", name="staA")
+        .track("a1", "p1", length_km=1.5, ttd="TTD1", name="appA")
+        .track("p1", "p2", length_km=1.5, ttd="TTD2", name="through")
+        .track("p1", "p2", length_km=1.5, ttd="TTD3", name="platform")
+        .track("p2", "b1", length_km=1.5, ttd="TTD4", name="appB")
+        .track("b1", "B", length_km=1.0, ttd="TTD4", name="staB")
+        .station("A", ["staA"])
+        .station("B", ["staB"])
+        .station("C", ["platform"])
+        .build()
+    )
+
+
+def running_example_schedule() -> Schedule:
+    """The Fig. 1b schedule (4 trains over 5 minutes)."""
+    runs = [
+        TrainRun(
+            Train("1", length_m=400, max_speed_kmh=180),
+            start="A",
+            goal="B",
+            departure_min=0.0,
+            arrival_min=4.5,
+        ),
+        TrainRun(
+            Train("2", length_m=700, max_speed_kmh=120),
+            start="B",
+            goal="A",
+            departure_min=0.0,
+            arrival_min=4.0,
+        ),
+        TrainRun(
+            Train("3", length_m=100, max_speed_kmh=120),
+            start="A",
+            goal="C",
+            departure_min=1.0,
+            arrival_min=3.0,
+        ),
+        TrainRun(
+            Train("4", length_m=250, max_speed_kmh=180),
+            start="B",
+            goal="A",
+            departure_min=1.0,
+            arrival_min=5.0,
+        ),
+    ]
+    return Schedule(runs, duration_min=5.0)
+
+
+def running_example() -> CaseStudy:
+    """The complete running-example case study with the paper's Table I rows."""
+    return CaseStudy(
+        name="Running Example",
+        network=running_example_network(),
+        schedule=running_example_schedule(),
+        r_s_km=0.5,
+        r_t_min=0.5,
+        paper_rows=[
+            PaperRow("verification", 654, False, 4, None, 0.10),
+            PaperRow("generation", 654, True, 5, 10, 0.14),
+            PaperRow("optimization", 654, True, 7, 7, 0.25),
+        ],
+    )

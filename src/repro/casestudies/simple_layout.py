@@ -1,0 +1,112 @@
+"""The "Simple Layout" of Fig. 4a: three stations on a vertical line.
+
+Reconstruction: stations North, Mid, and South, each with two platform
+tracks, joined by two 9 km single-track lines (each split into two TTD
+sections at its midpoint):
+
+.. code-block:: text
+
+      NA1 \\           / NA2        (North: 2 platforms, boundaries on top)
+           n1 == line1 (L1a | L1b) == m1
+                                       staM1 / staM2   (Mid: 2 platforms)
+           m2 == line2 (L2a | L2b) == s1
+      SB1 /           \\ SB2        (South: 2 platforms)
+
+10 TTD sections; at ``r_s = 0.5 km`` the network has 48 segments, so the
+paper-equivalent variable count is 48 vertices + 4 trains x 48 segments x
+20 steps = 3888 ≈ the paper's 3910.
+
+The synthesised schedule sends two expresses against each other (they must
+cross at Mid), a regional that terminates on a Mid platform, and a delayed
+follower out of South whose deadline cannot be met with full-TTD headways —
+the pure TTD layout is infeasible, a few VSS borders repair it.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.base import CaseStudy, PaperRow
+from repro.network.builder import NetworkBuilder
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+def simple_layout_network():
+    """The Fig. 4a track layout (3 stations, 10 TTDs, 24 km)."""
+    builder = (
+        NetworkBuilder()
+        .boundary("NA1")
+        .boundary("NA2")
+        .switch("n1")
+        .link("l1")
+        .switch("m1")
+        .switch("m2")
+        .link("l2")
+        .switch("s1")
+        .boundary("SB1")
+        .boundary("SB2")
+        .track("NA1", "n1", length_km=1.0, ttd="N1", name="staN1")
+        .track("NA2", "n1", length_km=1.0, ttd="N2", name="staN2")
+        .track("n1", "l1", length_km=4.5, ttd="L1a", name="line1a")
+        .track("l1", "m1", length_km=4.5, ttd="L1b", name="line1b")
+        .track("m1", "m2", length_km=1.0, ttd="M1", name="staM1")
+        .track("m1", "m2", length_km=1.0, ttd="M2", name="staM2")
+        .track("m2", "l2", length_km=4.5, ttd="L2a", name="line2a")
+        .track("l2", "s1", length_km=4.5, ttd="L2b", name="line2b")
+        .track("s1", "SB1", length_km=1.0, ttd="S1", name="staS1")
+        .track("s1", "SB2", length_km=1.0, ttd="S2", name="staS2")
+        .station("North", ["staN1", "staN2"])
+        .station("Mid", ["staM1", "staM2"])
+        .station("South", ["staS1", "staS2"])
+    )
+    return builder.build()
+
+
+def simple_layout_schedule() -> Schedule:
+    """Four trains over 20 minutes (r_t = 1 min -> 20 steps)."""
+    runs = [
+        TrainRun(
+            Train("1", length_m=400, max_speed_kmh=120),
+            start="North",
+            goal="South",
+            departure_min=0.0,
+            arrival_min=13.0,
+        ),
+        TrainRun(
+            Train("2", length_m=400, max_speed_kmh=120),
+            start="South",
+            goal="North",
+            departure_min=0.0,
+            arrival_min=13.0,
+        ),
+        TrainRun(
+            Train("3", length_m=200, max_speed_kmh=90),
+            start="North",
+            goal="Mid",
+            departure_min=1.0,
+            arrival_min=10.0,
+        ),
+        TrainRun(
+            Train("4", length_m=600, max_speed_kmh=90),
+            start="South",
+            goal="Mid",
+            departure_min=1.0,
+            arrival_min=10.0,
+        ),
+    ]
+    return Schedule(runs, duration_min=20.0)
+
+
+def simple_layout() -> CaseStudy:
+    """The complete Simple Layout case study with the paper's Table I rows."""
+    return CaseStudy(
+        name="Simple Layout",
+        network=simple_layout_network(),
+        schedule=simple_layout_schedule(),
+        r_s_km=0.5,
+        r_t_min=1.0,
+        paper_rows=[
+            PaperRow("verification", 3910, False, 10, None, 3.26),
+            PaperRow("generation", 3910, True, 14, 19, 7.21),
+            PaperRow("optimization", 3910, True, 14, 15, 28.40),
+        ],
+    )

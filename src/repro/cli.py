@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Run the paper's design tasks from the shell::
+
+    python -m repro list
+    python -m repro verify   --case running-example
+    python -m repro generate --case simple-layout --strategy binary
+    python -m repro optimize --case running-example --min-borders
+    python -m repro table1 [--skip-slow]
+
+Custom networks can be given as JSON (see :mod:`repro.network.io`) with the
+schedule described inline via repeated ``--train`` options::
+
+    python -m repro verify --network net.json --r-s 0.5 --r-t 1 \\
+        --duration 20 --train "1,A,B,120,400,0,10"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.casestudies import CaseStudy, all_case_studies
+from repro.network.discretize import DiscreteNetwork
+from repro.network.io import load_network
+from repro.tasks import generate_layout, optimize_schedule, verify_schedule
+from repro.trains.schedule import Schedule, ScheduleError, TrainRun
+from repro.trains.train import Train
+from repro.viz import format_table1, format_task_result, render_layout, render_spacetime
+
+
+def _case_key(study: CaseStudy) -> str:
+    return study.name.lower().replace(" ", "-")
+
+
+def _find_case(key: str) -> CaseStudy:
+    for study in all_case_studies():
+        if _case_key(study) == key:
+            return study
+    known = ", ".join(_case_key(s) for s in all_case_studies())
+    raise SystemExit(f"unknown case study {key!r}; known: {known}")
+
+
+def _parse_train(spec: str) -> TrainRun:
+    """Parse "name,start,goal,speed_kmh,length_m,dep_min,arr_min|-"."""
+    parts = spec.split(",")
+    if len(parts) != 7:
+        raise SystemExit(
+            f"bad --train {spec!r}: expected "
+            "name,start,goal,speed,length,departure,arrival"
+        )
+    name, start, goal, speed, length, dep, arr = (p.strip() for p in parts)
+    try:
+        return TrainRun(
+            Train(name, length_m=float(length), max_speed_kmh=float(speed)),
+            start=start,
+            goal=goal,
+            departure_min=float(dep),
+            arrival_min=None if arr in ("-", "") else float(arr),
+        )
+    except (ValueError, ScheduleError) as exc:
+        raise SystemExit(f"bad --train {spec!r}: {exc}") from exc
+
+
+def _scenario(args) -> tuple[DiscreteNetwork, Schedule, float]:
+    """Resolve (discrete network, schedule, r_t) from CLI arguments."""
+    if args.case:
+        study = _find_case(args.case)
+        return study.discretize(), study.schedule, study.r_t_min
+    if not args.network:
+        raise SystemExit("either --case or --network is required")
+    if not args.train and not args.schedule:
+        raise SystemExit(
+            "--network requires at least one --train or a --schedule file"
+        )
+    network = load_network(args.network)
+    net = DiscreteNetwork(network, args.r_s)
+    try:
+        if args.schedule:
+            from repro.trains.io import load_schedule
+
+            schedule = load_schedule(args.schedule)
+        else:
+            schedule = Schedule(
+                [_parse_train(t) for t in args.train], args.duration
+            )
+    except ScheduleError as exc:
+        raise SystemExit(str(exc)) from exc
+    return net, schedule, args.r_t
+
+
+def _report(result, net, show_diagram: bool, show_timetable: bool,
+            r_t_min: float) -> None:
+    print(format_task_result(result))
+    if result.solution is None:
+        return
+    print()
+    print(render_layout(result.solution.layout))
+    if show_diagram:
+        print()
+        print(render_spacetime(net, result.solution))
+    if show_timetable:
+        from repro.viz import render_timetable
+
+        print()
+        print(render_timetable(net, result.solution, r_t_min))
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--case", help="named case study (see `list`)")
+    parser.add_argument("--network", help="network JSON file")
+    parser.add_argument("--r-s", type=float, default=0.5,
+                        help="spatial resolution in km (with --network)")
+    parser.add_argument("--r-t", type=float, default=1.0,
+                        help="temporal resolution in min (with --network)")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="scenario duration in min (with --network)")
+    parser.add_argument("--train", action="append", default=[],
+                        help="train spec: name,start,goal,speed,length,dep,arr")
+    parser.add_argument("--schedule", help="schedule JSON file "
+                        "(alternative to --train/--duration)")
+    parser.add_argument("--diagram", action="store_true",
+                        help="print the space-time occupancy diagram")
+    parser.add_argument("--timetable", action="store_true",
+                        help="print the per-train station timetable")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="etcs-l3",
+        description="Automatic design & verification for ETCS Level 3 "
+        "(reproduction of Wille et al., DATE 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in case studies")
+
+    verify = sub.add_parser("verify", help="verify a schedule on pure TTDs")
+    _add_scenario_args(verify)
+    verify.add_argument("--proof", action="store_true",
+                        help="back UNSAT verdicts with a checked DRAT proof")
+    verify.add_argument("--explain", action="store_true",
+                        help="on UNSAT, diagnose which trains' commitments "
+                             "conflict")
+
+    generate = sub.add_parser("generate", help="generate a minimal VSS layout")
+    _add_scenario_args(generate)
+    generate.add_argument("--strategy", default="linear",
+                          choices=["linear", "binary", "core"])
+
+    optimize = sub.add_parser("optimize", help="optimize the schedule makespan")
+    _add_scenario_args(optimize)
+    optimize.add_argument("--strategy", default="linear",
+                          choices=["linear", "binary", "core"])
+    optimize.add_argument("--min-borders", action="store_true",
+                          help="secondarily minimise VSS borders")
+    optimize.add_argument("--objective", default="makespan",
+                          choices=["makespan", "total-arrival"],
+                          help="efficiency reading (paper §III-C)")
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
+    table1.add_argument("--skip-slow", action="store_true",
+                        help="only the Running Example and Simple Layout")
+
+    export = sub.add_parser(
+        "export", help="export a scenario's CNF encoding as DIMACS"
+    )
+    _add_scenario_args(export)
+    export.add_argument("--output", required=True, help="DIMACS output file")
+    export.add_argument("--pin-pure-ttd", action="store_true",
+                        help="pin the pure TTD layout (verification instance)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for study in all_case_studies():
+            net = study.discretize()
+            print(
+                f"{_case_key(study):<18} {len(study.schedule)} trains, "
+                f"{net.num_segments} segments, {net.num_ttds} TTDs, "
+                f"r_s={study.r_s_km} km, r_t={study.r_t_min} min"
+            )
+        return 0
+
+    if args.command == "table1":
+        studies = all_case_studies()
+        if args.skip_slow:
+            studies = studies[:2]
+        groups = []
+        for study in studies:
+            net = study.discretize()
+            results = [
+                verify_schedule(net, study.schedule, study.r_t_min),
+                generate_layout(net, study.schedule, study.r_t_min),
+                optimize_schedule(net, study.schedule, study.r_t_min,
+                                  minimize_borders_secondary=True),
+            ]
+            caption = (
+                f"{study.name} (r_t = {study.r_t_min} min, "
+                f"r_s = {study.r_s_km} km)"
+            )
+            groups.append((caption, results))
+        print(format_table1(groups))
+        return 0
+
+    net, schedule, r_t = _scenario(args)
+    if args.command == "export":
+        from repro.encoding.encoder import EtcsEncoding
+        from repro.network.sections import VSSLayout
+        from repro.sat import write_dimacs
+
+        encoding = EtcsEncoding(net, schedule, r_t).build()
+        if args.pin_pure_ttd:
+            encoding.pin_layout(VSSLayout.pure_ttd(net))
+        comment = (
+            f"ETCS L3 encoding: {len(schedule)} trains, "
+            f"{net.num_segments} segments, t_max={encoding.t_max}"
+        )
+        with open(args.output, "w") as handle:
+            handle.write(
+                write_dimacs(
+                    encoding.cnf.num_vars, encoding.cnf.clauses, comment
+                )
+            )
+        print(
+            f"wrote {encoding.cnf.num_vars} vars / "
+            f"{encoding.cnf.num_clauses} clauses to {args.output}"
+        )
+        return 0
+    if args.command == "verify":
+        result = verify_schedule(net, schedule, r_t, with_proof=args.proof)
+        if args.proof and not result.satisfiable:
+            status = "VALID" if result.proof_checked else "REJECTED"
+            print(f"DRAT proof of infeasibility: {status}")
+        if args.explain and not result.satisfiable:
+            from repro.tasks import diagnose_infeasibility
+
+            diagnosis = diagnose_infeasibility(net, schedule, r_t)
+            if diagnosis.structural:
+                print(
+                    "diagnosis: structural — the layout cannot host these "
+                    "runs within the horizon, no deadline is to blame"
+                )
+            else:
+                trains = ", ".join(diagnosis.conflicting_trains)
+                print(f"diagnosis: conflicting timetable commitments of "
+                      f"train(s) {trains}")
+    elif args.command == "generate":
+        result = generate_layout(net, schedule, r_t, strategy=args.strategy)
+    else:
+        result = optimize_schedule(
+            net, schedule, r_t,
+            strategy=args.strategy,
+            minimize_borders_secondary=args.min_borders,
+            objective=args.objective,
+        )
+    _report(result, net, args.diagram, args.timetable, r_t)
+    return 0 if result.satisfiable else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

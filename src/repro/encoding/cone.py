@@ -1,0 +1,140 @@
+"""Cone-of-influence reduction: where can each train possibly be, and when?
+
+For every train and every time step we compute the set of segments the train
+could conceivably occupy:
+
+* forward: within ``speed * (t - departure) + (l* - 1)`` hops of the start
+  station (the ``l* - 1`` slack accounts for the tail of a multi-segment
+  train),
+* backward: close enough to the goal to still make the arrival deadline
+  (again with tail slack); after the deadline only the goal's chain
+  neighbourhood remains (a train that has arrived may wait at its goal or
+  leave the network, but wandering off is never necessary — any solution
+  that wanders can be transformed into one that vanishes instead, so the
+  pruning preserves satisfiability; see DESIGN.md §5).
+
+Variables are only created inside these sets, which shrinks the encoding by
+an order of magnitude on large networks (``benchmarks/bench_ablation_cone.py``
+quantifies this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.discretize import DiscreteNetwork
+from repro.trains.discretize import DiscreteTrainRun
+
+
+def multi_source_distances(net: DiscreteNetwork, sources: list[int]) -> list[int]:
+    """BFS hop distance from the nearest of ``sources`` (-1 = unreachable)."""
+    dist = [-1] * net.num_segments
+    queue: deque[int] = deque()
+    for source in sources:
+        if dist[source] == -1:
+            dist[source] = 0
+            queue.append(source)
+    while queue:
+        current = queue.popleft()
+        for neighbour in net.seg_neighbours[current]:
+            if dist[neighbour] == -1:
+                dist[neighbour] = dist[current] + 1
+                queue.append(neighbour)
+    return dist
+
+
+class Cone:
+    """Per-train, per-step possible-segment sets."""
+
+    def __init__(
+        self,
+        net: DiscreteNetwork,
+        runs: list[DiscreteTrainRun],
+        t_max: int,
+        enabled: bool = True,
+        ignore_deadlines: bool = False,
+    ):
+        self.net = net
+        self.t_max = t_max
+        self.enabled = enabled
+        self.ignore_deadlines = ignore_deadlines
+        # possible[train_index][step] -> frozenset of segment ids
+        self.possible: list[list[frozenset[int]]] = []
+        for run in runs:
+            self.possible.append(self._compute_run(run))
+
+    def _compute_run(self, run: DiscreteTrainRun) -> list[frozenset[int]]:
+        net = self.net
+        all_segments = frozenset(range(net.num_segments))
+        empty: frozenset[int] = frozenset()
+        steps: list[frozenset[int]] = []
+        if not self.enabled:
+            for t in range(self.t_max):
+                if t < run.departure_step:
+                    steps.append(empty)
+                elif t == run.departure_step:
+                    # Parked inside the start station — this is part of the
+                    # departure *semantics*, not of the pruning.
+                    steps.append(frozenset(run.start_segments))
+                else:
+                    steps.append(all_segments)
+            return steps
+
+        slack = run.length_segments - 1
+        speed = run.speed_segments
+        from_start = multi_source_distances(net, list(run.start_segments))
+        to_goal = multi_source_distances(net, list(run.goal_segments))
+        deadline = (
+            run.arrival_step
+            if run.arrival_step is not None and not self.ignore_deadlines
+            else self.t_max - 1
+        )
+        # Earliest possible arrival step: a train may only be *past* its
+        # goal-reaching obligation from here on.
+        goal_distances = [
+            from_start[g] for g in run.goal_segments if from_start[g] >= 0
+        ]
+        shortest = min(goal_distances) if goal_distances else 0
+        earliest_arrival = run.departure_step + -(-shortest // speed)
+        for t in range(self.t_max):
+            if t < run.departure_step:
+                steps.append(empty)
+                continue
+            if t == run.departure_step:
+                # The train starts parked inside its start station: the whole
+                # chain lies on station segments.
+                steps.append(frozenset(run.start_segments))
+                continue
+            forward_budget = speed * (t - run.departure_step) + slack
+            # Pre-visit: the train must still be able to make its deadline.
+            if t <= deadline:
+                backward_budget = speed * (deadline - t) + slack
+            else:
+                backward_budget = -1  # must have visited already
+            # Post-visit: a train that reached its goal at some j >= earliest
+            # arrival may since have moved up to speed*(t - j) away from it —
+            # e.g. backing out of another train's way when its exit is
+            # blocked.  Union of both cases keeps the pruning sound.
+            if t >= earliest_arrival:
+                post_visit_budget = speed * (t - earliest_arrival) + slack
+            else:
+                post_visit_budget = -1
+            members = frozenset(
+                e
+                for e in range(net.num_segments)
+                if 0 <= from_start[e] <= forward_budget
+                and (
+                    0 <= to_goal[e] <= backward_budget
+                    or 0 <= to_goal[e] <= post_visit_budget
+                )
+            )
+            steps.append(members)
+        return steps
+
+    def at(self, train: int, step: int) -> frozenset[int]:
+        """Possible segments of ``train`` at ``step``."""
+        return self.possible[train][step]
+
+    def total_positions(self) -> int:
+        """Total number of (train, segment, step) possibilities."""
+        return sum(len(s) for per_train in self.possible for s in per_train)

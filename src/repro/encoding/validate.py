@@ -1,0 +1,240 @@
+"""Independent procedural validation of decoded solutions.
+
+The encoder (:mod:`repro.encoding.encoder`) and this validator implement the
+same operational rules through entirely different code paths: the encoder as
+CNF constraints, the validator as direct checks on a decoded trajectory.
+Every SAT answer the task layer produces is cross-checked here, and the
+property-based tests rely on it as ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.encoding.decode import Solution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.encoding.encoder import EtcsEncoding
+
+
+def validate_solution(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+    """Return a list of rule violations (empty = the solution is valid)."""
+    problems: list[str] = []
+    problems.extend(_check_footprints(encoding, solution))
+    problems.extend(_check_presence_windows(encoding, solution))
+    problems.extend(_check_movement(encoding, solution))
+    problems.extend(_check_vss_exclusivity(encoding, solution))
+    problems.extend(_check_no_swap(encoding, solution))
+    problems.extend(_check_schedule(encoding, solution))
+    return problems
+
+
+def _check_footprints(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+    """Each present train occupies a connected chain of exactly l* segments."""
+    problems = []
+    net = encoding.net
+    for i, run in enumerate(encoding.runs):
+        trajectory = solution.trajectories[i]
+        for t, occupied in enumerate(trajectory.steps):
+            if not occupied:
+                continue
+            if len(occupied) != run.length_segments:
+                problems.append(
+                    f"train {run.name} step {t}: occupies {len(occupied)} "
+                    f"segments, footprint is {run.length_segments}"
+                )
+                continue
+            if not _is_connected_chain(net, occupied):
+                problems.append(
+                    f"train {run.name} step {t}: occupied segments "
+                    f"{sorted(occupied)} are not a connected chain"
+                )
+    return problems
+
+
+def _is_connected_chain(net, segments: frozenset[int]) -> bool:
+    """Is the segment set a connected simple path in the segment graph?"""
+    if len(segments) == 1:
+        return True
+    # Connectivity via BFS restricted to the set.
+    start = next(iter(segments))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for neighbour in net.seg_neighbours[current]:
+            if neighbour in segments and neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    if seen != segments:
+        return False
+    # Path shape: vertex degrees within the induced subgraph <= 2 and the
+    # endpoints count is exactly 2.
+    vertex_count: dict[int, int] = {}
+    for seg_id in segments:
+        seg = net.segments[seg_id]
+        vertex_count[seg.u] = vertex_count.get(seg.u, 0) + 1
+        vertex_count[seg.v] = vertex_count.get(seg.v, 0) + 1
+    ends = sum(1 for count in vertex_count.values() if count == 1)
+    return ends == 2 and all(count <= 2 for count in vertex_count.values())
+
+
+def _check_presence_windows(
+    encoding: "EtcsEncoding", solution: Solution
+) -> list[str]:
+    """Absent before departure; present at departure touching the start;
+    absence after the run is final and only allowed once the goal was visited."""
+    problems = []
+    for i, run in enumerate(encoding.runs):
+        trajectory = solution.trajectories[i]
+        for t in range(run.departure_step):
+            if trajectory.steps[t]:
+                problems.append(
+                    f"train {run.name}: present at step {t} before departure "
+                    f"step {run.departure_step}"
+                )
+        departure_position = trajectory.steps[run.departure_step]
+        if not departure_position:
+            problems.append(
+                f"train {run.name}: absent at its departure step "
+                f"{run.departure_step}"
+            )
+        elif not departure_position & set(run.start_segments):
+            problems.append(
+                f"train {run.name}: departure position "
+                f"{sorted(departure_position)} does not touch start station"
+            )
+        visited_goal = False
+        absent_since: int | None = None
+        exits = encoding.net.boundary_segments()
+        for t in range(run.departure_step, encoding.t_max):
+            occupied = trajectory.steps[t]
+            if occupied and set(run.goal_segments) & occupied:
+                visited_goal = True
+            if not occupied:
+                if absent_since is None:
+                    absent_since = t
+                    if not visited_goal:
+                        problems.append(
+                            f"train {run.name}: left the network at step {t} "
+                            "before visiting its goal"
+                        )
+                    if not trajectory.steps[t - 1] & exits:
+                        problems.append(
+                            f"train {run.name}: left the network at step {t} "
+                            "from a position without boundary access"
+                        )
+            elif absent_since is not None:
+                problems.append(
+                    f"train {run.name}: re-entered the network at step {t} "
+                    f"after leaving at step {absent_since}"
+                )
+    return problems
+
+
+def _check_movement(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+    """Consecutive positions respect the train's speed."""
+    from repro.network.paths import reachable
+
+    problems = []
+    net = encoding.net
+    for i, run in enumerate(encoding.runs):
+        trajectory = solution.trajectories[i]
+        for t in range(encoding.t_max - 1):
+            now = trajectory.steps[t]
+            nxt = trajectory.steps[t + 1]
+            if not now or not nxt:
+                continue
+            for e in now:
+                within = set(reachable(net, e, run.speed_segments))
+                if not within & nxt:
+                    problems.append(
+                        f"train {run.name} step {t}: segment {e} has no "
+                        f"successor within speed {run.speed_segments} at "
+                        f"step {t + 1} (next position {sorted(nxt)})"
+                    )
+    return problems
+
+
+def _check_vss_exclusivity(
+    encoding: "EtcsEncoding", solution: Solution
+) -> list[str]:
+    """No two trains share a VSS section at any step."""
+    problems = []
+    section_of = solution.layout.section_of()
+    for t in range(encoding.t_max):
+        owners: dict[int, str] = {}
+        for i, run in enumerate(encoding.runs):
+            for e in solution.trajectories[i].steps[t]:
+                section = section_of[e]
+                if section in owners and owners[section] != run.name:
+                    problems.append(
+                        f"step {t}: trains {owners[section]} and {run.name} "
+                        f"share VSS section {section}"
+                    )
+                owners[section] = run.name
+    return problems
+
+
+def _check_no_swap(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+    """No two trains exchange positions or pass through one another."""
+    problems = []
+    trains = encoding.runs
+    for t in range(encoding.t_max - 1):
+        for i in range(len(trains)):
+            now_i = solution.trajectories[i].steps[t]
+            next_i = solution.trajectories[i].steps[t + 1]
+            if not now_i or not next_i:
+                continue
+            for j in range(i + 1, len(trains)):
+                now_j = solution.trajectories[j].steps[t]
+                next_j = solution.trajectories[j].steps[t + 1]
+                if not now_j or not next_j:
+                    continue
+                # Swap: i moves into j's old position while j moves into i's.
+                if (
+                    (next_i & now_j)
+                    and (next_j & now_i)
+                    and not (now_i & next_i)
+                    and not (now_j & next_j)
+                ):
+                    problems.append(
+                        f"step {t}: trains {trains[i].name} and "
+                        f"{trains[j].name} swapped positions"
+                    )
+    return problems
+
+
+def _check_schedule(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+    """Goals reached by their deadlines; stops visited in their windows."""
+    problems = []
+    for i, run in enumerate(encoding.runs):
+        trajectory = solution.trajectories[i]
+        deadline = (
+            run.arrival_step if run.arrival_step is not None else encoding.t_max - 1
+        )
+        goal_set = set(run.goal_segments)
+        visited = any(
+            trajectory.steps[t] & goal_set
+            for t in range(run.departure_step, deadline + 1)
+        )
+        if not visited:
+            problems.append(
+                f"train {run.name}: goal not reached by step {deadline}"
+            )
+        for stop in run.stops:
+            stop_set = set(stop.segments)
+            seen = any(
+                trajectory.steps[t] & stop_set
+                for t in range(
+                    max(stop.earliest_step, run.departure_step),
+                    stop.latest_step + 1,
+                )
+            )
+            if not seen:
+                problems.append(
+                    f"train {run.name}: stop {stop.segments} not visited in "
+                    f"window [{stop.earliest_step}, {stop.latest_step}]"
+                )
+    return problems

@@ -1,0 +1,14 @@
+"""Explicit-state model checking of the verification task.
+
+A third, fully independent implementation of the operational semantics (the
+first is the CNF encoder, the second the trajectory validator): a breadth-
+first search over global system states, one layer per time step.  It is
+exponential in the number of trains and only usable on small scenarios —
+which is exactly its job: cross-validating the SAT encoder's verdicts (and,
+transitively, the soundness of the cone-of-influence reduction) on the
+thousands of small random instances the property tests generate.
+"""
+
+from repro.explicit.model_checker import explicit_verify
+
+__all__ = ["explicit_verify"]

@@ -1,0 +1,231 @@
+"""Breadth-first explicit-state checking of schedule feasibility.
+
+The state of the system at a time step is, per train:
+
+* ``None`` — not yet entered (before its departure step),
+* a frozenset of occupied segments (a connected chain of ``l*``), plus a
+  flag "has visited its goal",
+* ``GONE`` — left the network (only after visiting the goal from a
+  boundary-adjacent position).
+
+The transition relation mirrors the CNF encoder's constraints one for one
+(placement, movement, VSS separation, path interiors, swap blocking,
+departure, arrival deadlines, boundary exit) — but is written as plain
+set-manipulating Python with no SAT involved.  ``explicit_verify`` returns
+exactly what ``verify_schedule`` answers, for scenarios small enough to
+enumerate.
+"""
+
+from __future__ import annotations
+
+from repro.network.discretize import DiscreteNetwork
+from repro.network.paths import (
+    chains as enumerate_chains,
+    interior_segments_of_paths,
+    reachable,
+)
+from repro.network.sections import VSSLayout
+from repro.trains.discretize import discretize_schedule
+from repro.trains.schedule import Schedule
+
+#: Sentinel for "the train has left the network".
+GONE = "gone"
+
+
+class ExplicitLimitExceeded(RuntimeError):
+    """The scenario's state space exceeded the configured limit."""
+
+
+def _chain_candidates(net: DiscreteNetwork, length: int) -> list[frozenset[int]]:
+    return [frozenset(chain) for chain in enumerate_chains(net, length)]
+
+
+def explicit_verify(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    layout: VSSLayout | None = None,
+    max_states_per_layer: int = 200_000,
+    return_witness: bool = False,
+) -> bool | tuple[bool, list[list[frozenset[int]]] | None]:
+    """Does any execution realise ``schedule`` on ``layout``?
+
+    Raises :class:`ExplicitLimitExceeded` when a BFS layer outgrows
+    ``max_states_per_layer`` (the scenario is too big for explicit search).
+    Intermediate stops are not supported here (the cross-validation suite
+    does not generate them).
+
+    With ``return_witness`` the result is ``(verdict, trajectories)`` where
+    trajectories (feasible case only) list, per train and step, the occupied
+    segment set — directly checkable by the independent trajectory
+    validator.
+    """
+    if layout is None:
+        layout = VSSLayout.pure_ttd(net)
+    runs, t_max = discretize_schedule(net, schedule, r_t_min)
+    for run in runs:
+        if run.stops:
+            raise NotImplementedError(
+                "explicit_verify does not support intermediate stops"
+            )
+    section_of = layout.section_of()
+    boundary = net.boundary_segments()
+
+    chains_by_length = {
+        length: _chain_candidates(net, length)
+        for length in {run.length_segments for run in runs}
+    }
+    reach = {
+        speed: [
+            frozenset(reachable(net, e, speed))
+            for e in range(net.num_segments)
+        ]
+        for speed in {run.speed_segments for run in runs}
+    }
+
+    def interiors(e: int, f: int, speed: int) -> frozenset[int]:
+        return frozenset(
+            interior_segments_of_paths(net, e, f, speed + 1)
+        )
+
+    def successors_for_train(i, position, visited, t):
+        """Candidate (new_position, new_visited) pairs for one train."""
+        run = runs[i]
+        goal = frozenset(run.goal_segments)
+        if position is None:
+            if t == run.departure_step:
+                station = frozenset(run.start_segments)
+                return [
+                    (chain, bool(chain & goal))
+                    for chain in chains_by_length[run.length_segments]
+                    if chain <= station
+                ]
+            return [(None, False)]
+        if position == GONE:
+            return [(GONE, True)]
+        speed_reach = reach[run.speed_segments]
+        options: list[tuple[object, bool]] = []
+        for chain in chains_by_length[run.length_segments]:
+            # Movement: every currently occupied segment must see some
+            # occupied segment of the next position within its reach.
+            if all(speed_reach[e] & chain for e in position):
+                options.append((chain, visited or bool(chain & goal)))
+        if visited and position & boundary:
+            options.append((GONE, True))
+        return options
+
+    def pairwise_ok(old_i, new_i, old_j, new_j, speed_i, speed_j) -> bool:
+        """Mirror of separation + interior + swap constraints for one
+        ordered pair at one step transition (positions may be None/GONE)."""
+        new_i_set = new_i if isinstance(new_i, frozenset) else frozenset()
+        new_j_set = new_j if isinstance(new_j, frozenset) else frozenset()
+        old_i_set = old_i if isinstance(old_i, frozenset) else frozenset()
+        old_j_set = old_j if isinstance(old_j, frozenset) else frozenset()
+        # VSS separation at the *new* instant.
+        if new_i_set and new_j_set:
+            sections_i = {section_of[e] for e in new_i_set}
+            if any(section_of[e] in sections_i for e in new_j_set):
+                return False
+        # Path interiors of i's move vs j at both instants.
+        if old_i_set and new_i_set:
+            occupied_j = old_j_set | new_j_set
+            if occupied_j:
+                for e in old_i_set:
+                    for f in new_i_set:
+                        if e == f:
+                            continue
+                        if interiors(e, f, speed_i) & occupied_j:
+                            return False
+        # Swap blocking — mirrors the encoder's quaternary clauses, which
+        # only cover pairs within the slower train's reach (an exchange over
+        # a longer distance may legitimately happen via parallel tracks,
+        # e.g. two long trains crossing at a loop).
+        swap_reach = reach[min(speed_i, speed_j)]
+        for e in old_i_set & new_j_set:
+            for f in new_i_set & old_j_set:
+                if e != f and f in swap_reach[e]:
+                    return False
+        return True
+
+    # BFS layers: state = tuple of (position, visited) per train; parents
+    # recorded for witness reconstruction.
+    pre_state = tuple((None, False) for _ in runs)
+    layer: dict[tuple, tuple | None] = {pre_state: None}
+    history: list[dict[tuple, tuple | None]] = []
+    for t in range(t_max):
+        next_layer: dict[tuple, tuple] = {}
+        for state in layer:
+            per_train = [
+                successors_for_train(i, state[i][0], state[i][1], t)
+                for i in range(len(runs))
+            ]
+            if any(not options for options in per_train):
+                continue
+            stack = [((), 0)]
+            while stack:
+                chosen, idx = stack.pop()
+                if idx == len(runs):
+                    if chosen not in next_layer:
+                        next_layer[chosen] = state
+                    if len(next_layer) > max_states_per_layer:
+                        raise ExplicitLimitExceeded(
+                            f"layer {t} exceeded {max_states_per_layer} states"
+                        )
+                    continue
+                for new_pos, new_visited in per_train[idx]:
+                    ok = True
+                    for j in range(idx):
+                        if not pairwise_ok(
+                            state[idx][0], new_pos,
+                            state[j][0], chosen[j][0],
+                            runs[idx].speed_segments,
+                            runs[j].speed_segments,
+                        ) or not pairwise_ok(
+                            state[j][0], chosen[j][0],
+                            state[idx][0], new_pos,
+                            runs[j].speed_segments,
+                            runs[idx].speed_segments,
+                        ):
+                            ok = False
+                            break
+                    if ok:
+                        stack.append(
+                            (chosen + ((new_pos, new_visited),), idx + 1)
+                        )
+        # Deadline pruning: a train must have visited its goal by its
+        # arrival step.
+        pruned: dict[tuple, tuple] = {}
+        for state, parent in next_layer.items():
+            keep = True
+            for i, run in enumerate(runs):
+                if run.arrival_step is not None and t >= run.arrival_step:
+                    if not state[i][1]:
+                        keep = False
+                        break
+            if keep:
+                pruned[state] = parent
+        history.append(pruned)
+        layer = pruned
+        if not layer:
+            return (False, None) if return_witness else False
+    # Survived all steps with every deadline met along the way; trains with
+    # open deadlines must still have visited their goals within the horizon.
+    accepting = next(
+        (state for state in layer if all(v for __, v in state)), None
+    )
+    if accepting is None:
+        return (False, None) if return_witness else False
+    if not return_witness:
+        return True
+    # Walk the parent chain back through the layers.
+    states = [accepting]
+    for t in range(t_max - 1, 0, -1):
+        states.append(history[t][states[-1]])
+    states.reverse()
+    trajectories: list[list[frozenset[int]]] = [[] for _ in runs]
+    for state in states:
+        for i, (position, __) in enumerate(state):
+            trajectories[i].append(
+                position if isinstance(position, frozenset) else frozenset()
+            )
+    return True, trajectories

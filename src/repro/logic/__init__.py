@@ -1,0 +1,63 @@
+"""Propositional-logic layer on top of the raw SAT solver.
+
+This package provides everything needed to build the paper's symbolic
+formulation conveniently and compactly:
+
+* :class:`VarPool` / :class:`CNF` — named variable allocation and clause
+  collection (``repro.logic.cnf``),
+* a Boolean formula AST with operator overloading and a Tseitin /
+  Plaisted–Greenbaum CNF transformation (``repro.logic.formula`` /
+  ``repro.logic.tseitin``),
+* cardinality constraint encodings — at-most-one in three flavours and
+  at-most-k via sequential counters and totalizers
+  (``repro.logic.cardinality`` / ``repro.logic.totalizer``).
+"""
+
+from repro.logic.cardinality import (
+    at_least_k,
+    at_least_one,
+    at_most_k_sequential,
+    at_most_one_commander,
+    at_most_one_ladder,
+    at_most_one_pairwise,
+    exactly_k,
+    exactly_one,
+)
+from repro.logic.cnf import CNF, VarPool
+from repro.logic.formula import (
+    And,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+)
+from repro.logic.totalizer import Totalizer
+from repro.logic.tseitin import to_cnf
+
+__all__ = [
+    "CNF",
+    "VarPool",
+    "Formula",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "TRUE",
+    "FALSE",
+    "to_cnf",
+    "at_least_one",
+    "at_least_k",
+    "at_most_one_pairwise",
+    "at_most_one_ladder",
+    "at_most_one_commander",
+    "at_most_k_sequential",
+    "exactly_one",
+    "exactly_k",
+    "Totalizer",
+]

@@ -1,0 +1,137 @@
+"""Cardinality constraint encodings.
+
+The ETCS encoding needs "exactly one chain per train per time step"
+(§III-B of the paper) and the optimization engines need "at most k of these
+soft literals" bounds; this module provides the standard CNF encodings:
+
+* at-most-one: pairwise (quadratic, no auxiliaries), ladder/sequential
+  (linear, n-1 auxiliaries), commander (recursive grouping),
+* at-most-k / at-least-k / exactly-k via Sinz's sequential counter,
+* (the incremental totalizer lives in :mod:`repro.logic.totalizer`).
+
+All functions take literals (non-zero ints) and append clauses to a
+:class:`repro.logic.cnf.CNF`.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import CNF
+
+
+def at_least_one(cnf: CNF, lits: list[int]) -> None:
+    """At least one of ``lits`` is true (a single clause)."""
+    if not lits:
+        raise ValueError("at_least_one of an empty set is unsatisfiable")
+    cnf.add(lits)
+
+
+def at_most_one_pairwise(cnf: CNF, lits: list[int]) -> None:
+    """Pairwise AMO: O(n^2) binary clauses, no auxiliary variables."""
+    for i in range(len(lits)):
+        for j in range(i + 1, len(lits)):
+            cnf.add([-lits[i], -lits[j]])
+
+
+def at_most_one_ladder(cnf: CNF, lits: list[int]) -> None:
+    """Ladder (sequential) AMO: O(n) clauses with n-1 auxiliaries.
+
+    Auxiliary ``s_i`` means "one of lits[0..i] is true"; the ladder forbids a
+    second true literal after the prefix is already committed.
+    """
+    n = len(lits)
+    if n <= 4:
+        at_most_one_pairwise(cnf, lits)
+        return
+    prev = None
+    for i in range(n - 1):
+        s = cnf.pool.new_aux()
+        cnf.add([-lits[i], s])  # lit_i -> s_i
+        if prev is not None:
+            cnf.add([-prev, s])  # s_{i-1} -> s_i
+            cnf.add([-prev, -lits[i]])  # prefix true -> lit_i false
+        prev = s
+    cnf.add([-prev, -lits[n - 1]])
+
+
+def at_most_one_commander(cnf: CNF, lits: list[int], group_size: int = 3) -> None:
+    """Commander AMO: recursively group literals under commander variables."""
+    if group_size < 2:
+        raise ValueError(f"group size must be >= 2, got {group_size}")
+    current = list(lits)
+    while len(current) > group_size:
+        commanders: list[int] = []
+        for start in range(0, len(current), group_size):
+            group = current[start : start + group_size]
+            if len(group) == 1:
+                commanders.append(group[0])
+                continue
+            commander = cnf.pool.new_aux()
+            at_most_one_pairwise(cnf, group)
+            for lit in group:
+                cnf.add([-lit, commander])  # member -> commander
+            commanders.append(commander)
+        current = commanders
+    at_most_one_pairwise(cnf, current)
+
+
+def at_most_k_sequential(cnf: CNF, lits: list[int], k: int) -> None:
+    """Sinz's sequential counter encoding of ``sum(lits) <= k``."""
+    n = len(lits)
+    if k < 0:
+        raise ValueError(f"bound must be non-negative, got {k}")
+    if k == 0:
+        for lit in lits:
+            cnf.add([-lit])
+        return
+    if k >= n:
+        return
+    # registers[i][j] == "at least j+1 of lits[0..i] are true"
+    registers = [[cnf.pool.new_aux() for _ in range(k)] for _ in range(n - 1)]
+    cnf.add([-lits[0], registers[0][0]])
+    for j in range(1, k):
+        cnf.add([-registers[0][j]])
+    for i in range(1, n - 1):
+        cnf.add([-lits[i], registers[i][0]])
+        cnf.add([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, k):
+            cnf.add([-lits[i], -registers[i - 1][j - 1], registers[i][j]])
+            cnf.add([-registers[i - 1][j], registers[i][j]])
+        cnf.add([-lits[i], -registers[i - 1][k - 1]])
+    cnf.add([-lits[n - 1], -registers[n - 2][k - 1]])
+
+
+def at_least_k(cnf: CNF, lits: list[int], k: int) -> None:
+    """``sum(lits) >= k`` (as at-most on the negations)."""
+    if k <= 0:
+        return
+    if k > len(lits):
+        # Unsatisfiable: more trues required than literals available.
+        fresh = cnf.pool.new_aux()
+        cnf.add([fresh])
+        cnf.add([-fresh])
+        return
+    at_most_k_sequential(cnf, [-lit for lit in lits], len(lits) - k)
+
+
+def exactly_one(cnf: CNF, lits: list[int], amo: str = "ladder") -> None:
+    """Exactly one of ``lits`` is true.
+
+    ``amo`` picks the at-most-one flavour: "pairwise", "ladder", or
+    "commander" (the ablation bench compares them).
+    """
+    at_least_one(cnf, lits)
+    encoders = {
+        "pairwise": at_most_one_pairwise,
+        "ladder": at_most_one_ladder,
+        "commander": at_most_one_commander,
+    }
+    try:
+        encoders[amo](cnf, lits)
+    except KeyError:
+        raise ValueError(f"unknown at-most-one encoding {amo!r}") from None
+
+
+def exactly_k(cnf: CNF, lits: list[int], k: int) -> None:
+    """``sum(lits) == k`` via sequential counters in both directions."""
+    at_most_k_sequential(cnf, lits, k)
+    at_least_k(cnf, lits, k)

@@ -1,0 +1,181 @@
+"""A small Boolean formula AST with operator overloading.
+
+Formulas are immutable trees.  Python operators build them::
+
+    a, b, c = Var(1), Var(2), Var(3)
+    f = (a & b) | ~c
+    g = a >> b          # implication
+    h = Iff(a, b)       # equivalence
+
+``Var`` wraps a DIMACS variable number (or, negated, a literal).  Conversion
+to CNF lives in :mod:`repro.logic.tseitin`.
+"""
+
+from __future__ import annotations
+
+
+class Formula:
+    """Base class of all formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: Formula) -> Formula:
+        return And(self, other)
+
+    def __or__(self, other: Formula) -> Formula:
+        return Or(self, other)
+
+    def __invert__(self) -> Formula:
+        return Not(self)
+
+    def __rshift__(self, other: Formula) -> Formula:
+        return Implies(self, other)
+
+    def atoms(self) -> set[int]:
+        """The set of variable numbers occurring in the formula."""
+        result: set[int] = set()
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                result.add(abs(node.lit))
+            elif isinstance(node, Not):
+                stack.append(node.child)
+            elif isinstance(node, (And, Or)):
+                stack.extend(node.children)
+            elif isinstance(node, (Implies, Iff)):
+                stack.append(node.left)
+                stack.append(node.right)
+        return result
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a total assignment ``{var: bool}``."""
+        raise NotImplementedError
+
+
+class _Const(Formula):
+    """The constants true and false (singletons TRUE / FALSE)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Const(True)
+FALSE = _Const(False)
+
+
+class Var(Formula):
+    """A literal: a DIMACS variable number, possibly negated."""
+
+    __slots__ = ("lit",)
+
+    def __init__(self, lit: int):
+        if not isinstance(lit, int) or lit == 0:
+            raise ValueError(f"invalid literal {lit!r}")
+        self.lit = lit
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        value = assignment[abs(self.lit)]
+        return value if self.lit > 0 else not value
+
+    def __repr__(self) -> str:
+        return f"Var({self.lit})"
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula):
+        self.child = child
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return not self.child.evaluate(assignment)
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+
+class And(Formula):
+    """N-ary conjunction (nested Ands are flattened)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Formula):
+        flat: list[Formula] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = tuple(flat)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return all(child.evaluate(assignment) for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.children))})"
+
+
+class Or(Formula):
+    """N-ary disjunction (nested Ors are flattened)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Formula):
+        flat: list[Formula] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = tuple(flat)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return any(child.evaluate(assignment) for child in self.children)
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.children))})"
+
+
+class Implies(Formula):
+    """Implication ``left -> right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return (not self.left.evaluate(assignment)) or self.right.evaluate(
+            assignment
+        )
+
+    def __repr__(self) -> str:
+        return f"Implies({self.left!r}, {self.right!r})"
+
+
+class Iff(Formula):
+    """Equivalence ``left <-> right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def __repr__(self) -> str:
+        return f"Iff({self.left!r}, {self.right!r})"

@@ -1,0 +1,101 @@
+"""The totalizer cardinality encoding (Bailleux & Boutaouche 2003).
+
+A totalizer is a balanced binary tree that "sorts" its input literals: it
+exposes output literals ``out[0..n-1]`` where ``out[i]`` is true iff at least
+``i+1`` inputs are true.  Bounding the sum then reduces to asserting single
+output literals, which makes the encoding ideal for the *incremental*
+optimization loops in :mod:`repro.opt`: the tree is built once and tightening
+the bound is a unit assumption per step.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import CNF
+
+
+class Totalizer:
+    """Totalizer tree over ``lits``; clauses are emitted into ``cnf``.
+
+    After construction, ``outputs[i]`` is a literal that is forced true when
+    more than ``i`` inputs are true (counting from zero).  Use
+    :meth:`bound_literal` to obtain the assumption literal enforcing
+    ``sum <= k``.
+    """
+
+    def __init__(self, cnf: CNF, lits: list[int]):
+        if not lits:
+            raise ValueError("totalizer over an empty set of literals")
+        self._cnf = cnf
+        self.inputs = list(lits)
+        self.outputs = self._build(self.inputs)
+
+    def _build(self, lits: list[int]) -> list[int]:
+        if len(lits) == 1:
+            return [lits[0]]
+        mid = len(lits) // 2
+        left = self._build(lits[:mid])
+        right = self._build(lits[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: list[int], right: list[int]) -> list[int]:
+        """Emit merge clauses; return output literals of the merged node."""
+        cnf = self._cnf
+        total = len(left) + len(right)
+        outputs = [cnf.pool.new_aux() for _ in range(total)]
+        # Direction 1: "alpha + beta true inputs below -> out[alpha+beta-1]".
+        for alpha in range(len(left) + 1):
+            for beta in range(len(right) + 1):
+                sigma = alpha + beta
+                if sigma == 0:
+                    continue
+                clause: list[int] = []
+                if alpha > 0:
+                    clause.append(-left[alpha - 1])
+                if beta > 0:
+                    clause.append(-right[beta - 1])
+                clause.append(outputs[sigma - 1])
+                cnf.add(clause)
+        # Direction 2: "out[sigma] -> at least sigma+1 true inputs below",
+        # needed so that *lower* bounds (assert_at_least) actually propagate.
+        for alpha in range(len(left) + 1):
+            for beta in range(len(right) + 1):
+                sigma = alpha + beta
+                if sigma >= total:
+                    continue
+                clause = [-outputs[sigma]]
+                if alpha < len(left):
+                    clause.append(left[alpha])
+                if beta < len(right):
+                    clause.append(right[beta])
+                cnf.add(clause)
+        # Monotonicity of outputs: out[i+1] -> out[i].  (Implied by the merge
+        # clauses for complete assignments but helps propagation.)
+        for i in range(total - 1):
+            cnf.add([-outputs[i + 1], outputs[i]])
+        return outputs
+
+    def bound_literal(self, k: int) -> int:
+        """Literal that, when assumed, enforces ``sum(inputs) <= k``.
+
+        ``k`` must be in ``[0, len(inputs) - 1]``; for ``k >= len(inputs)``
+        the constraint is vacuous (no assumption needed).
+        """
+        if not 0 <= k < len(self.outputs):
+            raise ValueError(
+                f"bound {k} out of range for {len(self.outputs)} inputs"
+            )
+        return -self.outputs[k]
+
+    def assert_at_most(self, k: int) -> None:
+        """Permanently add ``sum(inputs) <= k`` as unit clauses."""
+        for i in range(k, len(self.outputs)):
+            self._cnf.add([-self.outputs[i]])
+
+    def assert_at_least(self, k: int) -> None:
+        """Permanently add ``sum(inputs) >= k`` as unit clauses."""
+        if k > len(self.outputs):
+            raise ValueError(
+                f"cannot force {k} of {len(self.outputs)} literals true"
+            )
+        for i in range(k):
+            self._cnf.add([self.outputs[i]])

@@ -1,0 +1,178 @@
+"""Tseitin / Plaisted–Greenbaum transformation of formulas to CNF.
+
+The Tseitin transformation introduces one auxiliary variable per internal
+formula node and emits clauses making the auxiliary equivalent to the node,
+yielding an equisatisfiable CNF of linear size.  The Plaisted–Greenbaum
+variant only emits the implication in the polarity the node actually occurs
+in, roughly halving the clause count.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import CNF
+from repro.logic.formula import (
+    And,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    TRUE,
+    Or,
+    Var,
+    _Const,
+)
+
+
+def to_cnf(formula: Formula, cnf: CNF, polarity_aware: bool = True) -> None:
+    """Assert ``formula`` in ``cnf`` (auxiliaries from ``cnf.pool``).
+
+    With ``polarity_aware`` (default) the Plaisted–Greenbaum optimization is
+    applied; otherwise the full Tseitin equivalences are emitted.
+    """
+    root = _simplify(formula)
+    if root is TRUE:
+        return
+    if root is FALSE:
+        # An unsatisfiable assertion: emit the canonical contradiction.
+        fresh = cnf.pool.new_aux()
+        cnf.add([fresh])
+        cnf.add([-fresh])
+        return
+    transformer = _Transformer(cnf, polarity_aware)
+    lit = transformer.encode(root, positive=True, negative=not polarity_aware)
+    cnf.add([lit])
+
+
+def _simplify(
+    formula: Formula,
+    memo: dict[int, tuple[Formula, Formula]] | None = None,
+) -> Formula:
+    """Push negations down and fold constants (one bottom-up pass).
+
+    Identity-memoised so that shared subtrees stay shared (which lets the
+    transformer's cache emit one auxiliary per shared node).  The memo keeps
+    a strong reference to each key object — otherwise CPython could recycle
+    the id of a collected temporary and serve a stale entry.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(formula))
+    if cached is not None:
+        return cached[1]
+    result = _simplify_uncached(formula, memo)
+    memo[id(formula)] = (formula, result)
+    return result
+
+
+def _simplify_uncached(formula: Formula, memo: dict[int, Formula]) -> Formula:
+    if isinstance(formula, (Var, _Const)):
+        return formula
+    if isinstance(formula, Not):
+        child = _simplify(formula.child, memo)
+        if child is TRUE:
+            return FALSE
+        if child is FALSE:
+            return TRUE
+        if isinstance(child, Var):
+            return Var(-child.lit)
+        if isinstance(child, Not):
+            return child.child
+        # De Morgan: push the negation through so the result is in NNF —
+        # the transformer's node cache is only sound when every internal
+        # node occurs in a single polarity.
+        if isinstance(child, And):
+            return _simplify(Or(*[Not(c) for c in child.children]), memo)
+        if isinstance(child, Or):
+            return _simplify(And(*[Not(c) for c in child.children]), memo)
+        return Not(child)
+    if isinstance(formula, Implies):
+        return _simplify(Or(Not(formula.left), formula.right), memo)
+    if isinstance(formula, Iff):
+        left = formula.left
+        right = formula.right
+        return _simplify(And(Or(Not(left), right), Or(left, Not(right))), memo)
+    if isinstance(formula, And):
+        children = []
+        for child in formula.children:
+            simple = _simplify(child, memo)
+            if simple is FALSE:
+                return FALSE
+            if simple is not TRUE:
+                children.append(simple)
+        if not children:
+            return TRUE
+        if len(children) == 1:
+            return children[0]
+        return And(*children)
+    if isinstance(formula, Or):
+        children = []
+        for child in formula.children:
+            simple = _simplify(child, memo)
+            if simple is TRUE:
+                return TRUE
+            if simple is not FALSE:
+                children.append(simple)
+        if not children:
+            return FALSE
+        if len(children) == 1:
+            return children[0]
+        return Or(*children)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+class _Transformer:
+    """Performs the clause emission; one instance per `to_cnf` call."""
+
+    def __init__(self, cnf: CNF, polarity_aware: bool):
+        self._cnf = cnf
+        self._polarity_aware = polarity_aware
+        # Cache: id(node) -> auxiliary literal, to share repeated subtrees
+        # (identity-based: formula trees are immutable in practice).
+        self._cache: dict[int, int] = {}
+
+    def encode(self, node: Formula, positive: bool, negative: bool) -> int:
+        """Return a literal equi-something to ``node``.
+
+        ``positive``/``negative`` say in which polarities the defining
+        implications are required.  After simplification only Var, Not(atom
+        impossible — pushed), And and Or remain.
+        """
+        if isinstance(node, Var):
+            return node.lit
+        if isinstance(node, Not):
+            # Negations above non-atoms survive only if _simplify left them:
+            # it never does, but be safe.
+            return -self.encode(node.child, negative, positive)
+        if not isinstance(node, (And, Or)):
+            raise TypeError(f"unexpected node after simplification: {node!r}")
+
+        cached = self._cache.get(id(node))
+        if cached is not None:
+            return cached
+
+        is_and = isinstance(node, And)
+        child_lits = [
+            self.encode(child, positive, negative) for child in node.children
+        ]
+        aux = self._cnf.pool.new_aux()
+        if not self._polarity_aware:
+            positive = negative = True
+        if is_and:
+            if positive:
+                # aux -> child, for each child
+                for lit in child_lits:
+                    self._cnf.add([-aux, lit])
+            if negative:
+                # (all children) -> aux
+                self._cnf.add([aux] + [-lit for lit in child_lits])
+        else:
+            if positive:
+                # aux -> (c1 v c2 v ...)
+                self._cnf.add([-aux] + child_lits)
+            if negative:
+                # child -> aux, for each child
+                for lit in child_lits:
+                    self._cnf.add([-lit, aux])
+        self._cache[id(node)] = aux
+        return aux

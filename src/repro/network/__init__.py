@@ -1,0 +1,34 @@
+"""Railway infrastructure modelling.
+
+This package provides the track-network substrate of the paper (§III-A):
+
+* :mod:`repro.network.topology` — stations, switches, tracks, and TTD
+  (trackside train detection) sections at the physical level,
+* :mod:`repro.network.builder` — a fluent construction API,
+* :mod:`repro.network.discretize` — partitioning tracks into segments of
+  length ``r_s`` yielding the graph ``G=(V,E)`` of the symbolic formulation,
+* :mod:`repro.network.paths` — the graph queries the encoding needs
+  (``chains``, ``reachable``, ``between``, ``paths``),
+* :mod:`repro.network.sections` — VSS layouts (sets of border nodes) and
+  their validation/section counting,
+* :mod:`repro.network.io` — JSON serialisation.
+"""
+
+from repro.network.builder import NetworkBuilder
+from repro.network.discretize import DiscreteNetwork, Segment
+from repro.network.io import network_from_json, network_to_json
+from repro.network.sections import VSSLayout
+from repro.network.topology import Node, NodeKind, RailwayNetwork, Track
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Track",
+    "RailwayNetwork",
+    "NetworkBuilder",
+    "DiscreteNetwork",
+    "Segment",
+    "VSSLayout",
+    "network_to_json",
+    "network_from_json",
+]

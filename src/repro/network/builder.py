@@ -1,0 +1,126 @@
+"""Fluent construction API for railway networks.
+
+Example — a tiny single-track line with a two-track passing station::
+
+    net = (
+        NetworkBuilder()
+        .boundary("A")
+        .switch("p1")
+        .switch("p2")
+        .boundary("B")
+        .track("A", "p1", length_km=3.0, ttd="TTD1")
+        .track("p1", "p2", length_km=1.0, ttd="TTD2", name="through")
+        .track("p1", "p2", length_km=1.0, ttd="TTD3", name="platform")
+        .track("p2", "B", length_km=3.0, ttd="TTD4")
+        .station("A", ["A-p1"])
+        .station("C", ["platform"])
+        .station("B", ["p2-B"])
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import (
+    NetworkError,
+    Node,
+    NodeKind,
+    RailwayNetwork,
+    Track,
+)
+
+
+class NetworkBuilder:
+    """Incrementally assembles a :class:`RailwayNetwork`."""
+
+    def __init__(self) -> None:
+        self._nodes: list[Node] = []
+        self._node_names: set[str] = set()
+        self._tracks: list[Track] = []
+        self._track_names: set[str] = set()
+        self._stations: dict[str, list[str]] = {}
+
+    # -- nodes -----------------------------------------------------------
+
+    def node(self, name: str, kind: NodeKind = NodeKind.LINK) -> NetworkBuilder:
+        """Add a node of the given kind."""
+        if name in self._node_names:
+            raise NetworkError(f"duplicate node {name!r}")
+        self._nodes.append(Node(name, kind))
+        self._node_names.add(name)
+        return self
+
+    def boundary(self, name: str) -> NetworkBuilder:
+        """Add a network-boundary node (trains enter/leave here)."""
+        return self.node(name, NodeKind.BOUNDARY)
+
+    def switch(self, name: str) -> NetworkBuilder:
+        """Add a switch (point) node."""
+        return self.node(name, NodeKind.SWITCH)
+
+    def link(self, name: str) -> NetworkBuilder:
+        """Add a plain link node (e.g. an axle-counter location)."""
+        return self.node(name, NodeKind.LINK)
+
+    # -- tracks ----------------------------------------------------------
+
+    def track(
+        self,
+        node_a: str,
+        node_b: str,
+        length_km: float,
+        ttd: str,
+        name: str | None = None,
+    ) -> NetworkBuilder:
+        """Add a track between two existing nodes.
+
+        ``name`` defaults to ``"{node_a}-{node_b}"``.
+        """
+        for endpoint in (node_a, node_b):
+            if endpoint not in self._node_names:
+                raise NetworkError(
+                    f"track references unknown node {endpoint!r}; "
+                    "declare nodes before tracks"
+                )
+        track_name = name if name is not None else f"{node_a}-{node_b}"
+        if track_name in self._track_names:
+            raise NetworkError(f"duplicate track {track_name!r}")
+        self._tracks.append(Track(track_name, node_a, node_b, length_km, ttd))
+        self._track_names.add(track_name)
+        return self
+
+    def line(
+        self,
+        node_names: list[str],
+        length_km: float,
+        ttd: str,
+        name_prefix: str | None = None,
+    ) -> NetworkBuilder:
+        """Add a run of equal-length tracks through the listed nodes.
+
+        All tracks share the TTD ``ttd``; each has length ``length_km``.
+        Intermediate nodes must already exist.
+        """
+        if len(node_names) < 2:
+            raise NetworkError("a line needs at least two nodes")
+        for i in range(len(node_names) - 1):
+            name = None
+            if name_prefix is not None:
+                name = f"{name_prefix}.{i}"
+            self.track(node_names[i], node_names[i + 1], length_km, ttd, name)
+        return self
+
+    # -- stations ---------------------------------------------------------
+
+    def station(self, name: str, track_names: list[str]) -> NetworkBuilder:
+        """Declare a station with the given platform tracks."""
+        if name in self._stations:
+            raise NetworkError(f"duplicate station {name!r}")
+        self._stations[name] = list(track_names)
+        return self
+
+    # -- finish ------------------------------------------------------------
+
+    def build(self) -> RailwayNetwork:
+        """Validate and return the network."""
+        return RailwayNetwork(self._nodes, self._tracks, self._stations)

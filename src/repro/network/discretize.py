@@ -1,0 +1,187 @@
+"""Spatial discretisation: tracks -> segment graph ``G=(V,E)``.
+
+Following §III-A of the paper, every track is partitioned into segments of
+(approximately) the spatial resolution ``r_s``; segment boundaries — together
+with the original nodes — become the vertices of the graph ``G``, i.e. the
+*potential VSS borders*.  TTD boundaries, switches, and network boundaries
+are *forced* borders: they always separate sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.topology import NetworkError, NodeKind, RailwayNetwork
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One edge of the discretised graph: a slice of a physical track.
+
+    Attributes:
+        id: dense integer id (index into ``DiscreteNetwork.segments``).
+        track: name of the owning physical track.
+        index: position of this slice within the track (0-based, from
+            ``track.node_a`` towards ``track.node_b``).
+        u / v: vertex ids of the two endpoints.
+        length_km: slice length.
+        ttd: TTD section this slice belongs to (inherited from the track).
+    """
+
+    id: int
+    track: str
+    index: int
+    u: int
+    v: int
+    length_km: float
+    ttd: str
+
+
+class DiscreteNetwork:
+    """The graph ``G=(V,E)`` of the symbolic formulation.
+
+    Vertices are integers; ``0 .. len(node_names)-1`` are the original
+    topology nodes (see ``node_names``), the rest are interior segment
+    boundaries created by the discretisation.
+    """
+
+    def __init__(self, network: RailwayNetwork, r_s_km: float):
+        if r_s_km <= 0:
+            raise NetworkError(f"spatial resolution must be > 0, got {r_s_km}")
+        self.network = network
+        self.r_s_km = r_s_km
+
+        self.node_names: list[str] = sorted(network.nodes)
+        self._node_id: dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        next_vertex = len(self.node_names)
+
+        self.segments: list[Segment] = []
+        self._track_segments: dict[str, list[int]] = {}
+        for track_name in sorted(network.tracks):
+            track = network.tracks[track_name]
+            count = max(1, round(track.length_km / r_s_km))
+            slice_length = track.length_km / count
+            ids: list[int] = []
+            u = self._node_id[track.node_a]
+            for index in range(count):
+                if index == count - 1:
+                    v = self._node_id[track.node_b]
+                else:
+                    v = next_vertex
+                    next_vertex += 1
+                segment = Segment(
+                    id=len(self.segments),
+                    track=track_name,
+                    index=index,
+                    u=u,
+                    v=v,
+                    length_km=slice_length,
+                    ttd=track.ttd,
+                )
+                self.segments.append(segment)
+                ids.append(segment.id)
+                u = v
+            self._track_segments[track_name] = ids
+        self.num_vertices = next_vertex
+
+        # Incidence: vertex -> segment ids.
+        self.segments_at: list[list[int]] = [[] for _ in range(self.num_vertices)]
+        for segment in self.segments:
+            self.segments_at[segment.u].append(segment.id)
+            self.segments_at[segment.v].append(segment.id)
+
+        # Segment adjacency (two segments sharing a vertex).
+        self.seg_neighbours: list[list[int]] = [[] for _ in self.segments]
+        for incident in self.segments_at:
+            for a in incident:
+                for b in incident:
+                    if a != b:
+                        self.seg_neighbours[a].append(b)
+
+        # TTD bookkeeping.
+        self.ttd_of: list[str] = [segment.ttd for segment in self.segments]
+        self.ttd_segments: dict[str, list[int]] = {}
+        for segment in self.segments:
+            self.ttd_segments.setdefault(segment.ttd, []).append(segment.id)
+
+        self.forced_borders: frozenset[int] = self._compute_forced_borders()
+
+    # -- derived info ------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def num_ttds(self) -> int:
+        return len(self.ttd_segments)
+
+    def vertex_of_node(self, node_name: str) -> int:
+        """Vertex id of an original topology node."""
+        try:
+            return self._node_id[node_name]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_name!r}") from None
+
+    def track_segments(self, track_name: str) -> list[int]:
+        """Segment ids of a physical track, in order from node_a to node_b."""
+        try:
+            return list(self._track_segments[track_name])
+        except KeyError:
+            raise NetworkError(f"unknown track {track_name!r}") from None
+
+    def station_segments(self, station: str) -> list[int]:
+        """All segment ids belonging to a station's platform tracks."""
+        result: list[int] = []
+        for track in self.network.station_tracks(station):
+            result.extend(self._track_segments[track.name])
+        return result
+
+    def boundary_segments(self) -> frozenset[int]:
+        """Segments touching a network-boundary node (where trains can
+        physically enter or leave the modelled network)."""
+        from repro.network.topology import NodeKind
+
+        result: set[int] = set()
+        for name, node in self.network.nodes.items():
+            if node.kind is NodeKind.BOUNDARY:
+                result.update(self.segments_at[self._node_id[name]])
+        return frozenset(result)
+
+    def border_candidates(self) -> list[int]:
+        """Vertices that may carry a ``border_v`` variable: all of them.
+
+        Forced borders (see ``forced_borders``) are pinned to true by the
+        encoder; the genuinely free choices are the interior vertices.
+        """
+        return list(range(self.num_vertices))
+
+    def free_border_candidates(self) -> list[int]:
+        """Vertices whose border status is a genuine design choice."""
+        return [
+            vertex
+            for vertex in range(self.num_vertices)
+            if vertex not in self.forced_borders
+        ]
+
+    def _compute_forced_borders(self) -> frozenset[int]:
+        forced: set[int] = set()
+        for name, node in self.network.nodes.items():
+            vertex = self._node_id[name]
+            if node.kind in (NodeKind.SWITCH, NodeKind.BOUNDARY):
+                forced.add(vertex)
+        # Any vertex joining segments of different TTDs is a TTD border, and
+        # dead ends (degree 1) are trivially borders as well.
+        for vertex in range(self.num_vertices):
+            ttds = {self.segments[s].ttd for s in self.segments_at[vertex]}
+            if len(ttds) > 1 or len(self.segments_at[vertex]) == 1:
+                forced.add(vertex)
+        return frozenset(forced)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscreteNetwork({self.num_vertices} vertices, "
+            f"{self.num_segments} segments, r_s={self.r_s_km} km)"
+        )

@@ -1,0 +1,86 @@
+"""JSON serialisation for railway networks (and schedules, see trains.io).
+
+The format is deliberately plain so networks can be hand-edited::
+
+    {
+      "nodes": [{"name": "A", "kind": "boundary"}, ...],
+      "tracks": [{"name": "A-p1", "a": "A", "b": "p1",
+                  "length_km": 3.0, "ttd": "TTD1"}, ...],
+      "stations": {"A": ["A-p1"], ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.network.topology import (
+    NetworkError,
+    Node,
+    NodeKind,
+    RailwayNetwork,
+    Track,
+)
+
+
+def network_to_json(network: RailwayNetwork) -> str:
+    """Serialise a network to a JSON string."""
+    payload = {
+        "nodes": [
+            {"name": node.name, "kind": node.kind.value}
+            for node in network.nodes.values()
+        ],
+        "tracks": [
+            {
+                "name": track.name,
+                "a": track.node_a,
+                "b": track.node_b,
+                "length_km": track.length_km,
+                "ttd": track.ttd,
+            }
+            for track in network.tracks.values()
+        ],
+        "stations": network.stations,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def network_from_json(text: str) -> RailwayNetwork:
+    """Deserialise a network from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise NetworkError(f"invalid JSON: {exc}") from exc
+    try:
+        nodes = [
+            Node(entry["name"], NodeKind(entry.get("kind", "link")))
+            for entry in payload["nodes"]
+        ]
+        tracks = [
+            Track(
+                entry["name"],
+                entry["a"],
+                entry["b"],
+                float(entry["length_km"]),
+                entry["ttd"],
+            )
+            for entry in payload["tracks"]
+        ]
+        stations = {
+            name: list(track_names)
+            for name, track_names in payload.get("stations", {}).items()
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise NetworkError(f"malformed network JSON: {exc}") from exc
+    return RailwayNetwork(nodes, tracks, stations)
+
+
+def save_network(network: RailwayNetwork, path: str | Path) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(network_to_json(network))
+
+
+def load_network(path: str | Path) -> RailwayNetwork:
+    """Read a network from a JSON file."""
+    return network_from_json(Path(path).read_text())

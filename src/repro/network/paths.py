@@ -1,0 +1,240 @@
+"""Graph queries used by the symbolic formulation.
+
+The paper's constraints (§III-B) are phrased with four graph notions over
+``G=(V,E)``:
+
+* ``chains(l)`` — all chains of ``l`` connected segments (train footprints),
+* ``reachable(e, d)`` — segments reachable from ``e`` within ``d`` steps,
+* ``between(e, f)`` — vertices on the chain connecting two segments of the
+  same TTD (candidate VSS borders separating two trains),
+* ``paths(e, f, max)`` — segments lying strictly between ``e`` and ``f`` on
+  any bounded path (used by the no-passing-through constraint).
+
+All functions operate on a :class:`repro.network.discretize.DiscreteNetwork`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.discretize import DiscreteNetwork
+from repro.network.topology import NetworkError
+
+
+def chains(net: DiscreteNetwork, length: int) -> list[tuple[int, ...]]:
+    """All chains of ``length`` connected segments, as ordered tuples.
+
+    A chain is a simple path in the "segment graph": consecutive segments
+    share a vertex and no vertex is visited twice.  Each chain is returned
+    once, in canonical orientation (the lexicographically smaller of the two
+    directions).
+    """
+    if length < 1:
+        raise NetworkError(f"chain length must be >= 1, got {length}")
+    if length == 1:
+        return [(segment.id,) for segment in net.segments]
+    result: set[tuple[int, ...]] = set()
+    for start in range(net.num_segments):
+        seg = net.segments[start]
+        # Grow in both directions; fix the "entry vertex" to avoid U-turns.
+        for entry in (seg.u, seg.v):
+            _extend_chain(net, [start], {seg.u, seg.v}, entry, length, result)
+    return sorted(result)
+
+
+def _extend_chain(
+    net: DiscreteNetwork,
+    path: list[int],
+    used_vertices: set[int],
+    head: int,
+    target_len: int,
+    result: set[tuple[int, ...]],
+) -> None:
+    """DFS helper: extend ``path`` across vertex ``head``."""
+    if len(path) == target_len:
+        candidate = tuple(path)
+        reverse = tuple(reversed(path))
+        result.add(min(candidate, reverse))
+        return
+    for nxt in net.segments_at[head]:
+        if nxt in path:
+            continue
+        segment = net.segments[nxt]
+        new_head = segment.v if segment.u == head else segment.u
+        if new_head in used_vertices:
+            continue
+        used_vertices.add(new_head)
+        path.append(nxt)
+        _extend_chain(net, path, used_vertices, new_head, target_len, result)
+        path.pop()
+        used_vertices.discard(new_head)
+
+
+def segment_distances(net: DiscreteNetwork, source: int) -> list[int]:
+    """BFS hop distances from ``source`` to every segment (-1 unreachable)."""
+    dist = [-1] * net.num_segments
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbour in net.seg_neighbours[current]:
+            if dist[neighbour] == -1:
+                dist[neighbour] = dist[current] + 1
+                queue.append(neighbour)
+    return dist
+
+
+def reachable(net: DiscreteNetwork, source: int, max_steps: int) -> list[int]:
+    """Segments reachable from ``source`` within ``max_steps`` hops.
+
+    Includes ``source`` itself (a train may stand still), per the paper's
+    ``reachable(e, tr)`` definition.
+    """
+    if max_steps < 0:
+        raise NetworkError(f"max_steps must be >= 0, got {max_steps}")
+    dist = [-1] * net.num_segments
+    dist[source] = 0
+    queue = deque([source])
+    result = [source]
+    while queue:
+        current = queue.popleft()
+        if dist[current] >= max_steps:
+            continue
+        for neighbour in net.seg_neighbours[current]:
+            if dist[neighbour] == -1:
+                dist[neighbour] = dist[current] + 1
+                result.append(neighbour)
+                queue.append(neighbour)
+    return result
+
+
+class TTDPathIndex:
+    """Pre-computed positions of segments along each (path-shaped) TTD.
+
+    Supports the ``between(e, f)`` query: the vertices strictly between two
+    segments of the same TTD, which are exactly the candidate VSS borders
+    that can separate two trains sharing that TTD.
+    """
+
+    def __init__(self, net: DiscreteNetwork):
+        self._net = net
+        # ttd -> ordered list of segment ids along the path
+        self._order: dict[str, list[int]] = {}
+        # segment id -> position within its TTD path
+        self._position: dict[int, int] = {}
+        # ttd -> list of "joint" vertices: joint[i] connects order[i], order[i+1]
+        self._joints: dict[str, list[int]] = {}
+        for ttd, members in net.ttd_segments.items():
+            order = self._order_path(members)
+            self._order[ttd] = order
+            for position, seg in enumerate(order):
+                self._position[seg] = position
+            joints: list[int] = []
+            for i in range(len(order) - 1):
+                a = net.segments[order[i]]
+                b = net.segments[order[i + 1]]
+                shared = {a.u, a.v} & {b.u, b.v}
+                if len(shared) != 1:
+                    raise NetworkError(
+                        f"TTD {ttd!r} is not a simple path at segments "
+                        f"{order[i]}/{order[i + 1]}"
+                    )
+                joints.append(shared.pop())
+            self._joints[ttd] = joints
+
+    def _order_path(self, members: list[int]) -> list[int]:
+        """Order a TTD's segments along their path."""
+        net = self._net
+        if len(members) == 1:
+            return list(members)
+        member_set = set(members)
+        # Vertex incidence restricted to the TTD.
+        incidence: dict[int, list[int]] = {}
+        for seg_id in members:
+            seg = net.segments[seg_id]
+            incidence.setdefault(seg.u, []).append(seg_id)
+            incidence.setdefault(seg.v, []).append(seg_id)
+        endpoints = [v for v, segs in incidence.items() if len(segs) == 1]
+        if len(endpoints) != 2:
+            raise NetworkError("TTD does not form a simple path")
+        # Walk from one endpoint.
+        order: list[int] = []
+        vertex = endpoints[0]
+        previous = -1
+        while len(order) < len(members):
+            candidates = [
+                s for s in incidence[vertex] if s != previous and s in member_set
+            ]
+            if len(candidates) != 1:
+                raise NetworkError("TTD does not form a simple path")
+            seg_id = candidates[0]
+            order.append(seg_id)
+            seg = net.segments[seg_id]
+            vertex = seg.v if seg.u == vertex else seg.u
+            previous = seg_id
+        return order
+
+    def between(self, e: int, f: int) -> list[int]:
+        """Vertices strictly between segments ``e`` and ``f`` (same TTD)."""
+        ttd_e = self._net.ttd_of[e]
+        ttd_f = self._net.ttd_of[f]
+        if ttd_e != ttd_f:
+            raise NetworkError(
+                f"segments {e} and {f} are in different TTDs "
+                f"({ttd_e!r} vs {ttd_f!r})"
+            )
+        pos_e = self._position[e]
+        pos_f = self._position[f]
+        if pos_e > pos_f:
+            pos_e, pos_f = pos_f, pos_e
+        return self._joints[ttd_e][pos_e:pos_f]
+
+    def ordered_segments(self, ttd: str) -> list[int]:
+        """Segments of a TTD in path order."""
+        return list(self._order[ttd])
+
+
+def interior_segments_of_paths(
+    net: DiscreteNetwork, e: int, f: int, max_edges: int
+) -> set[int]:
+    """Union of *interior* segments over all simple paths ``e -> f``.
+
+    A path is a chain of at most ``max_edges`` segments starting at ``e`` and
+    ending at ``f``; its interior excludes both endpoints.  This implements
+    the paper's ``paths(e, f, tr)`` (used to forbid trains passing through
+    one another).
+    """
+    if e == f:
+        return set()
+    interiors: set[int] = set()
+    seg_e = net.segments[e]
+
+    def dfs(current: int, head: int, visited: list[int], used: set[int]) -> None:
+        if len(visited) > max_edges:
+            return
+        for nxt in net.seg_neighbours[current]:
+            if nxt in visited:
+                continue
+            segment = net.segments[nxt]
+            if segment.u == head:
+                new_head = segment.v
+            elif segment.v == head:
+                new_head = segment.u
+            else:
+                continue  # neighbour via the other endpoint of `current`
+            if nxt == f:
+                interiors.update(visited[1:])
+                continue
+            if new_head in used:
+                continue
+            if len(visited) + 1 >= max_edges:
+                continue
+            used.add(new_head)
+            visited.append(nxt)
+            dfs(nxt, new_head, visited, used)
+            visited.pop()
+            used.discard(new_head)
+
+    for entry in (seg_e.u, seg_e.v):
+        dfs(e, entry, [e], {seg_e.u, seg_e.v})
+    return interiors

@@ -1,0 +1,105 @@
+"""VSS layouts: which vertices of ``G`` separate virtual subsections.
+
+A layout is a set of *border vertices*.  Forced borders (TTD boundaries,
+switches, network boundaries) are always included; the free interior vertices
+are the design choice the paper's generation/optimization tasks make.
+"""
+
+from __future__ import annotations
+
+from repro.network.discretize import DiscreteNetwork
+from repro.network.topology import NetworkError
+
+
+class VSSLayout:
+    """An assignment of the ``border_v`` variables for a discrete network."""
+
+    def __init__(self, net: DiscreteNetwork, borders: set[int] | frozenset[int]):
+        missing = net.forced_borders - set(borders)
+        if missing:
+            raise NetworkError(
+                f"layout is missing forced borders at vertices {sorted(missing)}"
+            )
+        out_of_range = [v for v in borders if not 0 <= v < net.num_vertices]
+        if out_of_range:
+            raise NetworkError(f"unknown vertices in layout: {out_of_range}")
+        self.net = net
+        self.borders = frozenset(borders)
+
+    @classmethod
+    def pure_ttd(cls, net: DiscreteNetwork) -> "VSSLayout":
+        """The layout with no virtual subsections (TTD borders only)."""
+        return cls(net, set(net.forced_borders))
+
+    @classmethod
+    def finest(cls, net: DiscreteNetwork) -> "VSSLayout":
+        """Every vertex a border: each segment is its own VSS."""
+        return cls(net, set(range(net.num_vertices)))
+
+    @property
+    def added_borders(self) -> frozenset[int]:
+        """Borders beyond the forced (TTD) ones — the actual VSS additions."""
+        return self.borders - self.net.forced_borders
+
+    def is_border(self, vertex: int) -> bool:
+        """Is ``vertex`` a section border under this layout?"""
+        return vertex in self.borders
+
+    def sections(self) -> list[list[int]]:
+        """Partition the segments into VSS sections.
+
+        Two segments belong to the same section iff they are connected via
+        non-border vertices.  The result is sorted for determinism.
+        """
+        net = self.net
+        parent = list(range(net.num_segments))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        for vertex in range(net.num_vertices):
+            if vertex in self.borders:
+                continue
+            incident = net.segments_at[vertex]
+            for other in incident[1:]:
+                union(incident[0], other)
+
+        groups: dict[int, list[int]] = {}
+        for seg in range(net.num_segments):
+            groups.setdefault(find(seg), []).append(seg)
+        return sorted(groups.values())
+
+    @property
+    def num_sections(self) -> int:
+        """Number of TTD/VSS sections (the paper's Table I column)."""
+        return len(self.sections())
+
+    def section_of(self) -> list[int]:
+        """Map each segment id to a dense section index."""
+        mapping = [0] * self.net.num_segments
+        for index, section in enumerate(self.sections()):
+            for seg in section:
+                mapping[seg] = index
+        return mapping
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VSSLayout):
+            return NotImplemented
+        return self.net is other.net and self.borders == other.borders
+
+    def __hash__(self) -> int:
+        return hash((id(self.net), self.borders))
+
+    def __repr__(self) -> str:
+        return (
+            f"VSSLayout({self.num_sections} sections, "
+            f"{len(self.added_borders)} added borders)"
+        )

@@ -1,0 +1,234 @@
+"""Physical railway topology: nodes, tracks, stations, TTD sections.
+
+The model follows the paper's abstraction level:
+
+* A *node* is a logical connection point — a switch (point), an axle-counter
+  location, or a network boundary (where trains enter/leave, typically a
+  station end).
+* A *track* is a stretch of rail between two nodes with a length in km.
+* A *TTD section* groups one or more consecutive tracks; its boundaries carry
+  the physical train-detection hardware.  Within a TTD, ETCS Level 3 may
+  later introduce virtual subsections (VSS) — that is what the whole paper
+  is about.
+* A *station* names one or more tracks as platform tracks where trains may
+  start, stop, or end their journey.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NetworkError(Exception):
+    """Raised for structurally invalid railway networks."""
+
+
+class NodeKind(enum.Enum):
+    """Role of a connection point in the physical layout."""
+
+    BOUNDARY = "boundary"  # network edge: trains appear/disappear here
+    SWITCH = "switch"  # a point connecting three (or more) tracks
+    LINK = "link"  # plain connector / axle-counter location
+
+
+@dataclass(frozen=True)
+class Node:
+    """A logical connection point between tracks."""
+
+    name: str
+    kind: NodeKind = NodeKind.LINK
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetworkError("node name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Track:
+    """A stretch of rail between two nodes.
+
+    Attributes:
+        name: unique track identifier.
+        node_a / node_b: endpoint node names.
+        length_km: physical length (> 0).
+        ttd: name of the TTD section this track belongs to.  Consecutive
+            tracks may share a TTD; switches must sit on TTD boundaries.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    length_km: float
+    ttd: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetworkError("track name must be non-empty")
+        if self.node_a == self.node_b:
+            raise NetworkError(f"track {self.name!r} is a self-loop")
+        if self.length_km <= 0:
+            raise NetworkError(
+                f"track {self.name!r} has non-positive length {self.length_km}"
+            )
+
+    def other_end(self, node: str) -> str:
+        """The endpoint opposite to ``node``."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise NetworkError(f"node {node!r} is not an endpoint of {self.name!r}")
+
+
+class RailwayNetwork:
+    """An immutable-after-validation railway network.
+
+    Build instances through :class:`repro.network.builder.NetworkBuilder`
+    (direct construction is possible but the builder is friendlier).
+    """
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        tracks: list[Track],
+        stations: dict[str, list[str]] | None = None,
+    ):
+        self.nodes: dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise NetworkError(f"duplicate node {node.name!r}")
+            self.nodes[node.name] = node
+        self.tracks: dict[str, Track] = {}
+        for track in tracks:
+            if track.name in self.tracks:
+                raise NetworkError(f"duplicate track {track.name!r}")
+            self.tracks[track.name] = track
+        # station name -> list of platform track names
+        self.stations: dict[str, list[str]] = dict(stations or {})
+        self._adjacency: dict[str, list[str]] = {n: [] for n in self.nodes}
+        for track in tracks:
+            for endpoint in (track.node_a, track.node_b):
+                if endpoint not in self.nodes:
+                    raise NetworkError(
+                        f"track {track.name!r} references unknown node "
+                        f"{endpoint!r}"
+                    )
+            self._adjacency[track.node_a].append(track.name)
+            self._adjacency[track.node_b].append(track.name)
+        self.validate()
+
+    # -- queries ---------------------------------------------------------
+
+    def tracks_at(self, node_name: str) -> list[Track]:
+        """All tracks incident to a node."""
+        return [self.tracks[t] for t in self._adjacency[node_name]]
+
+    def degree(self, node_name: str) -> int:
+        """Number of tracks incident to a node."""
+        return len(self._adjacency[node_name])
+
+    def ttd_sections(self) -> dict[str, list[Track]]:
+        """Map each TTD name to its member tracks."""
+        sections: dict[str, list[Track]] = {}
+        for track in self.tracks.values():
+            sections.setdefault(track.ttd, []).append(track)
+        return sections
+
+    @property
+    def num_ttds(self) -> int:
+        """Number of TTD sections in the network."""
+        return len({track.ttd for track in self.tracks.values()})
+
+    @property
+    def total_length_km(self) -> float:
+        """Sum of all track lengths."""
+        return sum(track.length_km for track in self.tracks.values())
+
+    def station_tracks(self, station: str) -> list[Track]:
+        """Platform tracks of a station."""
+        try:
+            names = self.stations[station]
+        except KeyError:
+            raise NetworkError(f"unknown station {station!r}") from None
+        return [self.tracks[name] for name in names]
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`NetworkError` if broken.
+
+        Invariants: boundary nodes have degree 1, switches degree >= 3, link
+        nodes degree 2; every TTD is a connected path of tracks with no
+        switch in its interior; stations reference existing tracks; the
+        network is connected.
+        """
+        if not self.tracks:
+            raise NetworkError("network has no tracks")
+        for name, node in self.nodes.items():
+            degree = self.degree(name)
+            if node.kind is NodeKind.BOUNDARY and degree != 1:
+                raise NetworkError(
+                    f"boundary node {name!r} has degree {degree}, expected 1"
+                )
+            if node.kind is NodeKind.SWITCH and degree < 3:
+                raise NetworkError(
+                    f"switch {name!r} has degree {degree}, expected >= 3"
+                )
+            if node.kind is NodeKind.LINK and degree != 2:
+                raise NetworkError(
+                    f"link node {name!r} has degree {degree}, expected 2"
+                )
+        for station, track_names in self.stations.items():
+            if not track_names:
+                raise NetworkError(f"station {station!r} has no tracks")
+            for track_name in track_names:
+                if track_name not in self.tracks:
+                    raise NetworkError(
+                        f"station {station!r} references unknown track "
+                        f"{track_name!r}"
+                    )
+        self._validate_ttds()
+        self._validate_connected()
+
+    def _validate_ttds(self) -> None:
+        for ttd, tracks in self.ttd_sections().items():
+            if len(tracks) == 1:
+                continue
+            # Interior nodes of a multi-track TTD must be links shared by
+            # exactly two member tracks (the TTD forms a path).
+            incidence: dict[str, int] = {}
+            for track in tracks:
+                incidence[track.node_a] = incidence.get(track.node_a, 0) + 1
+                incidence[track.node_b] = incidence.get(track.node_b, 0) + 1
+            ends = [n for n, count in incidence.items() if count == 1]
+            interior = [n for n, count in incidence.items() if count == 2]
+            if len(ends) != 2 or len(ends) + len(interior) != len(incidence):
+                raise NetworkError(f"TTD {ttd!r} does not form a simple path")
+            for name in interior:
+                if self.nodes[name].kind is NodeKind.SWITCH:
+                    raise NetworkError(
+                        f"TTD {ttd!r} contains switch {name!r} in its "
+                        "interior; switches must be TTD borders"
+                    )
+
+    def _validate_connected(self) -> None:
+        start = next(iter(self.nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for track in self.tracks_at(node):
+                neighbour = track.other_end(node)
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        if len(seen) != len(self.nodes):
+            missing = sorted(set(self.nodes) - seen)
+            raise NetworkError(f"network is disconnected; unreachable: {missing}")
+
+    def __repr__(self) -> str:
+        return (
+            f"RailwayNetwork({len(self.nodes)} nodes, {len(self.tracks)} "
+            f"tracks, {self.num_ttds} TTDs, {self.total_length_km:.1f} km)"
+        )

@@ -1,0 +1,27 @@
+"""SAT-based minimisation engines.
+
+The paper's generation and optimization tasks add objective functions
+(``min Σ border_v`` and ``min Σ_t ¬done^t``) on top of the satisfiability
+formulation; Z3 handles these natively.  This package reimplements the
+capability on top of :mod:`repro.sat` with three interchangeable strategies
+(compared by ``benchmarks/bench_ablation_optimization.py``):
+
+* ``linear``  — SAT–UNSAT descent: repeatedly tighten a totalizer bound
+  below the best model found so far until UNSAT proves optimality.
+* ``binary``  — binary search on the totalizer bound.
+* ``core``    — OLL-style core-guided search from below (UNSAT–SAT).
+"""
+
+from repro.opt.lexicographic import minimize_lexicographic
+from repro.opt.maxsat import minimize_sum_core_guided
+from repro.opt.minimize import minimize_sum
+from repro.opt.weighted import minimize_weighted_sum
+from repro.opt.result import MinimizeResult
+
+__all__ = [
+    "MinimizeResult",
+    "minimize_sum",
+    "minimize_weighted_sum",
+    "minimize_sum_core_guided",
+    "minimize_lexicographic",
+]

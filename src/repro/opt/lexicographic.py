@@ -1,0 +1,43 @@
+"""Lexicographic multi-objective minimisation.
+
+The paper (§III-C) notes that "efficiency" can be interpreted in several
+ways — e.g. first minimise the makespan, then among makespan-optimal
+solutions minimise the number of VSS borders.  This wrapper minimises a list
+of objectives in priority order, freezing each optimum with a permanent
+cardinality bound before attacking the next.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import CNF
+from repro.logic.totalizer import Totalizer
+from repro.opt.minimize import minimize_sum
+from repro.opt.result import MinimizeResult
+
+
+def minimize_lexicographic(
+    cnf: CNF,
+    objectives: list[list[int]],
+    strategy: str = "linear",
+) -> list[MinimizeResult]:
+    """Minimise each objective in order, fixing earlier optima.
+
+    Returns one :class:`MinimizeResult` per objective.  If the hard
+    constraints are infeasible, a single infeasible result is returned.
+
+    Note: each stage permanently adds the bound ``sum(objective_i) <= opt_i``
+    to ``cnf``, so the caller's CNF reflects the full lexicographic problem
+    afterwards.
+    """
+    if not objectives:
+        raise ValueError("need at least one objective")
+    results: list[MinimizeResult] = []
+    for objective in objectives:
+        result = minimize_sum(cnf, objective, strategy=strategy)
+        results.append(result)
+        if not result.feasible:
+            break
+        if objective and result.cost < len(objective):
+            totalizer = Totalizer(cnf, objective)
+            totalizer.assert_at_most(result.cost)
+    return results

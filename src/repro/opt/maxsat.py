@@ -1,0 +1,112 @@
+"""Core-guided minimisation (Fu–Malik), searching from below.
+
+Each objective literal ``l`` becomes a soft unit clause ``(¬l)`` guarded by a
+selector assumption.  While the selectors are jointly infeasible the solver
+returns an unsat core; every soft clause in the core gets a fresh *blocking*
+variable (at most one blocker per round may be true), and the lower bound
+rises by one.  When the selectors become satisfiable, the number of completed
+rounds equals the optimum (Fu & Malik 2006) — the first model found is
+already optimal, which is attractive when models are expensive to improve.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import CNF
+from repro.opt.result import MinimizeResult
+from repro.sat.solver import Solver
+from repro.sat.types import SolveResult
+
+
+def minimize_sum_core_guided(
+    cnf: CNF,
+    objective_lits: list[int],
+    solver: Solver | None = None,
+    max_iterations: int = 10_000,
+) -> MinimizeResult:
+    """Minimise the number of true ``objective_lits`` via Fu–Malik relaxation.
+
+    The hard constraints are the clauses of ``cnf``; auxiliary selector and
+    blocking variables are drawn from ``cnf.pool`` (and their clauses are
+    recorded in ``cnf`` so the container stays in sync with the solver).
+    """
+    solver = cnf.to_solver(solver)
+    calls = 1
+    if solver.solve() is not SolveResult.SAT:
+        return MinimizeResult(feasible=False, solve_calls=calls, strategy="core")
+    if not objective_lits:
+        return MinimizeResult(
+            feasible=True,
+            cost=0,
+            model=solver.model(),
+            proven_optimal=True,
+            solve_calls=calls,
+            strategy="core",
+        )
+
+    def add(clause: list[int]) -> None:
+        cnf.add(clause)
+        solver.add_clause(clause)
+
+    # selector -> (objective literal, accumulated blocking variables)
+    softs: dict[int, tuple[int, list[int]]] = {}
+    for lit in objective_lits:
+        selector = cnf.pool.new_aux()
+        add([-selector, -lit])
+        softs[selector] = (lit, [])
+
+    lower_bound = 0
+    for _ in range(max_iterations):
+        calls += 1
+        verdict = solver.solve(sorted(softs))
+        if verdict is SolveResult.SAT:
+            model = solver.model()
+            cost = sum(1 for lit in objective_lits if solver.model_value(lit))
+            return MinimizeResult(
+                feasible=True,
+                cost=cost,
+                model=model,
+                proven_optimal=cost == lower_bound,
+                solve_calls=calls,
+                strategy="core",
+            )
+        core = [lit for lit in solver.unsat_core() if lit in softs]
+        if not core:
+            # Hard clauses alone are unsat — impossible after the first SAT
+            # call above, but guard against solver misuse.
+            return MinimizeResult(
+                feasible=False, solve_calls=calls, strategy="core"
+            )
+        lower_bound += 1
+        round_blockers: list[int] = []
+        for selector in core:
+            objective_lit, blockers = softs.pop(selector)
+            add([-selector])  # permanently retire the old soft clause
+            blocker = cnf.pool.new_aux()
+            round_blockers.append(blocker)
+            new_blockers = blockers + [blocker]
+            new_selector = cnf.pool.new_aux()
+            add([-new_selector, -objective_lit, *new_blockers])
+            softs[new_selector] = (objective_lit, new_blockers)
+        # At most one blocking variable per round may fire.
+        for i in range(len(round_blockers)):
+            for j in range(i + 1, len(round_blockers)):
+                add([-round_blockers[i], -round_blockers[j]])
+
+    # Iteration budget exhausted: report the unconstrained model.
+    calls += 1
+    verdict = solver.solve()
+    feasible = verdict is SolveResult.SAT
+    model = solver.model() if feasible else []
+    cost = (
+        sum(1 for lit in objective_lits if solver.model_value(lit))
+        if feasible
+        else 0
+    )
+    return MinimizeResult(
+        feasible=feasible,
+        cost=cost,
+        model=model,
+        proven_optimal=False,
+        solve_calls=calls,
+        strategy="core",
+    )

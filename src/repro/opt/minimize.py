@@ -1,0 +1,112 @@
+"""Model-improving minimisation: linear descent and binary search.
+
+Both strategies build one incremental totalizer over the objective literals
+and then tighten its bound with unit *assumptions* — the solver keeps all its
+learned clauses across iterations, which is what makes the loop cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.logic.cnf import CNF
+from repro.logic.totalizer import Totalizer
+from repro.opt.result import MinimizeResult
+from repro.sat.solver import Solver
+from repro.sat.types import SolveResult
+
+
+def minimize_sum(
+    cnf: CNF,
+    objective_lits: list[int],
+    strategy: str = "linear",
+    solver: Solver | None = None,
+    on_improvement: Callable[[int], None] | None = None,
+) -> MinimizeResult:
+    """Minimise the number of true literals among ``objective_lits``.
+
+    The hard constraints are the clauses of ``cnf``.  Returns a
+    :class:`MinimizeResult`; when ``feasible`` and ``proven_optimal`` are both
+    True the reported cost is the exact minimum.
+
+    ``on_improvement`` (if given) is called with each strictly better cost as
+    it is discovered — useful for logging long optimisations.
+    """
+    if strategy not in ("linear", "binary"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    solver = cnf.to_solver(solver)
+    calls = 1
+    verdict = solver.solve()
+    if verdict is not SolveResult.SAT:
+        return MinimizeResult(feasible=False, solve_calls=calls, strategy=strategy)
+
+    best_model = solver.model()
+    best_cost = _cost_of(solver, objective_lits)
+    if on_improvement:
+        on_improvement(best_cost)
+    if best_cost == 0 or not objective_lits:
+        return MinimizeResult(
+            feasible=True,
+            cost=best_cost,
+            model=best_model,
+            proven_optimal=True,
+            solve_calls=calls,
+            strategy=strategy,
+        )
+
+    # Build the totalizer *into the same solver* so bounds are assumptions.
+    marker = len(cnf.clauses)
+    totalizer = Totalizer(cnf, objective_lits)
+    for clause in cnf.clauses[marker:]:
+        solver.add_clause(clause)
+
+    if strategy == "linear":
+        proven = False
+        while best_cost > 0:
+            calls += 1
+            verdict = solver.solve([totalizer.bound_literal(best_cost - 1)])
+            if verdict is SolveResult.SAT:
+                best_model = solver.model()
+                best_cost = _cost_of(solver, objective_lits)
+                if on_improvement:
+                    on_improvement(best_cost)
+            elif verdict is SolveResult.UNSAT:
+                proven = True
+                break
+            else:  # UNKNOWN under a conflict budget
+                break
+        if best_cost == 0:
+            proven = True
+    else:  # binary search on the bound
+        low = 0  # costs < low are known infeasible... low-1 infeasible
+        high = best_cost  # a model with this cost exists
+        proven = True
+        while low < high:
+            mid = (low + high) // 2
+            calls += 1
+            verdict = solver.solve([totalizer.bound_literal(mid)])
+            if verdict is SolveResult.SAT:
+                best_model = solver.model()
+                high = _cost_of(solver, objective_lits)
+                best_cost = high
+                if on_improvement:
+                    on_improvement(best_cost)
+            elif verdict is SolveResult.UNSAT:
+                low = mid + 1
+            else:
+                proven = False
+                break
+
+    return MinimizeResult(
+        feasible=True,
+        cost=best_cost,
+        model=best_model,
+        proven_optimal=proven,
+        solve_calls=calls,
+        strategy=strategy,
+    )
+
+
+def _cost_of(solver: Solver, objective_lits: list[int]) -> int:
+    """Number of objective literals true in the solver's current model."""
+    return sum(1 for lit in objective_lits if solver.model_value(lit))

@@ -1,0 +1,31 @@
+"""Result type shared by the minimisation engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of minimising the number of true literals in an objective.
+
+    Attributes:
+        feasible: whether the hard constraints are satisfiable at all.
+        cost: number of objective literals true in the best model found
+            (meaningless if not feasible).
+        model: the best model, as the list of true literals (DIMACS style).
+        proven_optimal: True when a final UNSAT step certified optimality.
+        solve_calls: number of SAT solver invocations used.
+        strategy: which engine produced the result.
+    """
+
+    feasible: bool
+    cost: int = 0
+    model: list[int] = field(default_factory=list)
+    proven_optimal: bool = False
+    solve_calls: int = 0
+    strategy: str = ""
+
+    def true_set(self) -> set[int]:
+        """The model's true variables as a set (for decoding)."""
+        return {lit for lit in self.model if lit > 0}

@@ -1,0 +1,35 @@
+"""A self-contained CDCL SAT solver.
+
+This package substitutes for the Z3 solver used in the paper: the paper's
+methodology only requires a sound and complete Boolean satisfiability oracle
+(plus incremental solving under assumptions, which the optimization engines
+in :mod:`repro.opt` build on).
+
+Public entry points:
+
+* :class:`Solver` — the CDCL solver (add clauses, solve under assumptions,
+  read back models and unsat cores).
+* :class:`SolveResult` — SAT / UNSAT / UNKNOWN verdicts.
+* :func:`parse_dimacs` / :func:`write_dimacs` — DIMACS CNF interchange.
+"""
+
+from repro.sat.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.sat.proof import ProofLogger, check_rup_proof, parse_drat
+from repro.sat.simplify import SimplifyStats, simplify_clauses
+from repro.sat.solver import Solver
+from repro.sat.types import SolverConfig, SolverStats, SolveResult
+
+__all__ = [
+    "Solver",
+    "SolveResult",
+    "SolverConfig",
+    "SolverStats",
+    "ProofLogger",
+    "SimplifyStats",
+    "simplify_clauses",
+    "check_rup_proof",
+    "parse_drat",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+]

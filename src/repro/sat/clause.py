@@ -1,0 +1,39 @@
+"""Clause representation for the CDCL solver.
+
+A clause stores its literals as a plain list of DIMACS-style signed integers.
+The first two positions (``lits[0]`` and ``lits[1]``) are the *watched*
+literals maintained by the two-watched-literal scheme in
+:mod:`repro.sat.solver`.
+"""
+
+from __future__ import annotations
+
+
+class Clause:
+    """A disjunction of literals, with CDCL bookkeeping.
+
+    Attributes:
+        lits: the literals; positions 0 and 1 are the watched ones.
+        learned: True for conflict-learned clauses (eligible for deletion).
+        lbd: literal block distance at learning time (quality measure;
+            lower is better, "glue" clauses have lbd <= 2).
+        activity: bump-decayed usefulness score used by clause deletion.
+    """
+
+    __slots__ = ("lits", "learned", "lbd", "activity")
+
+    def __init__(self, lits: list[int], learned: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.activity = 0.0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __iter__(self):
+        return iter(self.lits)
+
+    def __repr__(self) -> str:
+        kind = "learned" if self.learned else "problem"
+        return f"Clause({self.lits!r}, {kind})"

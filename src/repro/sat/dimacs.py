@@ -1,0 +1,85 @@
+"""Reading and writing the DIMACS CNF interchange format.
+
+The format: comment lines start with ``c``, a header line
+``p cnf <num_vars> <num_clauses>`` precedes the clauses, and each clause is a
+whitespace-separated list of non-zero integers terminated by ``0`` (clauses
+may span lines).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.sat.types import SatError
+
+
+class DimacsError(SatError):
+    """Raised for malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``.
+
+    ``num_vars`` is the maximum of the header's declaration and the largest
+    variable actually used; the declared clause count is checked against the
+    clauses found.
+    """
+    num_vars = 0
+    declared_clauses: int | None = None
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_no}: malformed header {line!r}")
+            try:
+                num_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: non-integer header") from exc
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(
+                    f"line {line_no}: invalid literal {token!r}"
+                ) from exc
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                num_vars = max(num_vars, abs(lit))
+                current.append(lit)
+    if current:
+        raise DimacsError("last clause not terminated with 0")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise DimacsError(
+            f"header declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return num_vars, clauses
+
+
+def parse_dimacs_file(path: str | Path) -> tuple[int, list[list[int]]]:
+    """Parse a DIMACS CNF file from disk."""
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(
+    num_vars: int, clauses: list[list[int]], comment: str | None = None
+) -> str:
+    """Render ``(num_vars, clauses)`` as DIMACS CNF text."""
+    out = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"c {line}\n")
+    out.write(f"p cnf {num_vars} {len(clauses)}\n")
+    for clause in clauses:
+        out.write(" ".join(str(lit) for lit in clause))
+        out.write(" 0\n")
+    return out.getvalue()

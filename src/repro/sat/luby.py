@@ -1,0 +1,45 @@
+"""The Luby restart sequence.
+
+The Luby sequence 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... is the
+universally optimal restart strategy for Las Vegas algorithms (Luby, Sinclair,
+Zuckerman 1993) and is what most modern CDCL solvers schedule restarts with.
+"""
+
+from __future__ import annotations
+
+
+def luby(i: int) -> int:
+    """Return the i-th element (1-based) of the Luby sequence.
+
+    >>> [luby(i) for i in range(1, 16)]
+    [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    """
+    if i < 1:
+        raise ValueError(f"Luby sequence is 1-based, got index {i}")
+    # Find the smallest k with 2^k - 1 >= i.
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    while True:
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        # Recurse into the tail of the subsequence.
+        i -= (1 << (k - 1)) - 1
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+
+
+class LubyGenerator:
+    """Stateful iterator over ``base * luby(i)`` restart limits."""
+
+    def __init__(self, base: int):
+        if base < 1:
+            raise ValueError(f"restart base must be >= 1, got {base}")
+        self._base = base
+        self._index = 0
+
+    def next_limit(self) -> int:
+        """Advance and return the next restart conflict limit."""
+        self._index += 1
+        return self._base * luby(self._index)

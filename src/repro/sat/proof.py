@@ -1,0 +1,188 @@
+"""DRAT proof logging and RUP proof checking.
+
+When a scenario is reported *impossible* ("the satisfiability solver proves
+that no such assignment exists", paper §III-C), that claim is only as
+trustworthy as the solver.  DRAT (Delete Resolution Asymmetric Tautology)
+proofs make it independently checkable:
+
+* the solver, with a :class:`ProofLogger` attached, emits every learned
+  clause (and deletions) in the order they were derived;
+* :func:`check_rup_proof` replays the derivation with *reverse unit
+  propagation* (RUP): each learned clause C is verified by asserting ¬C and
+  confirming that unit propagation over the clauses derived so far yields a
+  conflict; the proof is accepted iff the final derived clause is empty.
+
+The checker shares no propagation code with the solver — it is a separate,
+simple implementation, which is the point.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProofLogger:
+    """Collects DRAT proof steps emitted by a :class:`repro.sat.Solver`.
+
+    Attributes:
+        additions: learned clauses, in derivation order.  The final entry of
+            a completed UNSAT proof is the empty clause.
+        deletions: clauses removed by learned-clause garbage collection.
+    """
+
+    steps: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+
+    def add(self, lits: list[int]) -> None:
+        """Record a derived (learned) clause."""
+        self.steps.append(("a", tuple(lits)))
+
+    def delete(self, lits: list[int]) -> None:
+        """Record the deletion of a clause."""
+        self.steps.append(("d", tuple(lits)))
+
+    @property
+    def num_additions(self) -> int:
+        return sum(1 for kind, __ in self.steps if kind == "a")
+
+    def ends_with_empty_clause(self) -> bool:
+        """Does the proof derive the empty clause (a full UNSAT proof)?"""
+        return any(kind == "a" and not lits for kind, lits in self.steps)
+
+    def to_drat(self) -> str:
+        """Render the proof in the standard textual DRAT format."""
+        out = io.StringIO()
+        for kind, lits in self.steps:
+            prefix = "d " if kind == "d" else ""
+            body = " ".join(str(lit) for lit in lits)
+            out.write(f"{prefix}{body} 0\n" if body else f"{prefix}0\n")
+        return out.getvalue()
+
+
+def parse_drat(text: str) -> list[tuple[str, tuple[int, ...]]]:
+    """Parse textual DRAT into (kind, literals) steps."""
+    steps: list[tuple[str, tuple[int, ...]]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        kind = "a"
+        if line.startswith("d "):
+            kind = "d"
+            line = line[2:]
+        elif line == "d":
+            kind = "d"
+            line = ""
+        tokens = [int(token) for token in line.split()]
+        if not tokens or tokens[-1] != 0:
+            raise ValueError(f"DRAT line not 0-terminated: {raw_line!r}")
+        steps.append((kind, tuple(tokens[:-1])))
+    return steps
+
+
+class _Propagator:
+    """Minimal counter-based unit propagation for the checker."""
+
+    def __init__(self, num_vars: int):
+        self._num_vars = num_vars
+        self._clauses: list[list[int] | None] = []
+        self._by_key: dict[tuple[int, ...], list[int]] = {}
+
+    def add_clause(self, lits: tuple[int, ...]) -> None:
+        index = len(self._clauses)
+        unique = tuple(dict.fromkeys(lits))
+        if any(-lit in unique for lit in unique):
+            stored = None  # tautology: always satisfied, never constrains
+        else:
+            stored = list(unique)
+        self._clauses.append(stored)
+        self._by_key.setdefault(tuple(sorted(lits)), []).append(index)
+
+    def delete_clause(self, lits: tuple[int, ...]) -> None:
+        key = tuple(sorted(lits))
+        indices = self._by_key.get(key)
+        if indices:
+            self._clauses[indices.pop()] = None
+
+    def propagates_to_conflict(self, assumed_false: tuple[int, ...]) -> bool:
+        """Assert the negation of a clause; does propagation conflict?
+
+        ``assumed_false`` are the clause's literals; we set each to false
+        and run unit propagation to fixpoint over all stored clauses (a
+        naive full-rescan loop — the checker favours clarity over speed).
+        """
+        value: dict[int, bool] = {}
+
+        def assign(lit: int) -> bool:
+            """Set lit true; False on contradiction."""
+            var = abs(lit)
+            desired = lit > 0
+            if var in value:
+                return value[var] == desired
+            value[var] = desired
+            return True
+
+        for lit in assumed_false:
+            if not assign(-lit):
+                return True
+
+        changed = True
+        while changed:
+            changed = False
+            for clause in self._clauses:
+                if clause is None:
+                    continue
+                unassigned: int | None = None
+                satisfied = False
+                unknown = 0
+                for lit in clause:
+                    var = abs(lit)
+                    if var not in value:
+                        unknown += 1
+                        unassigned = lit
+                        if unknown > 1:
+                            break  # neither unit nor conflicting
+                    elif value[var] == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied or unknown > 1:
+                    continue
+                if unknown == 0:
+                    return True  # conflict
+                if not assign(unassigned):
+                    return True
+                changed = True
+        return False
+
+
+def check_rup_proof(
+    num_vars: int,
+    clauses: list[list[int]],
+    steps: list[tuple[str, tuple[int, ...]]],
+) -> bool:
+    """Check a DRAT proof of UNSAT against the original formula.
+
+    Each added clause must be RUP with respect to the formula plus the
+    previously added (and not yet deleted) clauses; the proof must derive
+    the empty clause.  Returns True iff the proof is valid.
+
+    (RAT steps beyond RUP are not needed: CDCL learned clauses are always
+    RUP consequences.)
+    """
+    propagator = _Propagator(num_vars)
+    for clause in clauses:
+        propagator.add_clause(tuple(clause))
+
+    derived_empty = False
+    for kind, lits in steps:
+        if kind == "d":
+            propagator.delete_clause(lits)
+            continue
+        if not propagator.propagates_to_conflict(lits):
+            return False  # not a RUP consequence: proof invalid
+        if not lits:
+            derived_empty = True
+            break
+        propagator.add_clause(lits)
+    return derived_empty

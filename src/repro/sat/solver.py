@@ -1,0 +1,725 @@
+"""A CDCL (conflict-driven clause learning) SAT solver.
+
+This is a from-scratch, pure-Python implementation of the modern SAT solver
+architecture (MiniSat lineage):
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with recursive clause minimization,
+* EVSIDS variable activities with a lazy binary heap,
+* phase saving,
+* Luby-scheduled restarts,
+* LBD/activity-guided learned-clause deletion,
+* incremental solving under assumptions with unsat-core extraction.
+
+The solver is the satisfiability oracle substituting for Z3 in the paper's
+methodology (see DESIGN.md §2).  It is deliberately self-contained: the only
+imports are the sibling modules of this package.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+
+from repro.sat.clause import Clause
+from repro.sat.luby import LubyGenerator
+from repro.sat.types import (
+    InvalidLiteralError,
+    SolveResult,
+    SolverConfig,
+    SolverStats,
+)
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+class Solver:
+    """An incremental CDCL SAT solver over DIMACS-style integer literals.
+
+    Typical usage::
+
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        result = solver.solve()
+        if result:
+            assert solver.model_value(2) is True
+
+    Variables are created implicitly by the clauses that mention them, or
+    explicitly via :meth:`new_var`.
+    """
+
+    def __init__(self, config: SolverConfig | None = None):
+        self.config = config or SolverConfig()
+        self.stats = SolverStats()
+        self._rng = random.Random(self.config.random_seed)
+
+        # Variable state, indexed by variable number (index 0 unused).
+        self._assigns: list[int] = [0]  # 1 = true, -1 = false, 0 = unassigned
+        self._level: list[int] = [0]
+        self._reason: list[Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._saved_phase: list[bool] = [self.config.default_phase]
+        self._seen: bytearray = bytearray(1)
+
+        # Watch lists, indexed by literal index (2v for v, 2v+1 for -v).
+        self._watches: list[list[Clause]] = [[], []]
+
+        # Clause database.
+        self._clauses: list[Clause] = []
+        self._learned: list[Clause] = []
+
+        # Assignment trail.
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+
+        # Activity bookkeeping.
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._order_heap: list[tuple[float, int]] = []
+
+        self._ok = True  # False once an unconditional contradiction is found
+        self._model: list[int] | None = None
+        self._conflict_core: list[int] = []
+        self._n_assumptions = 0
+        self._to_clear: list[int] = []  # seen-marks to reset after analysis
+        self._proof = None  # optional ProofLogger (repro.sat.proof)
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables known to the solver."""
+        return len(self._assigns) - 1
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learned) clauses currently stored."""
+        return len(self._clauses)
+
+    @property
+    def num_learned(self) -> int:
+        """Number of learned clauses currently stored."""
+        return len(self._learned)
+
+    def attach_proof(self, logger) -> None:
+        """Attach a :class:`repro.sat.proof.ProofLogger`.
+
+        From now on every learned clause (and learned-clause deletion) is
+        recorded; an unconditional UNSAT answer ends the log with the empty
+        clause, yielding a complete DRAT refutation checkable with
+        :func:`repro.sat.proof.check_rup_proof`.  Attach before adding
+        clauses for a clean proof.
+        """
+        self._proof = logger
+
+    def new_var(self) -> int:
+        """Create a fresh variable and return its (positive) number."""
+        var = len(self._assigns)
+        self._assigns.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._saved_phase.append(self.config.default_phase)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order_heap, (0.0, var))
+        return var
+
+    def ensure_var(self, var: int) -> None:
+        """Make sure variable ``var`` (and all below it) exist."""
+        if var <= 0:
+            raise InvalidLiteralError(f"variables must be positive, got {var}")
+        while self.num_vars < var:
+            self.new_var()
+
+    def add_clause(self, lits: list[int] | tuple[int, ...]) -> bool:
+        """Add a clause; return False if the formula is now trivially UNSAT.
+
+        The clause is simplified against the top-level assignment: satisfied
+        clauses are dropped, falsified literals are removed, tautologies are
+        ignored.  Adding an empty (or fully falsified) clause makes the solver
+        permanently UNSAT.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+
+        simplified: list[int] = []
+        seen_here: set[int] = set()
+        for lit in lits:
+            if not isinstance(lit, int) or lit == 0:
+                raise InvalidLiteralError(f"invalid literal {lit!r}")
+            self.ensure_var(abs(lit))
+            if -lit in seen_here:
+                return True  # tautology: x ∨ ¬x
+            if lit in seen_here:
+                continue
+            value = self._value(lit)
+            if value == 1:
+                return True  # already satisfied at level 0
+            if value == -1:
+                continue  # falsified at level 0: drop the literal
+            seen_here.add(lit)
+            simplified.append(lit)
+
+        if not simplified:
+            # Every literal is false under the level-0 assignment: the
+            # formula is refuted (a RUP-checkable empty clause).
+            self._ok = False
+            if self._proof is not None:
+                self._proof.add([])
+            return False
+        if len(simplified) == 1:
+            self._enqueue(simplified[0], None)
+            self._ok = self._propagate() is None
+            if not self._ok and self._proof is not None:
+                self._proof.add([])
+            return self._ok
+        clause = Clause(simplified)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_clauses(self, clauses) -> bool:
+        """Add many clauses; return False if the formula became UNSAT."""
+        ok = True
+        for lits in clauses:
+            ok = self.add_clause(lits) and ok
+        return ok
+
+    def solve(self, assumptions: list[int] | tuple[int, ...] = ()) -> SolveResult:
+        """Solve the current formula under the given assumption literals.
+
+        Returns :data:`SolveResult.SAT`, :data:`SolveResult.UNSAT`, or
+        :data:`SolveResult.UNKNOWN` (only when a conflict limit is configured
+        and exhausted).  After SAT, :meth:`model_value` reads the model; after
+        UNSAT under assumptions, :meth:`unsat_core` lists the failed subset.
+        """
+        start = time.perf_counter()
+        self.stats.solve_calls += 1
+        self._model = None
+        self._conflict_core = []
+        for lit in assumptions:
+            self.ensure_var(abs(lit))
+
+        if not self._ok:
+            self.stats.solve_time += time.perf_counter() - start
+            return SolveResult.UNSAT
+
+        self._backtrack(0)
+        self._n_assumptions = len(assumptions)
+        result = self._search(list(assumptions))
+        self._backtrack(0)
+        self.stats.solve_time += time.perf_counter() - start
+        return result
+
+    def model_value(self, lit: int) -> bool | None:
+        """Value of ``lit`` in the last model (None if never assigned)."""
+        if self._model is None:
+            raise RuntimeError("no model available: last solve was not SAT")
+        var = abs(lit)
+        if var >= len(self._model) or self._model[var] == 0:
+            return None
+        value = self._model[var] > 0
+        return value if lit > 0 else not value
+
+    def model(self) -> list[int]:
+        """The last model as a list of true literals (DIMACS convention)."""
+        if self._model is None:
+            raise RuntimeError("no model available: last solve was not SAT")
+        return [
+            var if self._model[var] > 0 else -var
+            for var in range(1, len(self._model))
+            if self._model[var] != 0
+        ]
+
+    def unsat_core(self) -> list[int]:
+        """Subset of the assumptions responsible for the last UNSAT answer."""
+        return list(self._conflict_core)
+
+    def simplify(self) -> bool:
+        """Remove clauses satisfied at level 0; False if already UNSAT."""
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        for db in (self._clauses, self._learned):
+            kept = []
+            for clause in db:
+                if any(self._value(lit) == 1 for lit in clause.lits):
+                    self._detach(clause)
+                else:
+                    kept.append(clause)
+            db[:] = kept
+        return True
+
+    # ------------------------------------------------------------------
+    # Internal: assignment primitives
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """Return 1/-1/0 for true/false/unassigned literal."""
+        value = self._assigns[abs(lit)]
+        return value if lit > 0 else -value
+
+    @staticmethod
+    def _lit_index(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Clause | None) -> None:
+        """Put ``lit`` on the trail as true with the given reason clause."""
+        var = abs(lit)
+        self._assigns[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _backtrack(self, target_level: int) -> None:
+        """Undo all assignments above ``target_level``."""
+        if self._decision_level() <= target_level:
+            return
+        phase_saving = self.config.use_phase_saving
+        boundary = self._trail_lim[target_level]
+        for i in range(len(self._trail) - 1, boundary - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if phase_saving:
+                self._saved_phase[var] = lit > 0
+            self._assigns[var] = 0
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[target_level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Internal: watches and propagation
+    # ------------------------------------------------------------------
+
+    def _attach(self, clause: Clause) -> None:
+        lits = clause.lits
+        self._watches[self._lit_index(lits[0])].append(clause)
+        self._watches[self._lit_index(lits[1])].append(clause)
+
+    def _detach(self, clause: Clause) -> None:
+        for lit in clause.lits[:2]:
+            watchers = self._watches[self._lit_index(lit)]
+            try:
+                watchers.remove(clause)
+            except ValueError:
+                pass  # already moved away by propagation
+
+    def _propagate(self) -> Clause | None:
+        """Unit-propagate the trail; return a conflicting clause or None."""
+        assigns = self._assigns
+        watches = self._watches
+        trail = self._trail
+        propagations = 0
+        conflict: Clause | None = None
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            propagations += 1
+            false_lit = -p
+            idx = 2 * false_lit if false_lit > 0 else -2 * false_lit + 1
+            watchers = watches[idx]
+            keep = 0
+            n_watchers = len(watchers)
+            i = 0
+            while i < n_watchers:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Normalize: the falsified watch sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                first_val = assigns[first] if first > 0 else -assigns[-first]
+                if first_val == 1:
+                    watchers[keep] = clause
+                    keep += 1
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    other = lits[k]
+                    other_val = assigns[other] if other > 0 else -assigns[-other]
+                    if other_val != -1:
+                        lits[1] = other
+                        lits[k] = false_lit
+                        other_idx = 2 * other if other > 0 else -2 * other + 1
+                        watches[other_idx].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watchers[keep] = clause
+                keep += 1
+                if first_val == -1:
+                    # Conflict: keep remaining watchers, stop propagating.
+                    while i < n_watchers:
+                        watchers[keep] = watchers[i]
+                        keep += 1
+                        i += 1
+                    self._qhead = len(trail)
+                    conflict = clause
+                else:
+                    self._enqueue(first, clause)
+            del watchers[keep:]
+            if conflict is not None:
+                break
+        self.stats.propagations += propagations
+        return conflict
+
+    # ------------------------------------------------------------------
+    # Internal: conflict analysis
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        activity = self._activity[var] + self._var_inc
+        self._activity[var] = activity
+        if activity > _RESCALE_LIMIT:
+            for v in range(1, len(self._activity)):
+                self._activity[v] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            # All outstanding heap entries are now stale; rebuild so every
+            # unassigned variable keeps a valid entry.
+            self._order_heap = [
+                (-self._activity[v], v)
+                for v in range(1, len(self._assigns))
+                if self._assigns[v] == 0
+            ]
+            heapq.heapify(self._order_heap)
+
+    def _bump_clause(self, clause: Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > _RESCALE_LIMIT:
+            for learned in self._learned:
+                learned.activity *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _analyze(self, conflict: Clause) -> tuple[list[int], int, int]:
+        """First-UIP conflict analysis.
+
+        Returns ``(learned_lits, backtrack_level, lbd)`` where
+        ``learned_lits[0]`` is the asserting literal.
+        """
+        seen = self._seen
+        level = self._level
+        trail = self._trail
+        current_level = self._decision_level()
+
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        counter = 0  # literals of the current level still to resolve
+        p = 0  # 0 = "resolve the whole conflict clause" sentinel
+        index = len(trail) - 1
+        reason: Clause | None = conflict
+
+        while True:
+            if reason is not None:
+                if reason.learned:
+                    self._bump_clause(reason)
+                start = 0 if p == 0 else 1
+                for lit in reason.lits[start:]:
+                    var = abs(lit)
+                    if not seen[var] and level[var] > 0:
+                        seen[var] = 1
+                        self._bump_var(var)
+                        if level[var] >= current_level:
+                            counter += 1
+                        else:
+                            learned.append(lit)
+            # Walk the trail backwards to the next marked literal.
+            while not seen[abs(trail[index])]:
+                index -= 1
+            p = trail[index]
+            var = abs(p)
+            seen[var] = 0
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+
+        learned[0] = -p
+
+        # Mark remaining literals for redundancy checks, then minimize.
+        self._to_clear = [abs(lit) for lit in learned[1:]]
+        for lit in learned[1:]:
+            seen[abs(lit)] = 1
+        if self.config.use_minimization and len(learned) > 1:
+            learned = self._minimize(learned)
+
+        lbd = len({level[abs(lit)] for lit in learned})
+
+        for var in self._to_clear:
+            seen[var] = 0
+        self._to_clear = []
+
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            # Move the highest-level remaining literal to position 1.
+            max_i = 1
+            for i in range(2, len(learned)):
+                if level[abs(learned[i])] > level[abs(learned[max_i])]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            backtrack_level = level[abs(learned[1])]
+        return learned, backtrack_level, lbd
+
+    def _minimize(self, learned: list[int]) -> list[int]:
+        """Remove literals implied by the rest of the clause (recursive)."""
+        # Levels present in the clause; a redundant literal's derivation can
+        # only pass through these levels.
+        levels = {self._level[abs(lit)] for lit in learned[1:]}
+        result = [learned[0]]
+        for lit in learned[1:]:
+            if self._reason[abs(lit)] is None or not self._redundant(lit, levels):
+                result.append(lit)
+            else:
+                self.stats.minimized_literals += 1
+        return result
+
+    def _redundant(self, lit: int, levels: set[int]) -> bool:
+        """Is ``lit`` implied by seen literals (standard litRedundant)?"""
+        seen = self._seen
+        stack = [lit]
+        marked_here: list[int] = []
+        while stack:
+            top = stack.pop()
+            reason = self._reason[abs(top)]
+            assert reason is not None
+            for q in reason.lits[1:]:
+                var = abs(q)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                if self._reason[var] is None or self._level[var] not in levels:
+                    # Cannot resolve q away: lit is not redundant.  Undo marks.
+                    for v in marked_here:
+                        seen[v] = 0
+                    return False
+                seen[var] = 1
+                marked_here.append(var)
+                stack.append(q)
+        # Keep marks (valid "seen" facts for later checks) but remember to
+        # clear them once the overall conflict analysis finishes.
+        self._to_clear.extend(marked_here)
+        return True
+
+    def _analyze_final(self, failed_lit: int) -> list[int]:
+        """Compute the unsat core when assumption ``failed_lit`` is falsified."""
+        core = [failed_lit]
+        if self._decision_level() == 0:
+            return core
+        seen = self._seen
+        var0 = abs(failed_lit)
+        seen[var0] = 1
+        boundary = self._trail_lim[0]
+        for i in range(len(self._trail) - 1, boundary - 1, -1):
+            var = abs(self._trail[i])
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                # A decision inside the assumption prefix: part of the core.
+                # The decision literal *is* the assumption as passed in.
+                if self._trail[i] != failed_lit:
+                    core.append(self._trail[i])
+            else:
+                for lit in reason.lits[1:]:
+                    if self._level[abs(lit)] > 0:
+                        seen[abs(lit)] = 1
+            seen[var] = 0
+        seen[var0] = 0
+        return core
+
+    # ------------------------------------------------------------------
+    # Internal: decisions and clause deletion
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        """Pop the most active unassigned variable from the order heap."""
+        if self.config.use_vsids:
+            heap = self._order_heap
+            while heap:
+                neg_activity, var = heapq.heappop(heap)
+                if self._assigns[var] == 0 and -neg_activity == self._activity[var]:
+                    return var
+            return 0
+        for var in range(1, len(self._assigns)):
+            if self._assigns[var] == 0:
+                return var
+        return 0
+
+    def _reduce_learned(self) -> None:
+        """Throw away the less useful half of the learned clauses."""
+        learned = self._learned
+        # Glue clauses (lbd <= 2) and reason clauses are kept unconditionally.
+        locked = {id(self._reason[abs(lit)]) for lit in self._trail
+                  if self._reason[abs(lit)] is not None}
+        learned.sort(key=lambda c: (c.lbd <= 2, c.activity), reverse=True)
+        limit = len(learned) // 2
+        kept: list[Clause] = []
+        for i, clause in enumerate(learned):
+            if i < limit or clause.lbd <= 2 or id(clause) in locked:
+                kept.append(clause)
+            else:
+                self._detach(clause)
+                self.stats.deleted_clauses += 1
+                if self._proof is not None:
+                    self._proof.delete(list(clause.lits))
+        self._learned = kept
+
+    # ------------------------------------------------------------------
+    # Internal: main search loop
+    # ------------------------------------------------------------------
+
+    def _search(self, assumptions: list[int]) -> SolveResult:
+        config = self.config
+        luby_gen = LubyGenerator(config.restart_base)
+        restart_limit = luby_gen.next_limit() if config.use_restarts else None
+        conflicts_since_restart = 0
+        total_conflict_budget = config.conflict_limit
+        max_learned = max(
+            config.learned_clause_min_limit,
+            int(len(self._clauses) * config.learned_clause_limit_factor),
+        )
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    if self._proof is not None:
+                        self._proof.add([])
+                    return SolveResult.UNSAT
+                if self._decision_level() <= self._n_assumptions_assigned():
+                    # Conflict entirely inside the assumption prefix.
+                    self._conflict_core = self._core_from_conflict(conflict)
+                    return SolveResult.UNSAT
+                learned, backtrack_level, lbd = self._analyze(conflict)
+                if self._proof is not None:
+                    self._proof.add(list(learned))
+                backtrack_level = max(
+                    backtrack_level, self._n_assumptions_assigned()
+                )
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    clause = Clause(learned, learned=True, lbd=lbd)
+                    self._learned.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self.stats.learned_clauses += 1
+                self._var_inc /= config.var_decay
+                self._cla_inc /= config.clause_decay
+                if total_conflict_budget is not None:
+                    total_conflict_budget -= 1
+                    if total_conflict_budget <= 0:
+                        return SolveResult.UNKNOWN
+                continue
+
+            # No conflict.
+            if (
+                restart_limit is not None
+                and conflicts_since_restart >= restart_limit
+            ):
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_limit = luby_gen.next_limit()
+                self._backtrack(self._n_assumptions_assigned())
+                continue
+
+            if (
+                config.use_clause_deletion
+                and len(self._learned) >= max_learned
+            ):
+                self._reduce_learned()
+                max_learned = int(max_learned * config.learned_clause_limit_growth)
+
+            # Extend the assumption prefix before free decisions.
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == -1:
+                    self._conflict_core = self._analyze_final(lit)
+                    return SolveResult.UNSAT
+                self._new_decision_level()
+                if value == 0:
+                    self.stats.decisions += 1
+                    self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var == 0:
+                # All variables assigned: model found.
+                self._model = list(self._assigns)
+                return SolveResult.SAT
+            self.stats.decisions += 1
+            phase = (
+                self._saved_phase[var]
+                if config.use_phase_saving
+                else config.default_phase
+            )
+            self._new_decision_level()
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level()
+            )
+            self._enqueue(var if phase else -var, None)
+
+    def _n_assumptions_assigned(self) -> int:
+        """Decision levels currently holding assumption literals."""
+        return min(self._n_assumptions, self._decision_level())
+
+    def _core_from_conflict(self, conflict: Clause) -> list[int]:
+        """Unsat core when propagation under assumptions hit ``conflict``."""
+        seen = self._seen
+        core: list[int] = []
+        marked: list[int] = []
+        for lit in conflict.lits:
+            var = abs(lit)
+            if self._level[var] > 0 and not seen[var]:
+                seen[var] = 1
+                marked.append(var)
+        boundary = self._trail_lim[0]
+        for i in range(len(self._trail) - 1, boundary - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core.append(lit)
+            else:
+                for q in reason.lits[1:]:
+                    qvar = abs(q)
+                    if self._level[qvar] > 0 and not seen[qvar]:
+                        seen[qvar] = 1
+                        marked.append(qvar)
+            seen[var] = 0
+        for var in marked:
+            seen[var] = 0
+        return core

@@ -1,0 +1,87 @@
+"""Common types for the SAT solver: results, statistics, errors.
+
+Literals follow the DIMACS convention throughout the package: a variable is a
+positive integer ``v >= 1`` and a literal is ``v`` (positive phase) or ``-v``
+(negative phase).  Variable ``0`` is reserved and never used.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SolveResult(enum.Enum):
+    """Verdict of a :meth:`repro.sat.Solver.solve` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        """Truthiness shortcut: ``if solver.solve(): ...`` means "is SAT"."""
+        return self is SolveResult.SAT
+
+
+class SatError(Exception):
+    """Base class for solver usage errors."""
+
+
+class InvalidLiteralError(SatError):
+    """A clause contained literal 0 or a non-integer literal."""
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over the lifetime of a solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    minimized_literals: int = 0
+    max_decision_level: int = 0
+    solve_calls: int = 0
+    solve_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics as a plain dictionary (for reporting)."""
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "minimized_literals": self.minimized_literals,
+            "max_decision_level": self.max_decision_level,
+            "solve_calls": self.solve_calls,
+            "solve_time": self.solve_time,
+        }
+
+
+@dataclass
+class SolverConfig:
+    """Tunable solver parameters.
+
+    The defaults follow MiniSat-style folklore values; the ablation bench
+    ``benchmarks/bench_solver_features.py`` measures their contribution.
+    """
+
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    restart_base: int = 100
+    use_restarts: bool = True
+    use_vsids: bool = True
+    use_phase_saving: bool = True
+    use_clause_deletion: bool = True
+    use_minimization: bool = True
+    learned_clause_limit_factor: float = 0.33
+    learned_clause_limit_growth: float = 1.1
+    learned_clause_min_limit: int = 1000
+    default_phase: bool = False
+    random_seed: int = 91648253
+    conflict_limit: int | None = None
+    extra_checks: bool = field(default=False, repr=False)

@@ -1,0 +1,39 @@
+"""The paper's three design/verification tasks (§II-B) as a public API.
+
+* :func:`verify_schedule` — does the schedule work on a fixed TTD/VSS layout?
+* :func:`generate_layout` — find a (minimum) VSS layout that makes the
+  schedule feasible.
+* :func:`optimize_schedule` — drop the arrival deadlines and minimise the
+  makespan, letting the solver pick both layout and routes.
+
+All three return a :class:`TaskResult` carrying the Table I columns
+(variables, satisfiable, TTD/VSS section count, time steps, runtime).
+"""
+
+from repro.tasks.capacity import (
+    CapacityPoint,
+    best_makespan_with_budget,
+    capacity_curve,
+)
+from repro.tasks.diagnosis import DiagnosisResult, diagnose_infeasibility
+from repro.tasks.explorer import LayoutExplorer
+from repro.tasks.generation import generate_layout
+from repro.tasks.optimization import optimize_schedule
+from repro.tasks.result import TaskResult
+from repro.tasks.robustness import delay_tolerance, robustness_report
+from repro.tasks.verification import verify_schedule
+
+__all__ = [
+    "TaskResult",
+    "verify_schedule",
+    "generate_layout",
+    "optimize_schedule",
+    "LayoutExplorer",
+    "CapacityPoint",
+    "capacity_curve",
+    "best_makespan_with_budget",
+    "DiagnosisResult",
+    "diagnose_infeasibility",
+    "delay_tolerance",
+    "robustness_report",
+]

@@ -1,0 +1,133 @@
+"""Capacity analysis: the VSS-budget vs timetable-quality trade-off curve.
+
+Infrastructure planning asks the inverse of the generation task: not "how
+few borders realise this timetable" but "what is the best timetable each
+border budget buys".  :func:`capacity_curve` sweeps a list of budgets and,
+for each, minimises the makespan subject to ``Σ border_v <= budget`` — the
+curve's knee is where additional virtual subsections stop paying off (the
+ETCS Level 3 business case, quantified).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.encoding.encoder import EncodingOptions, EtcsEncoding
+from repro.logic.totalizer import Totalizer
+from repro.network.discretize import DiscreteNetwork
+from repro.opt.minimize import minimize_sum
+from repro.tasks.common import checked_decode
+from repro.trains.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One budget sample of the capacity curve.
+
+    Attributes:
+        budget: maximum number of VSS borders allowed (None = unlimited).
+        feasible: whether any timetable completes within the horizon.
+        makespan: minimal number of steps until all trains are done.
+        sections_used: TTD/VSS sections of the witness layout.
+        borders_used: virtual borders the witness actually places.
+        proven_optimal: the minimisation closed with an UNSAT step.
+        runtime_s: wall-clock seconds for this point.
+    """
+
+    budget: int | None
+    feasible: bool
+    makespan: int | None
+    sections_used: int | None
+    borders_used: int | None
+    proven_optimal: bool
+    runtime_s: float
+
+
+def best_makespan_with_budget(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    budget: int | None,
+    strategy: str = "linear",
+    options: EncodingOptions | None = None,
+) -> CapacityPoint:
+    """Minimal makespan when at most ``budget`` VSS borders may be added.
+
+    ``budget=None`` (or any budget >= the number of free border candidates)
+    leaves the layout unconstrained — the plain optimization task.
+    Deadlines are dropped, as in the paper's optimization task.
+    """
+    start = time.perf_counter()
+    encoding = EtcsEncoding(
+        net, schedule.without_deadlines(), r_t_min, options
+    ).build()
+    borders = encoding.border_objective()
+    if budget is not None and budget < len(borders):
+        totalizer = Totalizer(encoding.cnf, borders)
+        totalizer.assert_at_most(budget)
+    result = minimize_sum(
+        encoding.cnf, encoding.makespan_objective(), strategy=strategy
+    )
+    if not result.feasible:
+        return CapacityPoint(
+            budget=budget,
+            feasible=False,
+            makespan=None,
+            sections_used=None,
+            borders_used=None,
+            proven_optimal=result.proven_optimal,
+            runtime_s=time.perf_counter() - start,
+        )
+    solution = checked_decode(encoding, result.true_set())
+    return CapacityPoint(
+        budget=budget,
+        feasible=True,
+        makespan=result.cost,
+        sections_used=solution.layout.num_sections,
+        borders_used=len(solution.layout.added_borders),
+        proven_optimal=result.proven_optimal,
+        runtime_s=time.perf_counter() - start,
+    )
+
+
+def capacity_curve(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    budgets: list[int | None],
+    strategy: str = "linear",
+    options: EncodingOptions | None = None,
+) -> list[CapacityPoint]:
+    """The full trade-off curve over a list of border budgets."""
+    return [
+        best_makespan_with_budget(
+            net, schedule, r_t_min, budget,
+            strategy=strategy, options=options,
+        )
+        for budget in budgets
+    ]
+
+
+def format_capacity_curve(points: list[CapacityPoint]) -> str:
+    """Render the curve as an aligned text table with improvement markers."""
+    header = (
+        f"{'budget':>8} {'makespan':>10} {'sections':>10} "
+        f"{'borders used':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    previous: int | None = None
+    for point in points:
+        budget = "∞" if point.budget is None else str(point.budget)
+        if not point.feasible:
+            lines.append(f"{budget:>8} {'infeasible':>10}")
+            continue
+        marker = ""
+        if previous is not None and point.makespan < previous:
+            marker = f"  (-{previous - point.makespan})"
+        lines.append(
+            f"{budget:>8} {point.makespan:>10} {point.sections_used:>10} "
+            f"{point.borders_used:>13}{marker}"
+        )
+        previous = point.makespan
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Shared plumbing for the task implementations."""
+
+from __future__ import annotations
+
+from repro.encoding.decode import Solution
+from repro.encoding.encoder import EncodingOptions, EtcsEncoding
+from repro.encoding.validate import validate_solution
+from repro.network.discretize import DiscreteNetwork
+from repro.trains.schedule import Schedule
+
+
+class SolutionInvalidError(AssertionError):
+    """A decoded SAT solution violated the operational rules.
+
+    This indicates a bug in the encoder (or the validator); it is raised
+    rather than returned so that tests and case studies fail loudly.
+    """
+
+
+def build_encoding(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    options: EncodingOptions | None,
+) -> EtcsEncoding:
+    """Construct and build the base encoding."""
+    return EtcsEncoding(net, schedule, r_t_min, options).build()
+
+
+def checked_decode(encoding: EtcsEncoding, true_vars: set[int]) -> Solution:
+    """Decode a model and cross-check it with the independent validator."""
+    solution = encoding.decode(true_vars)
+    problems = validate_solution(encoding, solution)
+    if problems:
+        details = "\n  ".join(problems[:20])
+        raise SolutionInvalidError(
+            f"decoded solution violates {len(problems)} rule(s):\n  {details}"
+        )
+    return solution

@@ -1,0 +1,128 @@
+"""Infeasibility diagnosis: *which* timetable commitments conflict?
+
+When verification answers UNSAT, the paper's methodology proves the
+schedule impossible — but a designer next wants to know *why*.  This module
+answers it at the domain level: each train's arrival deadline (and stop
+windows) becomes a soft commitment guarded by a solver assumption; the unsat
+core names the conflicting trains, and an iterative deletion pass shrinks it
+to a *minimal* conflicting set (removing any one train's commitments from it
+makes the rest realisable).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.encoding.encoder import EncodingOptions, EtcsEncoding
+from repro.network.discretize import DiscreteNetwork
+from repro.network.sections import VSSLayout
+from repro.sat import Solver, SolveResult
+from repro.trains.schedule import Schedule
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of :func:`diagnose_infeasibility`.
+
+    Attributes:
+        feasible: True when all commitments hold together (empty diagnosis).
+        conflicting_trains: minimal set of train names whose deadlines/stops
+            cannot jointly be met on the layout (empty when feasible).
+        relaxable: True when dropping the conflicting trains' commitments
+            makes the remaining schedule realisable (sanity confirmation).
+        structural: True when the infeasibility persists even with *all*
+            commitments relaxed — the layout simply cannot host the runs
+            within the horizon (e.g. the running example's pure-TTD
+            deadlock); no deadline is to blame.
+        solve_calls: SAT invocations used.
+        runtime_s: wall-clock seconds.
+    """
+
+    feasible: bool
+    conflicting_trains: list[str] = field(default_factory=list)
+    relaxable: bool = False
+    structural: bool = False
+    solve_calls: int = 0
+    runtime_s: float = 0.0
+
+
+def diagnose_infeasibility(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    layout: VSSLayout | None = None,
+    options: EncodingOptions | None = None,
+) -> DiagnosisResult:
+    """Find a minimal set of trains whose commitments conflict on ``layout``.
+
+    The layout defaults to the pure TTD layout (the verification setting).
+    Note that even with all commitments relaxed, trains must still complete
+    their runs within the scenario horizon — if that alone is impossible the
+    diagnosis reports *all* trains of the final core.
+    """
+    start = time.perf_counter()
+    if layout is None:
+        layout = VSSLayout.pure_ttd(net)
+    base = options or EncodingOptions()
+    options = EncodingOptions(
+        amo=base.amo,
+        use_cone=base.use_cone,
+        add_swap_clauses=base.add_swap_clauses,
+        add_collision_clauses=base.add_collision_clauses,
+        guarded_arrivals=True,
+    )
+    encoding = EtcsEncoding(net, schedule, r_t_min, options).build()
+    encoding.pin_layout(layout)
+    solver = encoding.cnf.to_solver(Solver())
+    calls = 0
+
+    selector_of = encoding.arrival_selectors
+    name_of = {i: run.name for i, run in enumerate(encoding.runs)}
+
+    all_selectors = [selector_of[i] for i in sorted(selector_of)]
+    calls += 1
+    if solver.solve(all_selectors) is SolveResult.SAT:
+        return DiagnosisResult(
+            feasible=True,
+            solve_calls=calls,
+            runtime_s=time.perf_counter() - start,
+        )
+
+    # Start from the solver's core, then shrink by iterative deletion.
+    core = [lit for lit in solver.unsat_core() if lit in set(all_selectors)]
+    if not core:
+        # Conflict independent of any commitment (hard constraints alone).
+        core = list(all_selectors)
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(core):
+            trial = [lit for lit in core if lit != candidate]
+            calls += 1
+            if solver.solve(trial) is not SolveResult.SAT:
+                # Still conflicting without it: candidate is unnecessary.
+                refined = [
+                    lit
+                    for lit in solver.unsat_core()
+                    if lit in set(trial)
+                ] or trial
+                core = refined
+                changed = True
+                break
+
+    # Sanity: relaxing exactly the core must make the rest feasible.
+    calls += 1
+    complement = [lit for lit in all_selectors if lit not in set(core)]
+    relaxable = solver.solve(complement) is SolveResult.SAT
+
+    index_of = {selector: i for i, selector in selector_of.items()}
+    trains = sorted(name_of[index_of[lit]] for lit in core)
+    return DiagnosisResult(
+        feasible=False,
+        conflicting_trains=trains,
+        relaxable=relaxable,
+        structural=not trains,
+        solve_calls=calls,
+        runtime_s=time.perf_counter() - start,
+    )

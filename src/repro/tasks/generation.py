@@ -1,0 +1,78 @@
+"""Task 2: generation of VSS layouts.
+
+Given a network with its TTD sections and a schedule with deadlines, find an
+assignment of the free ``border_v`` variables — i.e. a VSS layout — under
+which the schedule becomes feasible, minimising the number of added virtual
+borders (paper §III-C, ``min Σ border_v``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.encoding.encoder import EncodingOptions
+from repro.network.discretize import DiscreteNetwork
+from repro.opt.maxsat import minimize_sum_core_guided
+from repro.opt.minimize import minimize_sum
+from repro.opt.weighted import minimize_weighted_sum
+from repro.tasks.common import build_encoding, checked_decode
+from repro.tasks.result import TaskResult
+from repro.trains.schedule import Schedule
+
+
+def generate_layout(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    strategy: str = "linear",
+    options: EncodingOptions | None = None,
+    border_costs: dict[int, int] | None = None,
+) -> TaskResult:
+    """Generate a minimum-VSS layout realising ``schedule``.
+
+    ``strategy`` selects the optimisation engine: "linear", "binary", or
+    "core" (see :mod:`repro.opt`).
+
+    ``border_costs`` optionally maps free border vertices to positive
+    integer installation costs; the objective then becomes the weighted sum
+    (paper: unweighted ``min Σ border_v``).  Unlisted vertices cost 1.
+    """
+    start = time.perf_counter()
+    encoding = build_encoding(net, schedule, r_t_min, options)
+    objective = encoding.border_objective()
+
+    if border_costs is not None:
+        free = net.free_border_candidates()
+        weighted = [
+            (var, border_costs.get(vertex, 1))
+            for var, vertex in zip(objective, free)
+        ]
+        result = minimize_weighted_sum(
+            encoding.cnf, weighted,
+            strategy=strategy if strategy != "core" else "linear",
+        )
+    elif strategy == "core":
+        result = minimize_sum_core_guided(encoding.cnf, objective)
+    else:
+        result = minimize_sum(encoding.cnf, objective, strategy=strategy)
+
+    solution = None
+    if result.feasible:
+        solution = checked_decode(encoding, result.true_set())
+    runtime = time.perf_counter() - start
+    return TaskResult(
+        task="generation",
+        variables=encoding.paper_equivalent_vars(),
+        satisfiable=result.feasible,
+        num_sections=(
+            solution.num_sections if solution else net.num_ttds
+        ),
+        time_steps=solution.makespan if solution else None,
+        runtime_s=runtime,
+        actual_vars=encoding.cnf.num_vars,
+        clauses=encoding.cnf.num_clauses,
+        solution=solution,
+        objective_value=result.cost if result.feasible else None,
+        proven_optimal=result.proven_optimal,
+        solve_calls=result.solve_calls,
+    )

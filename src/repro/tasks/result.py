@@ -1,0 +1,58 @@
+"""Task results: the columns of the paper's Table I, plus the solution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encoding.decode import Solution
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one design/verification task.
+
+    Attributes mirror Table I of the paper:
+        task: "verification" | "generation" | "optimization".
+        variables: the paper-equivalent primary variable count
+            (borders + dense occupies grid).
+        satisfiable: the solver's verdict.
+        num_sections: TTD/VSS sections in the (resulting) layout.
+        time_steps: steps until all trains reached their goals (makespan);
+            None when unsatisfiable.
+        runtime_s: wall-clock seconds for encoding + solving.
+
+    Additional reproduction detail:
+        actual_vars / clauses: true size of the (cone-reduced) encoding.
+        solution: the decoded layout + trajectories (None if UNSAT).
+        objective_value: value of the task's objective (borders added, or
+            makespan), when one was optimised.
+        proven_optimal: whether the optimisation loop certified optimality.
+        solve_calls: SAT invocations used.
+        solver_stats: cumulative solver counters.
+    """
+
+    task: str
+    variables: int
+    satisfiable: bool
+    num_sections: int
+    time_steps: int | None
+    runtime_s: float
+    actual_vars: int = 0
+    clauses: int = 0
+    solution: Solution | None = None
+    objective_value: int | None = None
+    proven_optimal: bool | None = None
+    solve_calls: int = 1
+    solver_stats: dict = field(default_factory=dict)
+    proof_checked: bool | None = None  # UNSAT verdicts: DRAT proof validated
+
+    def table_row(self) -> tuple:
+        """(task, vars, sat, sections, steps, runtime) — a Table I row."""
+        return (
+            self.task,
+            self.variables,
+            "Yes" if self.satisfiable else "No",
+            self.num_sections,
+            self.time_steps if self.satisfiable else None,
+            self.runtime_s,
+        )

@@ -1,0 +1,82 @@
+"""Delay-robustness analysis: how late may a train run before the plan breaks?
+
+One of the "design tasks beyond" the paper's three (its footnote 3): a
+timetable that is feasible only if every train departs to the second is
+operationally worthless.  :func:`delay_tolerance` injects departure delays
+into one train and finds, by exhaustive upward search, the largest delay (in
+time steps) under which the schedule remains realisable on the given layout —
+and :func:`robustness_report` does it for every train.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.encoding.encoder import EncodingOptions
+from repro.network.discretize import DiscreteNetwork
+from repro.network.sections import VSSLayout
+from repro.tasks.verification import verify_schedule
+from repro.trains.schedule import Schedule, ScheduleError
+
+
+def _delayed(schedule: Schedule, train_name: str, delay_min: float) -> Schedule:
+    """Copy of ``schedule`` with one train's departure shifted later."""
+    runs = []
+    for run in schedule.runs:
+        if run.train.name == train_name:
+            run = dataclasses.replace(
+                run, departure_min=run.departure_min + delay_min
+            )
+        runs.append(run)
+    return Schedule(runs, schedule.duration_min)
+
+
+def delay_tolerance(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    train_name: str,
+    layout: VSSLayout | None = None,
+    max_steps: int = 10,
+    options: EncodingOptions | None = None,
+) -> int:
+    """Largest departure delay (in steps) of ``train_name`` that keeps the
+    schedule feasible on ``layout``.
+
+    Returns -1 if the schedule is infeasible even without any delay, and
+    ``max_steps`` if every probed delay still works.  Deadlines stay fixed —
+    a delayed train must still arrive on time, which is the operational
+    meaning of slack.
+    """
+    schedule.run_of(train_name)  # raises ScheduleError for unknown trains
+    tolerance = -1
+    for delay in range(0, max_steps + 1):
+        try:
+            delayed = _delayed(schedule, train_name, delay * r_t_min)
+        except ScheduleError:
+            break  # departure pushed past a deadline or scenario end
+        result = verify_schedule(
+            net, delayed, r_t_min, layout=layout, options=options
+        )
+        if not result.satisfiable:
+            break
+        tolerance = delay
+    return tolerance
+
+
+def robustness_report(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    layout: VSSLayout | None = None,
+    max_steps: int = 10,
+    options: EncodingOptions | None = None,
+) -> dict[str, int]:
+    """Per-train delay tolerance (in steps) on the given layout."""
+    return {
+        run.train.name: delay_tolerance(
+            net, schedule, r_t_min, run.train.name,
+            layout=layout, max_steps=max_steps, options=options,
+        )
+        for run in schedule.runs
+    }

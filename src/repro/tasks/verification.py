@@ -1,0 +1,95 @@
+"""Task 1: verification of train schedules on ETCS Level 3 layouts.
+
+Given a network, a fixed TTD/VSS layout, and a schedule (with arrival
+deadlines), decide whether routes exist that realise the schedule.  SAT means
+"yes, here is a witness"; UNSAT is a *proof* that no combination of routes,
+speeds and waiting times works (paper §III-C, first task).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.encoding.encoder import EncodingOptions
+from repro.sat import ProofLogger, Solver, check_rup_proof, simplify_clauses
+from repro.network.discretize import DiscreteNetwork
+from repro.network.sections import VSSLayout
+from repro.tasks.common import build_encoding, checked_decode
+from repro.tasks.result import TaskResult
+from repro.trains.schedule import Schedule
+
+
+def verify_schedule(
+    net: DiscreteNetwork,
+    schedule: Schedule,
+    r_t_min: float,
+    layout: VSSLayout | None = None,
+    options: EncodingOptions | None = None,
+    waypoints: list[tuple[str, str, int]] | None = None,
+    with_proof: bool = False,
+    presimplify: bool = False,
+) -> TaskResult:
+    """Verify ``schedule`` on ``layout`` (default: the pure TTD layout).
+
+    ``waypoints`` optionally pins (train, station, step) triples exactly,
+    matching the paper's triple-based schedule encoding.
+
+    With ``with_proof``, an UNSAT verdict is backed by a DRAT proof that is
+    re-checked by the independent RUP checker; the outcome is reported in
+    ``TaskResult.proof_checked``.  (Slower — the checker is deliberately
+    naive; use for high-assurance runs.)
+
+    ``presimplify`` runs the clause preprocessor (unit propagation,
+    subsumption, strengthening — :mod:`repro.sat.simplify`) before solving;
+    the verdict is unaffected, the solver's workload shrinks.
+    """
+    start = time.perf_counter()
+    if layout is None:
+        layout = VSSLayout.pure_ttd(net)
+    encoding = build_encoding(net, schedule, r_t_min, options)
+    encoding.pin_layout(layout)
+    if waypoints:
+        encoding.pin_waypoints(waypoints)
+
+    logger = None
+    solver = Solver()
+    if with_proof:
+        logger = ProofLogger()
+        solver.attach_proof(logger)
+    clauses = encoding.cnf.clauses
+    if presimplify and not with_proof:
+        # (Proof logging needs the original clauses to remain the proof's
+        # premises, so the two options are mutually exclusive by design.)
+        clauses, __ = simplify_clauses(clauses)
+    solver.ensure_var(max(encoding.cnf.num_vars, 1))
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdict = solver.solve()
+    satisfiable = bool(verdict)
+    solution = None
+    proof_checked = None
+    if satisfiable:
+        solution = checked_decode(
+            encoding, {lit for lit in solver.model() if lit > 0}
+        )
+    elif logger is not None:
+        proof_checked = check_rup_proof(
+            encoding.cnf.num_vars, encoding.cnf.clauses, logger.steps
+        )
+    runtime = time.perf_counter() - start
+    return TaskResult(
+        task="verification",
+        variables=encoding.paper_equivalent_vars(),
+        satisfiable=satisfiable,
+        num_sections=(
+            solution.num_sections if solution else layout.num_sections
+        ),
+        time_steps=solution.makespan if solution else None,
+        runtime_s=runtime,
+        actual_vars=encoding.cnf.num_vars,
+        clauses=encoding.cnf.num_clauses,
+        solution=solution,
+        solve_calls=1,
+        solver_stats=solver.stats.as_dict(),
+        proof_checked=proof_checked,
+    )

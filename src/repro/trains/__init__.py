@@ -1,0 +1,33 @@
+"""Trains, schedules, and temporal discretisation.
+
+* :mod:`repro.trains.train` — rolling stock: a train's length and top speed.
+* :mod:`repro.trains.schedule` — a schedule is a set of train *runs* (start
+  station, goal station, departure time, arrival deadline, optional
+  intermediate stops), matching Fig. 1b / Fig. 2b of the paper.
+* :mod:`repro.trains.discretize` — conversion of lengths, speeds and times
+  into the discrete units of the symbolic formulation (``r_s``, ``r_t``).
+"""
+
+from repro.trains.discretize import DiscreteTrainRun, discretize_schedule
+from repro.trains.io import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.trains.schedule import Schedule, ScheduleError, Stop, TrainRun
+from repro.trains.train import Train
+
+__all__ = [
+    "Train",
+    "TrainRun",
+    "Stop",
+    "Schedule",
+    "ScheduleError",
+    "DiscreteTrainRun",
+    "discretize_schedule",
+    "schedule_to_json",
+    "schedule_from_json",
+    "save_schedule",
+    "load_schedule",
+]

@@ -1,0 +1,145 @@
+"""Temporal/physical discretisation of train runs.
+
+Converts a :class:`repro.trains.schedule.Schedule` into the discrete
+quantities the symbolic formulation works with (§III-A):
+
+* train length  -> ``l* = ceil(l_tr / r_s)`` segments,
+* train speed   -> segments per time step,
+* times         -> time-step indices against the temporal resolution ``r_t``,
+* station names -> segment-id sets of the discrete network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.discretize import DiscreteNetwork
+from repro.trains.schedule import Schedule, ScheduleError, TrainRun
+
+
+@dataclass(frozen=True)
+class DiscreteStop:
+    """A discretised intermediate stop."""
+
+    segments: tuple[int, ...]
+    earliest_step: int
+    latest_step: int
+
+
+@dataclass(frozen=True)
+class DiscreteTrainRun:
+    """A train run in formulation units.
+
+    Attributes:
+        run: the original (physical) run.
+        index: dense train index used by the encoder.
+        length_segments: ``l*`` — footprint size in segments.
+        speed_segments: maximum segments travelled per time step (>= 1).
+        start_segments / goal_segments: candidate segment ids of the start /
+            goal stations.
+        departure_step: time step at which the train appears.
+        arrival_step: deadline step (inclusive) or None.
+        stops: discretised intermediate stops.
+    """
+
+    run: TrainRun
+    index: int
+    length_segments: int
+    speed_segments: int
+    start_segments: tuple[int, ...]
+    goal_segments: tuple[int, ...]
+    departure_step: int
+    arrival_step: int | None
+    stops: tuple[DiscreteStop, ...]
+
+    @property
+    def name(self) -> str:
+        return self.run.train.name
+
+
+def discretize_run(
+    net: DiscreteNetwork,
+    run: TrainRun,
+    index: int,
+    r_t_min: float,
+    t_max: int,
+) -> DiscreteTrainRun:
+    """Discretise one run against the network and temporal resolution."""
+    train = run.train
+    length_segments = max(1, math.ceil(train.length_km / net.r_s_km))
+    km_per_step = train.max_speed_kmh / 60.0 * r_t_min
+    speed_segments = max(1, math.floor(km_per_step / net.r_s_km + 1e-9))
+
+    start_segments = tuple(net.station_segments(run.start))
+    goal_segments = tuple(net.station_segments(run.goal))
+    if not start_segments:
+        raise ScheduleError(f"station {run.start!r} has no segments")
+    if not goal_segments:
+        raise ScheduleError(f"station {run.goal!r} has no segments")
+    if len(start_segments) < length_segments:
+        raise ScheduleError(
+            f"train {train.name!r} ({length_segments} segments) does not fit "
+            f"in start station {run.start!r} ({len(start_segments)} segments)"
+        )
+
+    departure_step = int(round(run.departure_min / r_t_min))
+    arrival_step = None
+    if run.arrival_min is not None:
+        arrival_step = int(round(run.arrival_min / r_t_min))
+        if arrival_step >= t_max:
+            arrival_step = t_max - 1
+    if departure_step >= t_max:
+        raise ScheduleError(
+            f"train {train.name!r} departs at step {departure_step} but the "
+            f"scenario only has {t_max} steps"
+        )
+
+    stops = []
+    for stop in run.stops:
+        segments = tuple(net.station_segments(stop.station))
+        earliest = (
+            0
+            if stop.earliest_min is None
+            else int(round(stop.earliest_min / r_t_min))
+        )
+        latest = (
+            t_max - 1
+            if stop.latest_min is None
+            else min(t_max - 1, int(round(stop.latest_min / r_t_min)))
+        )
+        if earliest > latest:
+            raise ScheduleError(
+                f"train {train.name!r}: empty stop window at {stop.station!r}"
+            )
+        stops.append(DiscreteStop(segments, earliest, latest))
+
+    return DiscreteTrainRun(
+        run=run,
+        index=index,
+        length_segments=length_segments,
+        speed_segments=speed_segments,
+        start_segments=start_segments,
+        goal_segments=goal_segments,
+        departure_step=departure_step,
+        arrival_step=arrival_step,
+        stops=tuple(stops),
+    )
+
+
+def discretize_schedule(
+    net: DiscreteNetwork, schedule: Schedule, r_t_min: float
+) -> tuple[list[DiscreteTrainRun], int]:
+    """Discretise a whole schedule; returns ``(runs, t_max)``.
+
+    ``t_max`` is the number of time steps, i.e. the scenario duration divided
+    by ``r_t`` (Example 5 of the paper).
+    """
+    if r_t_min <= 0:
+        raise ScheduleError(f"temporal resolution must be > 0, got {r_t_min}")
+    t_max = max(1, int(round(schedule.duration_min / r_t_min)))
+    runs = [
+        discretize_run(net, run, index, r_t_min, t_max)
+        for index, run in enumerate(schedule.runs)
+    ]
+    return runs, t_max

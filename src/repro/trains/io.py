@@ -1,0 +1,106 @@
+"""JSON serialisation for schedules (counterpart of repro.network.io).
+
+Format::
+
+    {
+      "duration_min": 5.0,
+      "trains": [
+        {"name": "1", "length_m": 400, "max_speed_kmh": 180,
+         "start": "A", "goal": "B",
+         "departure_min": 0.0, "arrival_min": 4.5,
+         "stops": [{"station": "C", "earliest_min": 1.0,
+                    "latest_min": 3.0}]},
+        ...
+      ]
+    }
+
+``arrival_min`` may be null (open arrival, the optimization task's input);
+``stops`` is optional.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trains.schedule import Schedule, ScheduleError, Stop, TrainRun
+from repro.trains.train import Train
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialise a schedule to a JSON string."""
+    payload = {
+        "duration_min": schedule.duration_min,
+        "trains": [
+            {
+                "name": run.train.name,
+                "length_m": run.train.length_m,
+                "max_speed_kmh": run.train.max_speed_kmh,
+                "start": run.start,
+                "goal": run.goal,
+                "departure_min": run.departure_min,
+                "arrival_min": run.arrival_min,
+                "stops": [
+                    {
+                        "station": stop.station,
+                        "earliest_min": stop.earliest_min,
+                        "latest_min": stop.latest_min,
+                    }
+                    for stop in run.stops
+                ],
+            }
+            for run in schedule.runs
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Deserialise a schedule from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleError(f"invalid JSON: {exc}") from exc
+    try:
+        runs = []
+        for entry in payload["trains"]:
+            stops = tuple(
+                Stop(
+                    station=stop["station"],
+                    earliest_min=stop.get("earliest_min"),
+                    latest_min=stop.get("latest_min"),
+                )
+                for stop in entry.get("stops", [])
+            )
+            runs.append(
+                TrainRun(
+                    Train(
+                        entry["name"],
+                        length_m=float(entry["length_m"]),
+                        max_speed_kmh=float(entry["max_speed_kmh"]),
+                    ),
+                    start=entry["start"],
+                    goal=entry["goal"],
+                    departure_min=float(entry["departure_min"]),
+                    arrival_min=(
+                        None
+                        if entry.get("arrival_min") is None
+                        else float(entry["arrival_min"])
+                    ),
+                    stops=stops,
+                )
+            )
+        duration = float(payload["duration_min"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScheduleError(f"malformed schedule JSON: {exc}") from exc
+    return Schedule(runs, duration)
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write a schedule to a JSON file."""
+    Path(path).write_text(schedule_to_json(schedule))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_json(Path(path).read_text())

@@ -1,0 +1,130 @@
+"""Train schedules: runs with departures, arrivals, and stops.
+
+A :class:`Schedule` corresponds to one table like Fig. 1b of the paper: per
+train a start station, a goal station, a departure time and an arrival time.
+Arrival times are interpreted as *deadlines* ("arrive at the goal no later
+than"); for the optimization task they are ignored and replaced by the
+makespan objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trains.train import Train
+
+
+class ScheduleError(Exception):
+    """Raised for ill-formed schedules."""
+
+
+@dataclass(frozen=True)
+class Stop:
+    """An intermediate stop: visit ``station`` within the given window.
+
+    ``earliest_min`` / ``latest_min`` bound the visit time in minutes from
+    scenario start (None = unbounded on that side).
+    """
+
+    station: str
+    earliest_min: float | None = None
+    latest_min: float | None = None
+
+
+@dataclass(frozen=True)
+class TrainRun:
+    """One scheduled journey of a train.
+
+    Attributes:
+        train: the rolling stock.
+        start: station name where the run begins.
+        goal: station name where the run ends.
+        departure_min: departure time in minutes from scenario start.
+        arrival_min: arrival deadline in minutes (None = no deadline; the
+            optimization task uses this).
+        stops: intermediate stops, in visiting order.
+    """
+
+    train: Train
+    start: str
+    goal: str
+    departure_min: float
+    arrival_min: float | None = None
+    stops: tuple[Stop, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.departure_min < 0:
+            raise ScheduleError(
+                f"train {self.train.name!r}: negative departure time"
+            )
+        if self.arrival_min is not None and self.arrival_min <= self.departure_min:
+            raise ScheduleError(
+                f"train {self.train.name!r}: arrival deadline "
+                f"{self.arrival_min} not after departure {self.departure_min}"
+            )
+        if self.start == self.goal:
+            raise ScheduleError(
+                f"train {self.train.name!r}: start equals goal ({self.start!r})"
+            )
+
+
+class Schedule:
+    """A set of train runs over a common scenario duration."""
+
+    def __init__(self, runs: list[TrainRun], duration_min: float):
+        if not runs:
+            raise ScheduleError("schedule has no train runs")
+        if duration_min <= 0:
+            raise ScheduleError(f"non-positive duration {duration_min}")
+        names = [run.train.name for run in runs]
+        if len(set(names)) != len(names):
+            raise ScheduleError(f"duplicate train names in schedule: {names}")
+        for run in runs:
+            if run.departure_min >= duration_min:
+                raise ScheduleError(
+                    f"train {run.train.name!r} departs at {run.departure_min} "
+                    f"after the scenario ends ({duration_min})"
+                )
+            if run.arrival_min is not None and run.arrival_min > duration_min:
+                raise ScheduleError(
+                    f"train {run.train.name!r} arrival deadline "
+                    f"{run.arrival_min} exceeds scenario duration "
+                    f"{duration_min}"
+                )
+        self.runs = list(runs)
+        self.duration_min = duration_min
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def run_of(self, train_name: str) -> TrainRun:
+        """The run of the train with the given name."""
+        for run in self.runs:
+            if run.train.name == train_name:
+                return run
+        raise ScheduleError(f"no run for train {train_name!r}")
+
+    def without_deadlines(self) -> "Schedule":
+        """Copy of this schedule with all arrival deadlines removed.
+
+        This is the input shape of the optimization task (§III-C): only
+        departures and stops are kept; the solver picks the arrivals.
+        """
+        runs = [
+            TrainRun(
+                train=run.train,
+                start=run.start,
+                goal=run.goal,
+                departure_min=run.departure_min,
+                arrival_min=None,
+                stops=run.stops,
+            )
+            for run in self.runs
+        ]
+        return Schedule(runs, self.duration_min)
+
+    def __repr__(self) -> str:
+        return f"Schedule({len(self.runs)} trains, {self.duration_min} min)"

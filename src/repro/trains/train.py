@@ -1,0 +1,42 @@
+"""Rolling stock: the physical parameters of a train.
+
+The paper's formulation (§III-A) uses exactly two per-train parameters: the
+length ``l_tr`` and the maximum speed ``s_tr``; both are discretised against
+the spatial/temporal resolutions in :mod:`repro.trains.discretize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Train:
+    """A train with its physical parameters.
+
+    Attributes:
+        name: unique identifier (e.g. "1" or "RE 4711").
+        length_m: physical length in metres.
+        max_speed_kmh: maximum speed in km/h.
+    """
+
+    name: str
+    length_m: float
+    max_speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("train name must be non-empty")
+        if self.length_m <= 0:
+            raise ValueError(
+                f"train {self.name!r}: length must be > 0, got {self.length_m}"
+            )
+        if self.max_speed_kmh <= 0:
+            raise ValueError(
+                f"train {self.name!r}: speed must be > 0, got {self.max_speed_kmh}"
+            )
+
+    @property
+    def length_km(self) -> float:
+        """Length in kilometres."""
+        return self.length_m / 1000.0

@@ -1,0 +1,21 @@
+"""ASCII visualisation of networks, layouts, and solutions.
+
+* :func:`render_layout` — TTD/VSS section diagram of a layout,
+* :func:`render_spacetime` — train positions over time (one row per step),
+* :func:`format_table1` — Table-I-style result table.
+"""
+
+from repro.viz.layout import render_layout, render_network_summary
+from repro.viz.report import format_table1, format_task_result
+from repro.viz.spacetime import render_spacetime
+from repro.viz.timetable import render_timetable, station_events
+
+__all__ = [
+    "render_layout",
+    "render_network_summary",
+    "render_spacetime",
+    "render_timetable",
+    "station_events",
+    "format_table1",
+    "format_task_result",
+]

@@ -1,0 +1,63 @@
+"""ASCII rendering of VSS layouts.
+
+Each TTD is drawn as a run of segment cells; ``|`` marks VSS borders within
+the TTD (added virtual borders are the interesting part)::
+
+    TTD1  [ 9 10 |  0  1  2 ]     <- one added border
+    TTD2  [13 14 15 ]
+"""
+
+from __future__ import annotations
+
+from repro.network.paths import TTDPathIndex
+from repro.network.sections import VSSLayout
+
+
+def render_layout(layout: VSSLayout) -> str:
+    """Render a layout, one line per TTD, borders marked with ``|``."""
+    net = layout.net
+    index = TTDPathIndex(net)
+    lines: list[str] = []
+    width = max(len(ttd) for ttd in net.ttd_segments)
+    for ttd in sorted(net.ttd_segments):
+        ordered = index.ordered_segments(ttd)
+        cells: list[str] = []
+        for position, seg in enumerate(ordered):
+            if position > 0:
+                joint = _joint_vertex(net, ordered[position - 1], seg)
+                cells.append("|" if layout.is_border(joint) else " ")
+            cells.append(f"{seg:3d}")
+        lines.append(f"{ttd:<{width}}  [{' '.join(cells)} ]")
+    added = sorted(layout.added_borders)
+    lines.append(
+        f"{layout.num_sections} sections "
+        f"({net.num_ttds} TTDs + {len(added)} VSS borders at vertices {added})"
+    )
+    return "\n".join(lines)
+
+
+def _joint_vertex(net, seg_a: int, seg_b: int) -> int:
+    a = net.segments[seg_a]
+    b = net.segments[seg_b]
+    shared = {a.u, a.v} & {b.u, b.v}
+    return shared.pop()
+
+
+def render_network_summary(net) -> str:
+    """One-paragraph summary of a discrete network."""
+    lines = [
+        f"{net.num_vertices} vertices, {net.num_segments} segments "
+        f"(r_s = {net.r_s_km} km), {net.num_ttds} TTD sections",
+        f"forced borders at vertices {sorted(net.forced_borders)}",
+    ]
+    for ttd in sorted(net.ttd_segments):
+        segs = net.ttd_segments[ttd]
+        lines.append(f"  {ttd}: {len(segs)} segments {segs}")
+    stations = net.network.stations
+    if stations:
+        parts = [
+            f"{name} -> segments {net.station_segments(name)}"
+            for name in sorted(stations)
+        ]
+        lines.append("stations: " + "; ".join(parts))
+    return "\n".join(lines)

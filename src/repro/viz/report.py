@@ -1,0 +1,35 @@
+"""Table-I-style formatting of task results."""
+
+from __future__ import annotations
+
+from repro.tasks.result import TaskResult
+
+_HEADER = (
+    f"{'Task':<14}{'Var.':>8}{'Sat.':>6}{'TTD/VSS':>9}"
+    f"{'Time Steps':>12}{'Runtime [s]':>13}"
+)
+
+
+def format_task_result(result: TaskResult) -> str:
+    """One Table I row."""
+    steps = str(result.time_steps) if result.time_steps is not None else "-"
+    return (
+        f"{result.task:<14}{result.variables:>8}"
+        f"{'Yes' if result.satisfiable else 'No':>6}"
+        f"{result.num_sections:>9}{steps:>12}{result.runtime_s:>13.2f}"
+    )
+
+
+def format_table1(
+    groups: list[tuple[str, list[TaskResult]]],
+) -> str:
+    """The full Table I: named groups of task-result rows.
+
+    ``groups`` is a list of ``(caption, results)`` pairs, one per network.
+    """
+    lines = [_HEADER, "-" * len(_HEADER)]
+    for caption, results in groups:
+        lines.append(caption)
+        for result in results:
+            lines.append(format_task_result(result))
+    return "\n".join(lines)

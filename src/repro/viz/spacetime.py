@@ -1,0 +1,40 @@
+"""Space–time diagrams: where is each train at each step?
+
+Columns are segments grouped by physical track, rows are time steps; each
+train is drawn with one character of its name::
+
+    t     appA      appB      platform  staA  staB  through
+    0     . . .     . . .     . . .     1 .   2 2   . . .
+    1     . 1 .     . 2 2     . . .     . .   . .   . . .
+"""
+
+from __future__ import annotations
+
+from repro.encoding.decode import Solution
+from repro.network.discretize import DiscreteNetwork
+
+
+def render_spacetime(net: DiscreteNetwork, solution: Solution) -> str:
+    """Render the per-step occupancy of all trains."""
+    track_names = sorted(net.network.tracks)
+    groups = [(name, net.track_segments(name)) for name in track_names]
+
+    occupant: list[dict[int, str]] = [dict() for _ in range(solution.t_max)]
+    for trajectory in solution.trajectories:
+        symbol = trajectory.name[-1]
+        for t, occupied in enumerate(trajectory.steps):
+            for e in occupied:
+                occupant[t][e] = symbol
+
+    header_cells = ["t".ljust(4)]
+    for name, segs in groups:
+        width = 2 * len(segs) - 1
+        header_cells.append(name[:width].ljust(width))
+    lines = ["  ".join(header_cells)]
+    for t in range(solution.t_max):
+        cells = [str(t).ljust(4)]
+        for _, segs in groups:
+            marks = [occupant[t].get(e, ".") for e in segs]
+            cells.append(" ".join(marks))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Timetable rendering: per-train station events from a solution.
+
+Turns decoded trajectories back into the operational artefact dispatchers
+actually read — which train is at which station when::
+
+    train 1  (A -> B)
+      dep A      0:00
+      pass C     0:02:30
+      arr B      0:03:30  (left network at 0:04)
+"""
+
+from __future__ import annotations
+
+from repro.encoding.decode import Solution, TrainTrajectory
+from repro.network.discretize import DiscreteNetwork
+
+
+def _format_time(step: int, r_t_min: float) -> str:
+    total_seconds = int(round(step * r_t_min * 60))
+    hours, remainder = divmod(total_seconds, 3600)
+    minutes, seconds = divmod(remainder, 60)
+    if seconds:
+        return f"{hours}:{minutes:02d}:{seconds:02d}"
+    return f"{hours}:{minutes:02d}"
+
+
+def station_events(
+    net: DiscreteNetwork, trajectory: TrainTrajectory
+) -> list[tuple[int, str]]:
+    """(step, station) pairs: the first step of each station visit."""
+    station_of: dict[int, str] = {}
+    for name, tracks in net.network.stations.items():
+        for track in tracks:
+            for segment in net.track_segments(track):
+                station_of[segment] = name
+    events: list[tuple[int, str]] = []
+    previous: set[str] = set()
+    for step, occupied in enumerate(trajectory.steps):
+        current = {station_of[e] for e in occupied if e in station_of}
+        for station in sorted(current - previous):
+            events.append((step, station))
+        previous = current
+    return events
+
+
+def render_timetable(
+    net: DiscreteNetwork, solution: Solution, r_t_min: float
+) -> str:
+    """Render all trains' station events as a text timetable."""
+    lines: list[str] = []
+    for trajectory in solution.trajectories:
+        present = trajectory.present_steps
+        if not present:
+            lines.append(f"train {trajectory.name}: never entered the network")
+            continue
+        events = station_events(net, trajectory)
+        first_step = present[0]
+        lines.append(f"train {trajectory.name}")
+        for step, station in events:
+            if step == first_step:
+                kind = "dep"
+            elif step == trajectory.arrival_step:
+                kind = "arr"
+            else:
+                kind = "pass"
+            lines.append(
+                f"  {kind:<5} {station:<12} {_format_time(step, r_t_min)}"
+            )
+        if trajectory.gone_from is not None:
+            lines.append(
+                "  left network at "
+                f"{_format_time(trajectory.gone_from, r_t_min)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Shared fixtures: small networks and schedules used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.builder import NetworkBuilder
+from repro.network.discretize import DiscreteNetwork
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+@pytest.fixture
+def micro_line():
+    """A 3 km straight line: station A — middle — station B (3 TTDs)."""
+    return (
+        NetworkBuilder()
+        .boundary("A")
+        .link("m1")
+        .link("m2")
+        .boundary("B")
+        .track("A", "m1", length_km=1.0, ttd="TTD1", name="staA")
+        .track("m1", "m2", length_km=1.0, ttd="TTD2", name="mid")
+        .track("m2", "B", length_km=1.0, ttd="TTD3", name="staB")
+        .station("A", ["staA"])
+        .station("B", ["staB"])
+        .build()
+    )
+
+
+@pytest.fixture
+def micro_net(micro_line):
+    """The micro line at r_s = 0.5 km (6 segments)."""
+    return DiscreteNetwork(micro_line, 0.5)
+
+
+@pytest.fixture
+def loop_line():
+    """A line with a two-track passing loop in the middle (4 TTDs)."""
+    return (
+        NetworkBuilder()
+        .boundary("A")
+        .switch("p1")
+        .switch("p2")
+        .boundary("B")
+        .track("A", "p1", length_km=1.0, ttd="TTD1", name="staA")
+        .track("p1", "p2", length_km=1.0, ttd="TTD2", name="up")
+        .track("p1", "p2", length_km=1.0, ttd="TTD3", name="down")
+        .track("p2", "B", length_km=1.0, ttd="TTD4", name="staB")
+        .station("A", ["staA"])
+        .station("B", ["staB"])
+        .build()
+    )
+
+
+@pytest.fixture
+def loop_net(loop_line):
+    """The passing-loop line at r_s = 0.5 km (8 segments)."""
+    return DiscreteNetwork(loop_line, 0.5)
+
+
+@pytest.fixture
+def single_train_schedule():
+    """One train A -> B over 5 minutes."""
+    run = TrainRun(
+        Train("T", length_m=400, max_speed_kmh=120),
+        start="A",
+        goal="B",
+        departure_min=0.0,
+        arrival_min=4.0,
+    )
+    return Schedule([run], duration_min=5.0)
+
+
+@pytest.fixture
+def crossing_schedule():
+    """Two opposing trains that must cross somewhere."""
+    runs = [
+        TrainRun(
+            Train("E", length_m=400, max_speed_kmh=120),
+            start="A",
+            goal="B",
+            departure_min=0.0,
+            arrival_min=5.0,
+        ),
+        TrainRun(
+            Train("W", length_m=400, max_speed_kmh=120),
+            start="B",
+            goal="A",
+            departure_min=0.0,
+            arrival_min=5.0,
+        ),
+    ]
+    return Schedule(runs, duration_min=6.0)

@@ -1,0 +1,102 @@
+"""Tests for the resolution-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SweepPoint, resolution_sweep
+from repro.analysis.sensitivity import format_sweep
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(
+        [TrainRun(Train("T", 400, 120), "A", "B", 0.0, 4.0)],
+        duration_min=5.0,
+    )
+
+
+class TestSweep:
+    def test_sizes_scale_with_resolution(self, micro_line, schedule):
+        points = resolution_sweep(
+            micro_line, schedule, [(1.0, 1.0), (0.5, 0.5), (0.25, 0.25)]
+        )
+        assert [p.segments for p in points] == [3, 6, 12]
+        assert [p.t_max for p in points] == [5, 10, 20]
+        assert points[0].paper_vars < points[1].paper_vars < points[2].paper_vars
+
+    def test_feasible_across_resolutions(self, micro_line, schedule):
+        points = resolution_sweep(
+            micro_line, schedule, [(1.0, 1.0), (0.5, 0.5)]
+        )
+        assert all(p.satisfiable for p in points)
+        assert all(p.sections is not None for p in points)
+
+    def test_generate_task(self, micro_line, schedule):
+        points = resolution_sweep(
+            micro_line, schedule, [(0.5, 0.5)], task="generate"
+        )
+        assert points[0].satisfiable
+
+    def test_unknown_task(self, micro_line, schedule):
+        with pytest.raises(ValueError):
+            resolution_sweep(micro_line, schedule, [(0.5, 0.5)], task="fly")
+
+    def test_undiscretisable_point_reported(self, micro_line):
+        # A 1.5 km train cannot fit station A (1 km) at any resolution.
+        schedule = Schedule(
+            [TrainRun(Train("XXL", 1500, 120), "A", "B", 0.0, 4.0)],
+            duration_min=5.0,
+        )
+        points = resolution_sweep(micro_line, schedule, [(0.5, 0.5)])
+        assert points[0].satisfiable is None
+        assert "does not fit" in points[0].error
+
+    def test_coarse_grid_can_flip_verdict(self, micro_line):
+        """At r_s = 3 km the whole line is 1 segment per track; the deadline
+        arithmetic coarsens and the verdict may differ from the fine grid —
+        the sweep exposes it rather than hiding it."""
+        schedule = Schedule(
+            [TrainRun(Train("T", 400, 60), "A", "B", 0.0, 2.0)],
+            duration_min=5.0,
+        )
+        points = resolution_sweep(
+            micro_line, schedule, [(0.25, 0.25), (3.0, 2.5)]
+        )
+        fine, coarse = points
+        assert fine.satisfiable is not None
+        assert coarse.satisfiable is not None
+        # Both verdicts are recorded; equality is *not* guaranteed.
+        assert isinstance(fine.satisfiable, bool)
+
+    def test_running_example_matches_paper_point(self):
+        from repro.casestudies.running_example import (
+            running_example_network,
+            running_example_schedule,
+        )
+
+        points = resolution_sweep(
+            running_example_network(),
+            running_example_schedule(),
+            [(0.5, 0.5)],
+        )
+        assert points[0].segments == 16
+        assert points[0].t_max == 10
+        assert points[0].satisfiable is False  # Table I verification row
+
+
+class TestFormatting:
+    def test_table_renders(self, micro_line, schedule):
+        points = resolution_sweep(micro_line, schedule, [(0.5, 0.5)])
+        text = format_sweep(points)
+        assert "r_s" in text and "yes" in text
+
+    def test_na_for_failed_points(self, micro_line):
+        schedule = Schedule(
+            [TrainRun(Train("XXL", 1500, 120), "A", "B", 0.0, 4.0)],
+            duration_min=5.0,
+        )
+        points = resolution_sweep(micro_line, schedule, [(0.5, 0.5)])
+        assert "n/a" in format_sweep(points)

@@ -1,0 +1,84 @@
+"""Tests for the capacity (budget vs makespan) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tasks import (
+    best_makespan_with_budget,
+    capacity_curve,
+    optimize_schedule,
+)
+from repro.tasks.capacity import format_capacity_curve
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+@pytest.fixture
+def convoy_schedule():
+    """Two same-direction trains: each border buys closer following."""
+    return Schedule(
+        [
+            TrainRun(Train("1", 100, 60), "A", "B", 0.0, None),
+            TrainRun(Train("2", 100, 60), "A", "B", 0.5, None),
+        ],
+        duration_min=5.0,
+    )
+
+
+class TestSinglePoint:
+    def test_unlimited_budget_matches_optimize(self, micro_net,
+                                               convoy_schedule):
+        point = best_makespan_with_budget(
+            micro_net, convoy_schedule, 0.5, budget=None
+        )
+        reference = optimize_schedule(micro_net, convoy_schedule, 0.5)
+        assert point.feasible and point.proven_optimal
+        assert point.makespan == reference.time_steps
+
+    def test_budget_respected(self, micro_net, convoy_schedule):
+        for budget in (0, 1, 2):
+            point = best_makespan_with_budget(
+                micro_net, convoy_schedule, 0.5, budget=budget
+            )
+            assert point.feasible
+            assert point.borders_used <= budget
+
+    def test_infeasible_horizon(self, micro_net):
+        # One train that cannot complete within a 1-step horizon.
+        schedule = Schedule(
+            [TrainRun(Train("T", 100, 60), "A", "B", 0.0, None)],
+            duration_min=0.5,
+        )
+        point = best_makespan_with_budget(micro_net, schedule, 0.5, budget=0)
+        assert not point.feasible
+        assert point.makespan is None
+
+
+class TestCurve:
+    def test_monotone_nonincreasing(self, micro_net, convoy_schedule):
+        points = capacity_curve(
+            micro_net, convoy_schedule, 0.5, budgets=[0, 1, 2, None]
+        )
+        makespans = [p.makespan for p in points]
+        assert all(m is not None for m in makespans)
+        assert makespans == sorted(makespans, reverse=True)
+
+    def test_borders_eventually_help_convoy(self, micro_net,
+                                             convoy_schedule):
+        zero, two = capacity_curve(
+            micro_net, convoy_schedule, 0.5, budgets=[0, 2]
+        )
+        # With budget 0 the follower waits a whole TTD behind; on this
+        # micro net it takes two virtual borders for it to gain a step.
+        assert two.makespan < zero.makespan
+        assert two.borders_used == 2
+
+    def test_formatting(self, micro_net, convoy_schedule):
+        points = capacity_curve(
+            micro_net, convoy_schedule, 0.5, budgets=[0, 1, None]
+        )
+        text = format_capacity_curve(points)
+        assert "budget" in text
+        assert "∞" in text
+        assert "(-" in text  # at least one improvement marker

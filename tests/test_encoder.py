@@ -1,0 +1,297 @@
+"""Semantic tests of the CNF encoder on micro networks.
+
+Each test builds a small scenario, solves it, and checks the *decoded*
+behaviour — placement, movement, separation, collision — rather than the raw
+clauses, so the tests stay robust under encoding refactorings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding.encoder import EncodingOptions, EtcsEncoding
+from repro.encoding.validate import validate_solution
+from repro.network.sections import VSSLayout
+from repro.sat import SolveResult
+from repro.trains.schedule import Schedule, Stop, TrainRun
+from repro.trains.train import Train
+
+
+def solve(encoding):
+    solver = encoding.cnf.to_solver()
+    verdict = solver.solve()
+    if verdict is not SolveResult.SAT:
+        return None
+    return encoding.decode({lit for lit in solver.model() if lit > 0})
+
+
+def build(net, schedule, r_t=0.5, options=None):
+    return EtcsEncoding(net, schedule, r_t, options).build()
+
+
+class TestSingleTrain:
+    def test_reaches_goal(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve(encoding)
+        assert solution is not None
+        trajectory = solution.trajectories[0]
+        assert trajectory.arrival_step is not None
+        assert trajectory.arrival_step <= 8
+        assert validate_solution(encoding, solution) == []
+
+    def test_impossible_deadline_unsat(self, micro_net):
+        # 3 km to cover, 60 km/h = 1 segment/step, deadline after 2 steps.
+        run = TrainRun(Train("T", 100, 60), "A", "B", 0.0, 1.0)
+        encoding = build(micro_net, Schedule([run], 5.0))
+        assert solve(encoding) is None
+
+    def test_long_train_occupies_chain(self, micro_net):
+        run = TrainRun(Train("T", 900, 120), "A", "B", 0.0, 4.5)
+        encoding = build(micro_net, Schedule([run], 5.0))
+        solution = solve(encoding)
+        assert solution is not None
+        for occupied in solution.trajectories[0].steps:
+            assert not occupied or len(occupied) == 2
+        assert validate_solution(encoding, solution) == []
+
+    def test_departure_touches_start(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve(encoding)
+        start = set(encoding.runs[0].start_segments)
+        assert solution.trajectories[0].steps[0] & start
+
+    def test_late_departure_absent_before(self, micro_net):
+        run = TrainRun(Train("T", 100, 120), "A", "B", 2.0, 4.5)
+        encoding = build(micro_net, Schedule([run], 5.0))
+        solution = solve(encoding)
+        assert solution.trajectories[0].steps[0] == frozenset()
+        assert solution.trajectories[0].steps[3] == frozenset()
+        assert solution.trajectories[0].steps[4] != frozenset()
+
+    def test_stop_constraint_enforced(self, micro_net):
+        micro_net.network.stations["M"] = ["mid"]
+        run = TrainRun(
+            Train("T", 100, 120), "A", "B", 0.0, 4.5,
+            stops=(Stop("M", earliest_min=1.0, latest_min=2.5),),
+        )
+        encoding = build(micro_net, Schedule([run], 5.0))
+        solution = solve(encoding)
+        assert solution is not None
+        mid = set(micro_net.track_segments("mid"))
+        visited = any(
+            solution.trajectories[0].steps[t] & mid for t in range(2, 6)
+        )
+        assert visited
+
+
+class TestTwoTrains:
+    def test_opposing_trains_need_loop(self, micro_line, crossing_schedule):
+        """On a plain line two opposing trains can never pass: UNSAT.
+
+        Single-segment stations (r_s = 1 km): there is no room to shuffle
+        within a station, so the trains would have to pass through each
+        other somewhere on the line.
+        """
+        from repro.network.discretize import DiscreteNetwork
+
+        coarse = DiscreteNetwork(micro_line, 1.0)
+        encoding = build(coarse, crossing_schedule)
+        assert solve(encoding) is None
+
+    def test_opposing_trains_can_shuffle_in_station(self, micro_net,
+                                                    crossing_schedule):
+        """With two-segment stations the trains may meet inside a VSS-split
+        station: one pulls to the outer segment, the other touches its goal
+        behind it, then both leave — legitimately SAT."""
+        encoding = build(micro_net, crossing_schedule)
+        solution = solve(encoding)
+        assert solution is not None
+        assert validate_solution(encoding, solution) == []
+
+    def test_opposing_trains_cross_at_loop(self, loop_net, crossing_schedule):
+        encoding = build(loop_net, crossing_schedule)
+        solution = solve(encoding)
+        assert solution is not None
+        assert validate_solution(encoding, solution) == []
+
+    def test_same_segment_never_shared(self, loop_net, crossing_schedule):
+        encoding = build(loop_net, crossing_schedule)
+        solution = solve(encoding)
+        for t in range(encoding.t_max):
+            a = solution.trajectories[0].steps[t]
+            b = solution.trajectories[1].steps[t]
+            assert not (a & b)
+
+    def test_pure_ttd_forbids_sharing(self, loop_net):
+        """Two trains in one TTD with no free border: pinned layout UNSAT."""
+        runs = [
+            TrainRun(Train("1", 100, 120), "A", "B", 0.0, 5.0),
+            TrainRun(Train("2", 100, 120), "A", "B", 1.0, 5.5),
+        ]
+        encoding = build(loop_net, Schedule(runs, 6.0))
+        encoding.pin_layout(VSSLayout.pure_ttd(loop_net))
+        # Train 2 departs while train 1 may still be in staA's TTD; but
+        # with 2 segments and full VSS it would work. Pure TTD: they must
+        # never share TTD1 -> train 1 must clear before step 2 (it can,
+        # 120 km/h = 3 segments/step), so this is actually SAT.
+        solution = solve(encoding)
+        if solution is not None:
+            section_of = solution.layout.section_of()
+            for t in range(encoding.t_max):
+                sections_a = {
+                    section_of[e] for e in solution.trajectories[0].steps[t]
+                }
+                sections_b = {
+                    section_of[e] for e in solution.trajectories[1].steps[t]
+                }
+                assert not (sections_a & sections_b)
+
+    def test_vss_allows_following_in_one_ttd(self, micro_net):
+        """Two same-direction trains share a TTD once a border splits it."""
+        runs = [
+            TrainRun(Train("1", 100, 60), "A", "B", 0.0, None),
+            TrainRun(Train("2", 100, 60), "A", "B", 1.0, None),
+        ]
+        encoding = build(micro_net, Schedule(runs, 5.0))
+        solution = solve(encoding)
+        assert solution is not None
+        assert validate_solution(encoding, solution) == []
+        shared_ttd_steps = [
+            t
+            for t in range(encoding.t_max)
+            if solution.trajectories[0].steps[t]
+            and solution.trajectories[1].steps[t]
+            and {
+                micro_net.ttd_of[e]
+                for e in solution.trajectories[0].steps[t]
+            }
+            & {
+                micro_net.ttd_of[e]
+                for e in solution.trajectories[1].steps[t]
+            }
+        ]
+        if shared_ttd_steps:  # whenever they share a TTD, a border splits it
+            section_of = solution.layout.section_of()
+            for t in shared_ttd_steps:
+                sections_a = {
+                    section_of[e] for e in solution.trajectories[0].steps[t]
+                }
+                sections_b = {
+                    section_of[e] for e in solution.trajectories[1].steps[t]
+                }
+                assert not (sections_a & sections_b)
+
+
+class TestTaskHooks:
+    def test_pin_layout_fixes_borders(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        layout = VSSLayout.pure_ttd(micro_net)
+        encoding.pin_layout(layout)
+        solution = solve(encoding)
+        assert solution is not None
+        assert solution.layout == layout
+
+    def test_pin_waypoints(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        encoding.pin_waypoints([("T", "B", 6)])
+        solution = solve(encoding)
+        assert solution is not None
+        goal = set(micro_net.station_segments("B"))
+        assert solution.trajectories[0].steps[6] & goal
+
+    def test_pin_waypoints_unknown_train(self, micro_net,
+                                          single_train_schedule):
+        from repro.trains.schedule import ScheduleError
+
+        encoding = build(micro_net, single_train_schedule)
+        with pytest.raises(ScheduleError):
+            encoding.pin_waypoints([("nope", "B", 6)])
+
+    def test_pin_waypoints_step_out_of_range(self, micro_net,
+                                             single_train_schedule):
+        from repro.trains.schedule import ScheduleError
+
+        encoding = build(micro_net, single_train_schedule)
+        with pytest.raises(ScheduleError):
+            encoding.pin_waypoints([("T", "B", 99)])
+
+    def test_border_objective_lists_free_vertices(self, micro_net,
+                                                  single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        objective = encoding.border_objective()
+        assert len(objective) == len(micro_net.free_border_candidates())
+
+    def test_makespan_objective_length(self, micro_net,
+                                       single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        objective = encoding.makespan_objective()
+        assert len(objective) == encoding.t_max
+        assert all(lit < 0 for lit in objective)
+
+    def test_build_twice_rejected(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        with pytest.raises(RuntimeError):
+            encoding.build()
+
+    def test_stats_shape(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        stats = encoding.stats()
+        assert stats["clauses"] == encoding.cnf.num_clauses
+        assert stats["paper_equivalent_vars"] == (
+            micro_net.num_vertices
+            + 1 * micro_net.num_segments * encoding.t_max
+        )
+        assert stats["t_max"] == 10
+
+
+class TestEncodingOptions:
+    @pytest.mark.parametrize("amo", ["pairwise", "ladder", "commander"])
+    def test_amo_variants_agree(self, loop_net, crossing_schedule, amo):
+        encoding = build(
+            loop_net, crossing_schedule, options=EncodingOptions(amo=amo)
+        )
+        solution = solve(encoding)
+        assert solution is not None
+        assert validate_solution(encoding, solution) == []
+
+    def test_cone_disabled_still_correct(self, loop_net, crossing_schedule):
+        encoding = build(
+            loop_net,
+            crossing_schedule,
+            options=EncodingOptions(use_cone=False),
+        )
+        solution = solve(encoding)
+        assert solution is not None
+        assert validate_solution(encoding, solution) == []
+
+    def test_cone_shrinks_encoding(self, loop_net, crossing_schedule):
+        small = build(loop_net, crossing_schedule)
+        large = build(
+            loop_net,
+            crossing_schedule,
+            options=EncodingOptions(use_cone=False),
+        )
+        assert small.cnf.num_vars < large.cnf.num_vars
+        assert small.cnf.num_clauses < large.cnf.num_clauses
+
+    def test_swap_clauses_prevent_pass_through(self, micro_line):
+        """With swap clauses the single-cell-station line scenario is UNSAT;
+        without them the trains tunnel through each other."""
+        from repro.network.discretize import DiscreteNetwork
+
+        coarse = DiscreteNetwork(micro_line, 1.0)
+        runs = [
+            TrainRun(Train("1", 100, 60), "A", "B", 0.0, None),
+            TrainRun(Train("2", 100, 60), "B", "A", 0.0, None),
+        ]
+        schedule = Schedule(runs, 8.0)
+        with_swap = build(coarse, schedule)
+        assert solve(with_swap) is None
+        without = build(
+            coarse,
+            schedule,
+            options=EncodingOptions(add_swap_clauses=False),
+        )
+        tunneled = solve(without)
+        assert tunneled is not None  # the soundness gap the clauses close
+        assert validate_solution(without, tunneled) != []

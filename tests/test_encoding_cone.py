@@ -1,0 +1,103 @@
+"""Tests for the cone-of-influence reduction."""
+
+from __future__ import annotations
+
+from repro.encoding.cone import Cone, multi_source_distances
+from repro.trains.discretize import discretize_schedule
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+def build_cone(net, schedule, r_t=0.5, enabled=True):
+    runs, t_max = discretize_schedule(net, schedule, r_t)
+    return Cone(net, runs, t_max, enabled=enabled), runs, t_max
+
+
+class TestMultiSourceDistances:
+    def test_sources_at_zero(self, micro_net):
+        dist = multi_source_distances(micro_net, [0, 3])
+        assert dist[0] == 0 and dist[3] == 0
+
+    def test_triangle_inequality_neighbours(self, loop_net):
+        dist = multi_source_distances(loop_net, [0])
+        for seg, neighbours in enumerate(loop_net.seg_neighbours):
+            for other in neighbours:
+                assert abs(dist[seg] - dist[other]) <= 1
+
+    def test_empty_sources(self, micro_net):
+        assert multi_source_distances(micro_net, []) == [-1] * 6
+
+
+class TestCone:
+    def test_absent_before_departure(self, micro_net):
+        run = TrainRun(Train("T", 100, 120), "A", "B", 2.0, None)
+        cone, __, t_max = build_cone(micro_net, Schedule([run], 5.0))
+        assert cone.at(0, 0) == frozenset()
+        assert cone.at(0, 3) == frozenset()
+        assert cone.at(0, 4) != frozenset()
+
+    def test_departure_step_is_start_station(self, micro_net,
+                                              single_train_schedule):
+        cone, runs, __ = build_cone(micro_net, single_train_schedule)
+        assert cone.at(0, 0) == frozenset(runs[0].start_segments)
+
+    def test_growth_bounded_by_speed(self, micro_net, single_train_schedule):
+        cone, runs, t_max = build_cone(micro_net, single_train_schedule)
+        speed = runs[0].speed_segments
+        from repro.network.paths import reachable
+
+        for t in range(t_max - 1):
+            now = cone.at(0, t)
+            nxt = cone.at(0, t + 1)
+            grown = set()
+            for e in now:
+                grown.update(reachable(micro_net, e, speed))
+            assert nxt <= grown or not now
+
+    def test_deadline_prunes_far_segments(self, micro_net):
+        # Deadline at step 8; the earliest arrival is step 3.  Post-deadline
+        # positions are bounded by the post-visit ball around the goal:
+        # within speed * (t - earliest_arrival) hops.
+        run = TrainRun(Train("T", 100, 60), "A", "B", 0.0, 4.0)
+        cone, runs, __ = build_cone(micro_net, Schedule([run], 5.0))
+        from repro.network.paths import reachable
+
+        goal = set(runs[0].goal_segments)
+        speed = runs[0].speed_segments
+        earliest = 3  # 5 hops from the inner start segment at speed 2
+        for t in (8, 9):
+            ball: set[int] = set()
+            for g in goal:
+                ball.update(reachable(micro_net, g, speed * (t - earliest)))
+            assert cone.at(0, t) <= ball
+        # And the cone is still a real restriction mid-journey: right after
+        # departure the far end of the line is not possible.
+        assert not (cone.at(0, 1) & goal)
+
+    def test_disabled_cone_is_everything(self, micro_net,
+                                          single_train_schedule):
+        cone, runs, t_max = build_cone(
+            micro_net, single_train_schedule, enabled=False
+        )
+        everything = frozenset(range(micro_net.num_segments))
+        # The departure step keeps its parked-in-station semantics even
+        # without pruning; all later steps are unconstrained.
+        assert cone.at(0, 0) == frozenset(runs[0].start_segments)
+        for t in range(1, t_max):
+            assert cone.at(0, t) == everything
+
+    def test_total_positions(self, micro_net, single_train_schedule):
+        full, __, __ = build_cone(
+            micro_net, single_train_schedule, enabled=False
+        )
+        pruned, __, __ = build_cone(micro_net, single_train_schedule)
+        assert pruned.total_positions() < full.total_positions()
+
+    def test_tail_slack_for_long_trains(self, micro_net):
+        # A 2-segment train's cone must include chain-spill neighbours of
+        # the start station at the departure step + 1.
+        run = TrainRun(Train("T", 900, 60), "A", "B", 0.0, None)
+        cone, runs, __ = build_cone(micro_net, Schedule([run], 5.0))
+        assert runs[0].length_segments == 2
+        start = set(runs[0].start_segments)
+        assert cone.at(0, 1) > start

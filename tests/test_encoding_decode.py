@@ -1,0 +1,77 @@
+"""Tests for model decoding into solutions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding.encoder import EtcsEncoding
+from repro.sat import SolveResult
+
+
+def solve_and_decode(encoding):
+    solver = encoding.cnf.to_solver()
+    assert solver.solve() is SolveResult.SAT
+    return encoding.decode({lit for lit in solver.model() if lit > 0})
+
+
+def build(net, schedule, r_t=0.5):
+    return EtcsEncoding(net, schedule, r_t).build()
+
+
+class TestDecode:
+    def test_layout_contains_forced_borders(self, micro_net,
+                                            single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve_and_decode(encoding)
+        assert micro_net.forced_borders <= solution.layout.borders
+
+    def test_trajectory_steps_cover_horizon(self, micro_net,
+                                            single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve_and_decode(encoding)
+        assert len(solution.trajectories) == 1
+        assert len(solution.trajectories[0].steps) == encoding.t_max
+
+    def test_arrival_step_consistent(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve_and_decode(encoding)
+        trajectory = solution.trajectories[0]
+        goal = set(encoding.runs[0].goal_segments)
+        first_visit = next(
+            t for t in range(encoding.t_max)
+            if trajectory.steps[t] & goal
+        )
+        assert trajectory.arrival_step == first_visit
+
+    def test_makespan_is_last_arrival(self, loop_net, crossing_schedule):
+        encoding = build(loop_net, crossing_schedule)
+        solution = solve_and_decode(encoding)
+        arrivals = [t.arrival_step for t in solution.trajectories]
+        assert solution.makespan == max(arrivals)
+
+    def test_trajectory_of_lookup(self, loop_net, crossing_schedule):
+        encoding = build(loop_net, crossing_schedule)
+        solution = solve_and_decode(encoding)
+        assert solution.trajectory_of("E").name == "E"
+        with pytest.raises(KeyError):
+            solution.trajectory_of("nope")
+
+    def test_present_steps(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve_and_decode(encoding)
+        trajectory = solution.trajectories[0]
+        present = trajectory.present_steps
+        assert present[0] == 0
+        assert all(trajectory.steps[t] for t in present)
+
+    def test_position_at(self, micro_net, single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve_and_decode(encoding)
+        trajectory = solution.trajectories[0]
+        assert trajectory.position_at(0) == trajectory.steps[0]
+
+    def test_num_sections_matches_layout(self, micro_net,
+                                          single_train_schedule):
+        encoding = build(micro_net, single_train_schedule)
+        solution = solve_and_decode(encoding)
+        assert solution.num_sections == solution.layout.num_sections

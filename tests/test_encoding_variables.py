@@ -1,0 +1,62 @@
+"""Tests for the variable registry and its census."""
+
+from __future__ import annotations
+
+from repro.encoding.variables import VariableRegistry
+
+
+class TestRegistry:
+    def test_variables_are_stable(self):
+        reg = VariableRegistry()
+        a = reg.occupies(0, 5, 3)
+        assert reg.occupies(0, 5, 3) == a
+        assert reg.lookup_occupies(0, 5, 3) == a
+
+    def test_distinct_families_distinct_vars(self):
+        reg = VariableRegistry()
+        values = {
+            reg.border(1),
+            reg.occupies(1, 1, 1),
+            reg.done(1, 1),
+            reg.gone(1, 1),
+            reg.chain(1, 1, 1),
+            reg.done_all(1),
+        }
+        assert len(values) == 6
+
+    def test_lookup_missing_returns_none(self):
+        reg = VariableRegistry()
+        assert reg.lookup_border(3) is None
+        assert reg.lookup_done(0, 0) is None
+        assert reg.lookup_gone(0, 0) is None
+        assert reg.lookup_occupies(0, 0, 0) is None
+
+    def test_census_counts(self):
+        reg = VariableRegistry()
+        reg.border(0)
+        reg.border(1)
+        reg.border(1)  # duplicate: not counted twice
+        reg.occupies(0, 0, 0)
+        reg.done(0, 5)
+        reg.gone(0, 6)
+        reg.chain(0, 0, 0)
+        reg.done_all(3)
+        reg.pool.new_aux()
+        census = reg.census()
+        assert census["border"] == 2
+        assert census["occupies"] == 1
+        assert census["done"] == 1
+        assert census["gone"] == 1
+        assert census["chain"] == 1
+        assert census["done_all"] == 1
+        assert census["aux"] == 1
+        assert census["total"] == 8
+
+    def test_primary_matches_paper_families(self):
+        reg = VariableRegistry()
+        reg.border(0)
+        reg.occupies(0, 0, 0)
+        reg.done(0, 1)
+        reg.gone(0, 1)
+        assert reg.num_primary == 3  # gone is an encoding refinement
+        assert reg.num_structural == 1

@@ -1,0 +1,223 @@
+"""Tests for the explicit-state model checker, including the three-way
+cross-validation against the SAT encoder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.explicit import explicit_verify
+from repro.explicit.model_checker import ExplicitLimitExceeded
+from repro.network.builder import NetworkBuilder
+from repro.network.discretize import DiscreteNetwork
+from repro.network.sections import VSSLayout
+from repro.tasks import verify_schedule
+from repro.trains.schedule import Schedule, Stop, TrainRun
+from repro.trains.train import Train
+
+
+class TestBasics:
+    def test_single_train_feasible(self, micro_net, single_train_schedule):
+        assert explicit_verify(micro_net, single_train_schedule, 0.5)
+
+    def test_impossible_deadline(self, micro_net):
+        run = TrainRun(Train("T", 100, 60), "A", "B", 0.0, 1.0)
+        assert not explicit_verify(micro_net, Schedule([run], 5.0), 0.5)
+
+    def test_headway_needs_vss(self, micro_net):
+        schedule = Schedule(
+            [
+                TrainRun(Train("1", 100, 60), "A", "B", 0.0, 4.0),
+                TrainRun(Train("2", 100, 60), "A", "B", 0.5, 2.0),
+            ],
+            duration_min=5.0,
+        )
+        assert not explicit_verify(micro_net, schedule, 0.5)
+        assert explicit_verify(
+            micro_net, schedule, 0.5, layout=VSSLayout.finest(micro_net)
+        )
+
+    def test_stops_unsupported(self, micro_net):
+        micro_net.network.stations["M"] = ["mid"]
+        run = TrainRun(
+            Train("T", 100, 120), "A", "B", 0.0, 4.5,
+            stops=(Stop("M"),),
+        )
+        with pytest.raises(NotImplementedError):
+            explicit_verify(micro_net, Schedule([run], 5.0), 0.5)
+
+    def test_state_limit(self, loop_net, crossing_schedule):
+        with pytest.raises(ExplicitLimitExceeded):
+            explicit_verify(
+                loop_net, crossing_schedule, 0.5,
+                layout=VSSLayout.finest(loop_net),
+                max_states_per_layer=1,
+            )
+
+    def test_blocked_exit_wanderer(self, micro_net):
+        """The regression the checker caught: a train that reaches its goal
+        but must back away because another train blocks its exit."""
+        schedule = Schedule(
+            [
+                TrainRun(Train("E", 100, 60), "A", "B", 0.0, None),
+                TrainRun(Train("W", 100, 60), "B", "A", 0.0, None),
+            ],
+            duration_min=5.0,
+        )
+        layout = VSSLayout.finest(micro_net)
+        assert explicit_verify(micro_net, schedule, 0.5, layout=layout)
+        # The SAT encoder must agree (the cone's post-visit ball).
+        assert verify_schedule(
+            micro_net, schedule, 0.5, layout=layout
+        ).satisfiable
+
+
+@st.composite
+def tiny_networks(draw):
+    """1-2 middle tracks, with or without a passing loop."""
+    with_loop = draw(st.booleans())
+    builder = NetworkBuilder().boundary("A")
+    if with_loop:
+        builder.switch("p1").switch("p2").boundary("B")
+        builder.track("A", "p1", length_km=1.0, ttd="T1", name="staA")
+        builder.track("p1", "p2", length_km=1.0, ttd="T2", name="up")
+        builder.track("p1", "p2", length_km=1.0, ttd="T3", name="down")
+        builder.track("p2", "B", length_km=1.0, ttd="T4", name="staB")
+    else:
+        builder.link("m1").boundary("B")
+        length = draw(st.sampled_from([0.5, 1.0, 1.5]))
+        builder.track("A", "m1", length_km=1.0, ttd="T1", name="staA")
+        builder.track("m1", "B", length_km=length, ttd="T2", name="staB")
+    builder.station("A", ["staA"]).station("B", ["staB"])
+    return builder.build()
+
+
+@st.composite
+def tiny_schedules(draw):
+    """1-2 trains, possibly opposing, short horizon."""
+    num_trains = draw(st.integers(1, 2))
+    runs = []
+    for i in range(num_trains):
+        eastbound = draw(st.booleans())
+        dep = draw(st.sampled_from([0.0, 0.5, 1.0]))
+        arrival = draw(st.sampled_from([None, 2.5, 3.5, 4.5]))
+        if arrival is not None and arrival <= dep:
+            arrival = dep + 2.0
+        runs.append(
+            TrainRun(
+                Train(f"t{i}", 100, draw(st.sampled_from([60, 120]))),
+                start="A" if eastbound else "B",
+                goal="B" if eastbound else "A",
+                departure_min=dep,
+                arrival_min=arrival,
+            )
+        )
+    return Schedule(runs, duration_min=5.0)
+
+
+class TestCrossValidation:
+    @given(tiny_networks(), tiny_schedules(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_explicit_agrees_with_sat(self, network, schedule, finest):
+        """The headline three-way check: the explicit-state semantics and
+        the (cone-reduced) SAT encoding give identical verdicts."""
+        net = DiscreteNetwork(network, 0.5)
+        layout = (
+            VSSLayout.finest(net) if finest else VSSLayout.pure_ttd(net)
+        )
+        explicit = explicit_verify(net, schedule, 0.5, layout=layout)
+        sat = verify_schedule(net, schedule, 0.5, layout=layout)
+        assert explicit == sat.satisfiable
+
+
+class TestWitnesses:
+    def test_witness_validates(self, micro_net, single_train_schedule):
+        """The explicit checker's witness passes the independent validator:
+        the triangle (encoder, validator, explicit) closes."""
+
+        from repro.encoding.decode import Solution, TrainTrajectory
+        from repro.encoding.encoder import EtcsEncoding
+        from repro.encoding.validate import validate_solution
+
+        layout = VSSLayout.finest(micro_net)
+        verdict, trajectories = explicit_verify(
+            micro_net, single_train_schedule, 0.5, layout=layout,
+            return_witness=True,
+        )
+        assert verdict and trajectories is not None
+        encoding = EtcsEncoding(micro_net, single_train_schedule, 0.5).build()
+        goal = set(encoding.runs[0].goal_segments)
+        steps = trajectories[0]
+        arrival = next(
+            (t for t, occ in enumerate(steps) if occ & goal), None
+        )
+        gone_from = next(
+            (t for t in range(encoding.runs[0].departure_step + 1,
+                              encoding.t_max)
+             if not steps[t] and steps[t - 1]),
+            None,
+        )
+        solution = Solution(
+            layout=layout,
+            trajectories=[
+                TrainTrajectory(
+                    name="T", steps=list(steps),
+                    arrival_step=arrival, gone_from=gone_from,
+                )
+            ],
+            makespan=arrival,
+            t_max=encoding.t_max,
+        )
+        assert validate_solution(encoding, solution) == []
+
+    def test_infeasible_returns_no_witness(self, micro_net):
+        run = TrainRun(Train("T", 100, 60), "A", "B", 0.0, 1.0)
+        verdict, trajectories = explicit_verify(
+            micro_net, Schedule([run], 5.0), 0.5, return_witness=True
+        )
+        assert not verdict and trajectories is None
+
+    def test_wanderer_witness_validates(self, micro_net):
+        """The blocked-exit wanderer's witness also passes the validator."""
+        from repro.encoding.decode import Solution, TrainTrajectory
+        from repro.encoding.encoder import EtcsEncoding
+        from repro.encoding.validate import validate_solution
+
+        schedule = Schedule(
+            [
+                TrainRun(Train("E", 100, 60), "A", "B", 0.0, None),
+                TrainRun(Train("W", 100, 60), "B", "A", 0.0, None),
+            ],
+            duration_min=5.0,
+        )
+        layout = VSSLayout.finest(micro_net)
+        verdict, trajectories = explicit_verify(
+            micro_net, schedule, 0.5, layout=layout, return_witness=True
+        )
+        assert verdict
+        encoding = EtcsEncoding(micro_net, schedule, 0.5).build()
+        decoded = []
+        for i, run in enumerate(encoding.runs):
+            goal = set(run.goal_segments)
+            steps = list(trajectories[i])
+            arrival = next(
+                (t for t, occ in enumerate(steps) if occ & goal), None
+            )
+            gone_from = next(
+                (t for t in range(run.departure_step + 1, encoding.t_max)
+                 if not steps[t] and steps[t - 1]),
+                None,
+            )
+            decoded.append(
+                TrainTrajectory(
+                    name=run.name, steps=steps,
+                    arrival_step=arrival, gone_from=gone_from,
+                )
+            )
+        solution = Solution(
+            layout=layout,
+            trajectories=decoded,
+            makespan=max(t.arrival_step for t in decoded),
+            t_max=encoding.t_max,
+        )
+        assert validate_solution(encoding, solution) == []

@@ -1,0 +1,156 @@
+"""Tests for cardinality encodings: every encoding must admit exactly the
+assignments its constraint describes (checked by model enumeration)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.logic import (
+    CNF,
+    VarPool,
+    at_least_k,
+    at_least_one,
+    at_most_k_sequential,
+    at_most_one_commander,
+    at_most_one_ladder,
+    at_most_one_pairwise,
+    exactly_k,
+    exactly_one,
+)
+from repro.sat import SolveResult
+
+
+def enumerate_models(cnf: CNF, variables: list[int]) -> set[tuple[bool, ...]]:
+    solver = cnf.to_solver()
+    found = set()
+    while solver.solve() is SolveResult.SAT:
+        model = tuple(bool(solver.model_value(v)) for v in variables)
+        found.add(model)
+        solver.add_clause([-v if solver.model_value(v) else v for v in variables])
+    return found
+
+
+def fresh(n: int) -> tuple[CNF, list[int]]:
+    cnf = CNF(VarPool())
+    return cnf, [cnf.pool.var(("x", i)) for i in range(n)]
+
+
+AMO_ENCODERS = [at_most_one_pairwise, at_most_one_ladder, at_most_one_commander]
+
+
+class TestAtMostOne:
+    @pytest.mark.parametrize("encoder", AMO_ENCODERS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7])
+    def test_admits_exactly_amo_models(self, encoder, n):
+        cnf, lits = fresh(n)
+        encoder(cnf, lits)
+        models = enumerate_models(cnf, lits)
+        assert models == {
+            m for m in models_universe(n) if sum(m) <= 1
+        }
+
+    @pytest.mark.parametrize("encoder", AMO_ENCODERS)
+    def test_works_on_negated_literals(self, encoder):
+        cnf, lits = fresh(4)
+        encoder(cnf, [-lit for lit in lits])
+        models = enumerate_models(cnf, lits)
+        # at most one FALSE variable
+        assert models == {m for m in models_universe(4) if sum(m) >= 3}
+
+    def test_commander_rejects_tiny_groups(self):
+        cnf, lits = fresh(3)
+        with pytest.raises(ValueError):
+            at_most_one_commander(cnf, lits, group_size=1)
+
+
+def models_universe(n: int) -> set[tuple[bool, ...]]:
+    import itertools
+
+    return set(itertools.product([False, True], repeat=n))
+
+
+class TestExactlyOne:
+    @pytest.mark.parametrize("amo", ["pairwise", "ladder", "commander"])
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_exactly_one(self, amo, n):
+        cnf, lits = fresh(n)
+        exactly_one(cnf, lits, amo=amo)
+        models = enumerate_models(cnf, lits)
+        assert len(models) == n
+        assert all(sum(m) == 1 for m in models)
+
+    def test_empty_raises(self):
+        cnf, __ = fresh(0)
+        with pytest.raises(ValueError):
+            exactly_one(cnf, [])
+
+    def test_unknown_amo(self):
+        cnf, lits = fresh(3)
+        with pytest.raises(ValueError):
+            exactly_one(cnf, lits, amo="nope")
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_counts(self, n):
+        for k in range(n + 1):
+            cnf, lits = fresh(n)
+            at_most_k_sequential(cnf, lits, k)
+            models = enumerate_models(cnf, lits)
+            expected = sum(math.comb(n, j) for j in range(k + 1))
+            assert len(models) == expected
+            assert all(sum(m) <= k for m in models)
+
+    def test_k_zero_forces_all_false(self):
+        cnf, lits = fresh(4)
+        at_most_k_sequential(cnf, lits, 0)
+        models = enumerate_models(cnf, lits)
+        assert models == {(False,) * 4}
+
+    def test_k_ge_n_unconstrained(self):
+        cnf, lits = fresh(3)
+        at_most_k_sequential(cnf, lits, 3)
+        assert cnf.num_clauses == 0
+
+    def test_negative_k_rejected(self):
+        cnf, lits = fresh(3)
+        with pytest.raises(ValueError):
+            at_most_k_sequential(cnf, lits, -1)
+
+
+class TestAtLeastK:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_counts(self, n):
+        for k in range(n + 2):
+            cnf, lits = fresh(n)
+            at_least_k(cnf, lits, k)
+            models = enumerate_models(cnf, lits)
+            expected = sum(math.comb(n, j) for j in range(k, n + 1))
+            assert len(models) == expected
+
+    def test_impossible_bound_is_unsat(self):
+        cnf, lits = fresh(2)
+        at_least_k(cnf, lits, 3)
+        assert cnf.to_solver().solve() is SolveResult.UNSAT
+
+    def test_at_least_one_single_clause(self):
+        cnf, lits = fresh(3)
+        at_least_one(cnf, lits)
+        assert cnf.num_clauses == 1
+
+    def test_at_least_one_empty_raises(self):
+        cnf, __ = fresh(0)
+        with pytest.raises(ValueError):
+            at_least_one(cnf, [])
+
+
+class TestExactlyK:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (5, 0), (4, 4)])
+    def test_counts(self, n, k):
+        cnf, lits = fresh(n)
+        exactly_k(cnf, lits, k)
+        models = enumerate_models(cnf, lits)
+        assert len(models) == math.comb(n, k)
+        assert all(sum(m) == k for m in models)

@@ -1,0 +1,106 @@
+"""Tests for VarPool and CNF containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import CNF, VarPool
+from repro.sat import SolveResult
+
+
+class TestVarPool:
+    def test_names_get_distinct_numbers(self):
+        pool = VarPool()
+        a = pool.var(("x", 1))
+        b = pool.var(("x", 2))
+        assert a != b
+        assert pool.var(("x", 1)) == a  # stable
+
+    def test_lookup_and_name_of(self):
+        pool = VarPool()
+        a = pool.var("a")
+        assert pool.lookup("a") == a
+        assert pool.lookup("b") is None
+        assert pool.name_of(a) == "a"
+
+    def test_aux_vars_are_anonymous(self):
+        pool = VarPool()
+        pool.var("named")
+        aux = pool.new_aux()
+        assert pool.name_of(aux) is None
+        assert pool.num_aux == 1
+        assert pool.num_named == 1
+        assert pool.num_vars == 2
+
+    def test_aux_and_named_never_collide(self):
+        pool = VarPool()
+        numbers = set()
+        for i in range(50):
+            numbers.add(pool.var(("n", i)))
+            numbers.add(pool.new_aux())
+        assert len(numbers) == 100
+
+    def test_contains(self):
+        pool = VarPool()
+        pool.var("x")
+        assert "x" in pool
+        assert "y" not in pool
+
+    def test_empty_pool_is_falsy_but_usable(self):
+        # Regression: `pool or VarPool()` used to silently replace an empty
+        # shared pool because VarPool defines __len__.
+        pool = VarPool()
+        assert len(pool) == 0
+        cnf = CNF(pool)
+        assert cnf.pool is pool
+        from repro.encoding.variables import VariableRegistry
+
+        registry = VariableRegistry(pool)
+        assert registry.pool is pool
+
+
+class TestCNF:
+    def test_add_and_count(self):
+        cnf = CNF()
+        cnf.add([1, -2])
+        cnf.add_unit(3)
+        cnf.add_implication(1, [4, 5])
+        assert cnf.num_clauses == 3
+        assert cnf.clauses[2] == [-1, 4, 5]
+        assert cnf.literals_size() == 6
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            CNF().add([1, 0])
+
+    def test_add_all(self):
+        cnf = CNF()
+        cnf.add_all([[1], [2, 3]])
+        assert cnf.num_clauses == 2
+
+    def test_to_solver_roundtrip(self):
+        cnf = CNF()
+        a = cnf.pool.var("a")
+        b = cnf.pool.var("b")
+        cnf.add([a, b])
+        cnf.add([-a])
+        solver = cnf.to_solver()
+        assert solver.solve() is SolveResult.SAT
+        assert solver.model_value(b) is True
+
+    def test_to_solver_reuses_given_solver(self):
+        from repro.sat import Solver
+
+        cnf = CNF()
+        a = cnf.pool.var("a")
+        cnf.add([a])
+        solver = Solver()
+        returned = cnf.to_solver(solver)
+        assert returned is solver
+
+    def test_to_solver_declares_all_vars(self):
+        cnf = CNF()
+        cnf.pool.var("unused1")
+        cnf.pool.var("unused2")
+        solver = cnf.to_solver()
+        assert solver.num_vars >= 2

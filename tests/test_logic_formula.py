@@ -1,0 +1,83 @@
+"""Tests for the Boolean formula AST."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.logic import And, FALSE, Iff, Implies, Not, Or, TRUE, Var
+
+
+def assignments(variables):
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+class TestConstruction:
+    def test_operator_overloading(self):
+        a, b = Var(1), Var(2)
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+        assert isinstance(a >> b, Implies)
+
+    def test_nested_ands_flatten(self):
+        a, b, c = Var(1), Var(2), Var(3)
+        formula = (a & b) & c
+        assert len(formula.children) == 3
+
+    def test_nested_ors_flatten(self):
+        a, b, c = Var(1), Var(2), Var(3)
+        formula = a | (b | c)
+        assert len(formula.children) == 3
+
+    def test_var_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Var(0)
+
+    def test_atoms(self):
+        a, b, c = Var(1), Var(-2), Var(3)
+        formula = Iff(a & b, Implies(c, a))
+        assert formula.atoms() == {1, 2, 3}
+
+
+class TestEvaluation:
+    def test_constants(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_negative_literal(self):
+        assert Var(-1).evaluate({1: False}) is True
+        assert Var(-1).evaluate({1: True}) is False
+
+    def test_implies_truth_table(self):
+        a, b = Var(1), Var(2)
+        formula = a >> b
+        expected = {(False, False): True, (False, True): True,
+                    (True, False): False, (True, True): True}
+        for (va, vb), result in expected.items():
+            assert formula.evaluate({1: va, 2: vb}) is result
+
+    def test_iff_truth_table(self):
+        formula = Iff(Var(1), Var(2))
+        for assignment in assignments([1, 2]):
+            assert formula.evaluate(assignment) == (
+                assignment[1] == assignment[2]
+            )
+
+    def test_de_morgan_holds(self):
+        a, b = Var(1), Var(2)
+        lhs = ~(a & b)
+        rhs = ~a | ~b
+        for assignment in assignments([1, 2]):
+            assert lhs.evaluate(assignment) == rhs.evaluate(assignment)
+
+    def test_empty_and_or(self):
+        assert And().evaluate({}) is True
+        assert Or().evaluate({}) is False
+
+    def test_repr_smoke(self):
+        formula = Iff(Var(1) & Var(2), ~Var(3))
+        assert "Iff" in repr(formula)
+        assert "TRUE" == repr(TRUE)

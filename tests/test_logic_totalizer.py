@@ -1,0 +1,115 @@
+"""Tests for the incremental totalizer encoding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.logic import CNF, Totalizer, VarPool
+from repro.sat import SolveResult
+
+
+def fresh(n: int) -> tuple[CNF, list[int]]:
+    cnf = CNF(VarPool())
+    return cnf, [cnf.pool.var(("x", i)) for i in range(n)]
+
+
+def count_models(cnf, variables, assumptions=()):
+    solver = cnf.to_solver()
+    count = 0
+    while solver.solve(list(assumptions)) is SolveResult.SAT:
+        count += 1
+        solver.add_clause(
+            [-v if solver.model_value(v) else v for v in variables]
+        )
+    return count
+
+
+class TestBoundsViaAssumptions:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_upper_bound_assumption(self, n):
+        cnf, lits = fresh(n)
+        totalizer = Totalizer(cnf, lits)
+        for k in range(n):
+            expected = sum(math.comb(n, j) for j in range(k + 1))
+            assert count_models(cnf, lits, [totalizer.bound_literal(k)]) == expected
+
+    def test_bound_literal_range_checked(self):
+        cnf, lits = fresh(3)
+        totalizer = Totalizer(cnf, lits)
+        with pytest.raises(ValueError):
+            totalizer.bound_literal(3)
+        with pytest.raises(ValueError):
+            totalizer.bound_literal(-1)
+
+    def test_incremental_tightening(self):
+        """The same solver instance answers a sequence of bounds correctly."""
+        cnf, lits = fresh(5)
+        totalizer = Totalizer(cnf, lits)
+        cnf.add(lits[:3])  # at least one of the first three
+        solver = cnf.to_solver()
+        for k in (4, 3, 2, 1):
+            assert solver.solve([totalizer.bound_literal(k)]) is SolveResult.SAT
+            true_count = sum(bool(solver.model_value(v)) for v in lits)
+            assert true_count <= k
+        assert solver.solve([totalizer.bound_literal(0)]) is SolveResult.UNSAT
+
+
+class TestPermanentBounds:
+    @pytest.mark.parametrize("n,k", [(4, 0), (4, 2), (5, 3), (3, 3)])
+    def test_assert_at_most(self, n, k):
+        cnf, lits = fresh(n)
+        totalizer = Totalizer(cnf, lits)
+        totalizer.assert_at_most(k)
+        expected = sum(math.comb(n, j) for j in range(min(k, n) + 1))
+        assert count_models(cnf, lits) == expected
+
+    @pytest.mark.parametrize("n,k", [(4, 0), (4, 1), (4, 4), (5, 2)])
+    def test_assert_at_least(self, n, k):
+        cnf, lits = fresh(n)
+        totalizer = Totalizer(cnf, lits)
+        totalizer.assert_at_least(k)
+        expected = sum(math.comb(n, j) for j in range(k, n + 1))
+        assert count_models(cnf, lits) == expected
+
+    def test_assert_at_least_too_many(self):
+        cnf, lits = fresh(3)
+        totalizer = Totalizer(cnf, lits)
+        with pytest.raises(ValueError):
+            totalizer.assert_at_least(4)
+
+    def test_window_bounds_combine(self):
+        cnf, lits = fresh(5)
+        totalizer = Totalizer(cnf, lits)
+        totalizer.assert_at_least(2)
+        totalizer.assert_at_most(3)
+        expected = math.comb(5, 2) + math.comb(5, 3)
+        assert count_models(cnf, lits) == expected
+
+
+class TestStructure:
+    def test_outputs_sorted_semantics(self):
+        """out[i] true  <=>  more than i inputs true (on complete models)."""
+        cnf, lits = fresh(4)
+        totalizer = Totalizer(cnf, lits)
+        solver = cnf.to_solver()
+        while solver.solve() is SolveResult.SAT:
+            count = sum(bool(solver.model_value(v)) for v in lits)
+            for i, out in enumerate(totalizer.outputs):
+                assert bool(solver.model_value(out)) == (count > i)
+            solver.add_clause(
+                [-v if solver.model_value(v) else v
+                 for v in lits + totalizer.outputs]
+            )
+
+    def test_empty_inputs_rejected(self):
+        cnf, __ = fresh(0)
+        with pytest.raises(ValueError):
+            Totalizer(cnf, [])
+
+    def test_single_input_has_no_aux(self):
+        cnf, lits = fresh(1)
+        totalizer = Totalizer(cnf, lits)
+        assert totalizer.outputs == lits
+        assert cnf.pool.num_aux == 0

@@ -1,0 +1,113 @@
+"""Tests for the Tseitin / Plaisted–Greenbaum transformation.
+
+The key property: for every assignment of the *original* variables, the CNF
+is satisfiable with that assignment iff the formula evaluates to true
+(equisatisfiability with projection).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.logic import And, CNF, FALSE, Iff, Implies, Not, Or, TRUE, Var, VarPool, to_cnf
+from repro.sat import SolveResult
+
+
+def models_projected(formula, variables, polarity_aware):
+    """Solve the CNF and enumerate models projected to `variables`."""
+    pool = VarPool()
+    for variable in variables:
+        pool.var(variable)
+    cnf = CNF(pool)
+    to_cnf(formula, cnf, polarity_aware=polarity_aware)
+    solver = cnf.to_solver()
+    found = set()
+    while solver.solve() is SolveResult.SAT:
+        assignment = tuple(bool(solver.model_value(v)) for v in variables)
+        found.add(assignment)
+        solver.add_clause(
+            [-v if solver.model_value(v) else v for v in variables]
+        )
+    return found
+
+
+def truth_table(formula, variables):
+    expected = set()
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if formula.evaluate(assignment):
+            expected.add(bits)
+    return expected
+
+
+FORMULAS = [
+    Var(1) & Var(2),
+    Var(1) | ~Var(2),
+    Implies(Var(1), Var(2) & Var(3)),
+    Iff(Var(1) | Var(2), ~Var(3)),
+    ~(Var(1) & (Var(2) | ~Var(3))),
+    And(Or(Var(1), Var(2)), Or(~Var(1), Var(3)), Or(~Var(2), ~Var(3))),
+    Iff(Iff(Var(1), Var(2)), Var(3)),
+    (Var(1) >> Var(2)) & (Var(2) >> Var(3)) & (Var(3) >> Var(1)),
+]
+
+
+@pytest.mark.parametrize("polarity_aware", [False, True])
+@pytest.mark.parametrize("formula", FORMULAS)
+def test_models_match_truth_table(formula, polarity_aware):
+    variables = sorted(formula.atoms())
+    assert models_projected(formula, variables, polarity_aware) == truth_table(
+        formula, variables
+    )
+
+
+def test_constant_true_adds_nothing():
+    cnf = CNF()
+    to_cnf(TRUE, cnf)
+    assert cnf.num_clauses == 0
+
+
+def test_constant_false_is_unsat():
+    cnf = CNF()
+    to_cnf(FALSE, cnf)
+    assert cnf.to_solver().solve() is SolveResult.UNSAT
+
+
+def test_simplification_folds_constants():
+    cnf = CNF()
+    a = cnf.pool.var("a")
+    to_cnf(And(Var(a), TRUE, Or(FALSE, Var(a))), cnf)
+    solver = cnf.to_solver()
+    assert solver.solve() is SolveResult.SAT
+    assert solver.model_value(a) is True
+
+
+def test_polarity_aware_is_smaller():
+    formula = And(*[Or(Var(3 * i + 1), Var(3 * i + 2) & Var(3 * i + 3))
+                    for i in range(5)])
+    sizes = {}
+    for aware in (False, True):
+        cnf = CNF()
+        for v in sorted(formula.atoms()):
+            cnf.pool.var(v)
+        to_cnf(formula, cnf, polarity_aware=aware)
+        sizes[aware] = cnf.num_clauses
+    assert sizes[True] < sizes[False]
+
+
+def test_double_negation():
+    formula = Not(Not(Var(1)))
+    assert models_projected(formula, [1], True) == {(True,)}
+
+
+def test_shared_subformula_encoded_once():
+    shared = Var(1) & Var(2)
+    formula = Or(shared, shared)  # identical object twice
+    cnf = CNF()
+    cnf.pool.var(1)
+    cnf.pool.var(2)
+    to_cnf(formula, cnf)
+    # One aux for the And (shared), maybe one for the Or.
+    assert cnf.pool.num_aux <= 2

@@ -1,0 +1,92 @@
+"""Tests for the fluent network builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.builder import NetworkBuilder
+from repro.network.topology import NetworkError, NodeKind
+
+
+class TestBuilder:
+    def test_basic_chain(self):
+        network = (
+            NetworkBuilder()
+            .boundary("A")
+            .link("m")
+            .boundary("B")
+            .track("A", "m", length_km=1.0, ttd="T1")
+            .track("m", "B", length_km=2.0, ttd="T2")
+            .build()
+        )
+        assert set(network.tracks) == {"A-m", "m-B"}
+        assert network.nodes["A"].kind is NodeKind.BOUNDARY
+        assert network.nodes["m"].kind is NodeKind.LINK
+
+    def test_named_track(self):
+        network = (
+            NetworkBuilder()
+            .boundary("A")
+            .boundary("B")
+            .track("A", "B", length_km=1.0, ttd="T", name="main")
+            .build()
+        )
+        assert "main" in network.tracks
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(NetworkError):
+            NetworkBuilder().boundary("A").link("A")
+
+    def test_duplicate_track_rejected(self):
+        builder = (
+            NetworkBuilder()
+            .boundary("A")
+            .boundary("B")
+            .track("A", "B", length_km=1.0, ttd="T", name="x")
+        )
+        with pytest.raises(NetworkError):
+            builder.track("A", "B", length_km=1.0, ttd="T", name="x")
+
+    def test_track_requires_declared_nodes(self):
+        with pytest.raises(NetworkError, match="declare nodes"):
+            NetworkBuilder().boundary("A").track("A", "B", 1.0, "T")
+
+    def test_duplicate_station_rejected(self):
+        builder = (
+            NetworkBuilder()
+            .boundary("A")
+            .boundary("B")
+            .track("A", "B", 1.0, "T")
+            .station("S", ["A-B"])
+        )
+        with pytest.raises(NetworkError):
+            builder.station("S", ["A-B"])
+
+    def test_line_helper(self):
+        network = (
+            NetworkBuilder()
+            .boundary("A")
+            .link("m1")
+            .link("m2")
+            .boundary("B")
+            .line(["A", "m1", "m2", "B"], length_km=1.0, ttd="T",
+                  name_prefix="seg")
+            .build()
+        )
+        assert set(network.tracks) == {"seg.0", "seg.1", "seg.2"}
+        assert network.total_length_km == pytest.approx(3.0)
+
+    def test_line_needs_two_nodes(self):
+        with pytest.raises(NetworkError):
+            NetworkBuilder().boundary("A").line(["A"], 1.0, "T")
+
+    def test_build_validates(self):
+        # A dangling link node fails network validation at build time.
+        builder = (
+            NetworkBuilder()
+            .boundary("A")
+            .link("m")
+            .track("A", "m", 1.0, "T")
+        )
+        with pytest.raises(NetworkError):
+            builder.build()

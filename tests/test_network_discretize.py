@@ -1,0 +1,116 @@
+"""Tests for the spatial discretisation into the segment graph G=(V,E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.discretize import DiscreteNetwork
+from repro.network.topology import NetworkError
+
+
+class TestSegmentation:
+    def test_segment_counts(self, micro_net):
+        # Three 1 km tracks at r_s = 0.5 km -> 2 segments each.
+        assert micro_net.num_segments == 6
+        for track in ("staA", "mid", "staB"):
+            assert len(micro_net.track_segments(track)) == 2
+
+    def test_segment_lengths_sum_to_track(self, micro_line):
+        net = DiscreteNetwork(micro_line, 0.3)
+        for track_name, track in micro_line.tracks.items():
+            total = sum(
+                net.segments[s].length_km
+                for s in net.track_segments(track_name)
+            )
+            assert total == pytest.approx(track.length_km)
+
+    def test_short_track_yields_one_segment(self, micro_line):
+        net = DiscreteNetwork(micro_line, 5.0)
+        assert net.num_segments == 3
+
+    def test_segments_chain_through_track(self, micro_net):
+        for track in ("staA", "mid", "staB"):
+            ids = micro_net.track_segments(track)
+            for first, second in zip(ids, ids[1:]):
+                a = micro_net.segments[first]
+                b = micro_net.segments[second]
+                assert a.v == b.u  # consecutive slices share a vertex
+
+    def test_vertex_count(self, micro_net):
+        # 4 original nodes + 1 interior per track.
+        assert micro_net.num_vertices == 7
+
+    def test_invalid_resolution(self, micro_line):
+        with pytest.raises(NetworkError):
+            DiscreteNetwork(micro_line, 0.0)
+
+    def test_ttd_inheritance(self, micro_net):
+        for seg in micro_net.segments:
+            assert seg.ttd == micro_net.network.tracks[seg.track].ttd
+        assert micro_net.num_ttds == 3
+
+    def test_unknown_track_query(self, micro_net):
+        with pytest.raises(NetworkError):
+            micro_net.track_segments("nope")
+        with pytest.raises(NetworkError):
+            micro_net.vertex_of_node("nope")
+
+
+class TestAdjacency:
+    def test_neighbours_symmetric(self, loop_net):
+        for seg_id, neighbours in enumerate(loop_net.seg_neighbours):
+            for other in neighbours:
+                assert seg_id in loop_net.seg_neighbours[other]
+
+    def test_switch_connects_all_incident(self, loop_net):
+        p1 = loop_net.vertex_of_node("p1")
+        incident = loop_net.segments_at[p1]
+        assert len(incident) == 3
+        for a in incident:
+            for b in incident:
+                if a != b:
+                    assert b in loop_net.seg_neighbours[a]
+
+    def test_interior_degree_two(self, micro_net):
+        interior_vertices = [
+            v for v in range(micro_net.num_vertices)
+            if len(micro_net.segments_at[v]) == 2
+        ]
+        assert len(interior_vertices) >= 3
+
+
+class TestForcedBorders:
+    def test_boundary_and_switch_forced(self, loop_net):
+        for name in ("A", "B", "p1", "p2"):
+            assert loop_net.vertex_of_node(name) in loop_net.forced_borders
+
+    def test_interior_not_forced(self, loop_net):
+        free = loop_net.free_border_candidates()
+        # One interior vertex per 1 km track at r_s = 0.5.
+        assert len(free) == 4
+        assert set(free).isdisjoint(loop_net.forced_borders)
+
+    def test_ttd_boundary_forced(self, micro_line):
+        # micro_line has 3 one-track TTDs: m1/m2 are TTD borders.
+        net = DiscreteNetwork(micro_line, 0.5)
+        assert net.vertex_of_node("m1") in net.forced_borders
+        assert net.vertex_of_node("m2") in net.forced_borders
+
+    def test_border_candidates_cover_all_vertices(self, micro_net):
+        assert micro_net.border_candidates() == list(
+            range(micro_net.num_vertices)
+        )
+
+
+class TestStations:
+    def test_station_segments(self, micro_net):
+        assert micro_net.station_segments("A") == micro_net.track_segments("staA")
+
+    def test_multi_track_station(self, loop_net):
+        # Make a station out of both loop tracks.
+        loop_net.network.stations["L"] = ["up", "down"]
+        segments = loop_net.station_segments("L")
+        assert len(segments) == 4
+
+    def test_repr(self, micro_net):
+        assert "6 segments" in repr(micro_net)

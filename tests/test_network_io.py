@@ -1,0 +1,83 @@
+"""Tests for network JSON serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.io import (
+    load_network,
+    network_from_json,
+    network_to_json,
+    save_network,
+)
+from repro.network.topology import NetworkError
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_structure(self, loop_line):
+        text = network_to_json(loop_line)
+        restored = network_from_json(text)
+        assert set(restored.nodes) == set(loop_line.nodes)
+        assert set(restored.tracks) == set(loop_line.tracks)
+        assert restored.stations == loop_line.stations
+        for name, track in loop_line.tracks.items():
+            other = restored.tracks[name]
+            assert (other.node_a, other.node_b) == (track.node_a, track.node_b)
+            assert other.length_km == track.length_km
+            assert other.ttd == track.ttd
+        for name, node in loop_line.nodes.items():
+            assert restored.nodes[name].kind == node.kind
+
+    def test_file_roundtrip(self, micro_line, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(micro_line, path)
+        restored = load_network(path)
+        assert set(restored.tracks) == set(micro_line.tracks)
+
+    def test_discretization_identical_after_roundtrip(self, loop_line):
+        from repro.network.discretize import DiscreteNetwork
+
+        original = DiscreteNetwork(loop_line, 0.5)
+        restored = DiscreteNetwork(
+            network_from_json(network_to_json(loop_line)), 0.5
+        )
+        assert original.num_segments == restored.num_segments
+        assert original.num_vertices == restored.num_vertices
+        assert original.forced_borders == restored.forced_borders
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(NetworkError, match="invalid JSON"):
+            network_from_json("{nope")
+
+    def test_missing_fields(self):
+        with pytest.raises(NetworkError, match="malformed"):
+            network_from_json('{"nodes": [{"name": "a"}], "tracks": [{}]}')
+
+    def test_semantic_validation_still_applies(self):
+        # Structurally valid JSON, semantically broken network.
+        text = """
+        {"nodes": [{"name": "a", "kind": "boundary"},
+                   {"name": "b", "kind": "boundary"},
+                   {"name": "c", "kind": "boundary"}],
+         "tracks": [{"name": "t", "a": "a", "b": "b",
+                     "length_km": 1.0, "ttd": "T"}]}
+        """
+        with pytest.raises(NetworkError):
+            network_from_json(text)
+
+    def test_default_node_kind_is_link(self):
+        text = """
+        {"nodes": [{"name": "a", "kind": "boundary"},
+                   {"name": "m"},
+                   {"name": "b", "kind": "boundary"}],
+         "tracks": [{"name": "t1", "a": "a", "b": "m",
+                     "length_km": 1.0, "ttd": "T1"},
+                    {"name": "t2", "a": "m", "b": "b",
+                     "length_km": 1.0, "ttd": "T2"}]}
+        """
+        network = network_from_json(text)
+        from repro.network.topology import NodeKind
+
+        assert network.nodes["m"].kind is NodeKind.LINK

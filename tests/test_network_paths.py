@@ -1,0 +1,160 @@
+"""Tests for the graph queries: chains, reachable, between, path interiors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.paths import (
+    TTDPathIndex,
+    chains,
+    interior_segments_of_paths,
+    reachable,
+    segment_distances,
+)
+from repro.network.topology import NetworkError
+
+
+class TestChains:
+    def test_chains_of_one_are_segments(self, micro_net):
+        result = chains(micro_net, 1)
+        assert result == [(s.id,) for s in micro_net.segments]
+
+    def test_chains_of_two_on_line(self, micro_net):
+        result = chains(micro_net, 2)
+        # 6 segments in a line -> 5 adjacent pairs.
+        assert len(result) == 5
+        for chain in result:
+            assert chain[1] in micro_net.seg_neighbours[chain[0]]
+
+    def test_chains_canonical_orientation(self, micro_net):
+        for chain in chains(micro_net, 3):
+            assert chain <= tuple(reversed(chain))
+
+    def test_chains_through_switch(self, loop_net):
+        result = chains(loop_net, 2)
+        # At p1 three segments meet: all three pairs are chains.
+        p1 = loop_net.vertex_of_node("p1")
+        incident = loop_net.segments_at[p1]
+        for a in incident:
+            for b in incident:
+                if a < b:
+                    assert (min((a, b), (b, a)),) is not None
+                    assert (a, b) in result or (b, a) in result
+
+    def test_chains_no_vertex_repetition(self, loop_net):
+        # The loop has a cycle of 4 segments; a chain of 4 closing the cycle
+        # would revisit its starting vertex and must be excluded.
+        for chain in chains(loop_net, 4):
+            vertices = []
+            for seg_id in chain:
+                seg = loop_net.segments[seg_id]
+                vertices.extend([seg.u, seg.v])
+            # A path of n segments touches n+1 distinct vertices.
+            assert len(set(vertices)) == len(chain) + 1
+
+    def test_invalid_length(self, micro_net):
+        with pytest.raises(NetworkError):
+            chains(micro_net, 0)
+
+
+class TestReachable:
+    def test_includes_source(self, micro_net):
+        assert 0 in reachable(micro_net, 0, 0)
+        assert reachable(micro_net, 0, 0) == [0]
+
+    def test_radius_one(self, micro_net):
+        result = set(reachable(micro_net, 2, 1))
+        assert result == {2} | set(micro_net.seg_neighbours[2])
+
+    def test_full_radius_covers_everything(self, micro_net):
+        assert len(reachable(micro_net, 0, 10)) == micro_net.num_segments
+
+    def test_negative_radius_rejected(self, micro_net):
+        with pytest.raises(NetworkError):
+            reachable(micro_net, 0, -1)
+
+    def test_distances_match_reachable(self, loop_net):
+        for source in range(loop_net.num_segments):
+            dist = segment_distances(loop_net, source)
+            for radius in range(4):
+                expected = {
+                    e for e in range(loop_net.num_segments)
+                    if 0 <= dist[e] <= radius
+                }
+                assert set(reachable(loop_net, source, radius)) == expected
+
+
+class TestBetween:
+    def test_between_adjacent(self, micro_net):
+        index = TTDPathIndex(micro_net)
+        ids = micro_net.track_segments("staA")
+        joint = set(index.between(ids[0], ids[1]))
+        seg_a, seg_b = micro_net.segments[ids[0]], micro_net.segments[ids[1]]
+        assert joint == ({seg_a.u, seg_a.v} & {seg_b.u, seg_b.v})
+
+    def test_between_is_symmetric(self, micro_net):
+        index = TTDPathIndex(micro_net)
+        ids = micro_net.track_segments("mid")
+        assert index.between(ids[0], ids[1]) == index.between(ids[1], ids[0])
+
+    def test_between_same_segment_empty(self, micro_net):
+        index = TTDPathIndex(micro_net)
+        assert index.between(0, 0) == []
+
+    def test_between_rejects_cross_ttd(self, micro_net):
+        index = TTDPathIndex(micro_net)
+        a = micro_net.track_segments("staA")[0]
+        b = micro_net.track_segments("staB")[0]
+        with pytest.raises(NetworkError):
+            index.between(a, b)
+
+    def test_multi_segment_ttd_ordering(self, micro_line):
+        from repro.network.discretize import DiscreteNetwork
+
+        net = DiscreteNetwork(micro_line, 0.25)  # 4 segments per track
+        index = TTDPathIndex(net)
+        ordered = index.ordered_segments("TTD2")
+        assert len(ordered) == 4
+        # Path order: consecutive entries adjacent.
+        for a, b in zip(ordered, ordered[1:]):
+            assert b in net.seg_neighbours[a]
+        ends = [ordered[0], ordered[-1]]
+        count = len(index.between(ends[0], ends[1]))
+        assert count == 3  # three internal joints in a 4-segment path
+
+
+class TestPathInteriors:
+    def test_adjacent_segments_have_empty_interior(self, micro_net):
+        assert interior_segments_of_paths(micro_net, 0, 1, 2) == set()
+
+    def test_line_interior(self, micro_net):
+        # Segments 0 and 3 on a line: interior must be {1, 2}.
+        ids = [s.id for s in micro_net.segments]
+        ordered = micro_net.track_segments("staA") + micro_net.track_segments(
+            "mid"
+        ) + micro_net.track_segments("staB")
+        e, f = ordered[0], ordered[3]
+        interior = interior_segments_of_paths(micro_net, e, f, 4)
+        assert interior == {ordered[1], ordered[2]}
+
+    def test_max_edges_bounds_search(self, micro_net):
+        ordered = micro_net.track_segments("staA") + micro_net.track_segments(
+            "mid"
+        ) + micro_net.track_segments("staB")
+        e, f = ordered[0], ordered[3]
+        # A path e..f needs 4 edges; with max 3 there is none.
+        assert interior_segments_of_paths(micro_net, e, f, 3) == set()
+
+    def test_same_segment_empty(self, micro_net):
+        assert interior_segments_of_paths(micro_net, 2, 2, 5) == set()
+
+    def test_parallel_paths_union(self, loop_net):
+        # From staA's inner segment to staB's inner segment there are two
+        # routes (up and down); both interiors must be included.
+        sta_a = loop_net.track_segments("staA")[1]
+        sta_b = loop_net.track_segments("staB")[0]
+        interior = interior_segments_of_paths(loop_net, sta_a, sta_b, 6)
+        up = set(loop_net.track_segments("up"))
+        down = set(loop_net.track_segments("down"))
+        assert up <= interior
+        assert down <= interior

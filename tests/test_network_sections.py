@@ -1,0 +1,72 @@
+"""Tests for VSS layouts and section counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.sections import VSSLayout
+from repro.network.topology import NetworkError
+
+
+class TestConstruction:
+    def test_pure_ttd_counts_ttds(self, micro_net):
+        layout = VSSLayout.pure_ttd(micro_net)
+        assert layout.num_sections == micro_net.num_ttds
+        assert layout.added_borders == frozenset()
+
+    def test_finest_counts_segments(self, micro_net):
+        layout = VSSLayout.finest(micro_net)
+        assert layout.num_sections == micro_net.num_segments
+
+    def test_missing_forced_border_rejected(self, micro_net):
+        with pytest.raises(NetworkError, match="forced"):
+            VSSLayout(micro_net, set())
+
+    def test_unknown_vertex_rejected(self, micro_net):
+        borders = set(micro_net.forced_borders) | {999}
+        with pytest.raises(NetworkError, match="unknown"):
+            VSSLayout(micro_net, borders)
+
+
+class TestSections:
+    def test_one_added_border_splits_one_section(self, micro_net):
+        free = micro_net.free_border_candidates()
+        borders = set(micro_net.forced_borders) | {free[0]}
+        layout = VSSLayout(micro_net, borders)
+        assert layout.num_sections == micro_net.num_ttds + 1
+        assert layout.added_borders == frozenset({free[0]})
+
+    def test_sections_partition_segments(self, loop_net):
+        free = loop_net.free_border_candidates()
+        layout = VSSLayout(loop_net, set(loop_net.forced_borders) | set(free[:2]))
+        sections = layout.sections()
+        seen = [s for section in sections for s in section]
+        assert sorted(seen) == list(range(loop_net.num_segments))
+
+    def test_sections_respect_borders(self, loop_net):
+        layout = VSSLayout.pure_ttd(loop_net)
+        section_of = layout.section_of()
+        for seg_a in range(loop_net.num_segments):
+            for seg_b in range(loop_net.num_segments):
+                same_ttd = loop_net.ttd_of[seg_a] == loop_net.ttd_of[seg_b]
+                if section_of[seg_a] == section_of[seg_b]:
+                    assert same_ttd
+
+    def test_is_border(self, micro_net):
+        layout = VSSLayout.pure_ttd(micro_net)
+        forced = next(iter(micro_net.forced_borders))
+        free = micro_net.free_border_candidates()[0]
+        assert layout.is_border(forced)
+        assert not layout.is_border(free)
+
+    def test_equality_and_hash(self, micro_net):
+        a = VSSLayout.pure_ttd(micro_net)
+        b = VSSLayout.pure_ttd(micro_net)
+        c = VSSLayout.finest(micro_net)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a layout"
+
+    def test_repr(self, micro_net):
+        assert "sections" in repr(VSSLayout.pure_ttd(micro_net))

@@ -1,0 +1,183 @@
+"""Tests for the physical railway topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.topology import (
+    NetworkError,
+    Node,
+    NodeKind,
+    RailwayNetwork,
+    Track,
+)
+
+
+def nodes(*specs):
+    return [Node(name, kind) for name, kind in specs]
+
+
+class TestPrimitives:
+    def test_node_requires_name(self):
+        with pytest.raises(NetworkError):
+            Node("")
+
+    def test_track_rejects_self_loop(self):
+        with pytest.raises(NetworkError):
+            Track("t", "a", "a", 1.0, "TTD")
+
+    def test_track_rejects_nonpositive_length(self):
+        with pytest.raises(NetworkError):
+            Track("t", "a", "b", 0.0, "TTD")
+        with pytest.raises(NetworkError):
+            Track("t", "a", "b", -2.0, "TTD")
+
+    def test_other_end(self):
+        track = Track("t", "a", "b", 1.0, "TTD")
+        assert track.other_end("a") == "b"
+        assert track.other_end("b") == "a"
+        with pytest.raises(NetworkError):
+            track.other_end("c")
+
+
+class TestValidation:
+    def test_minimal_valid_network(self, micro_line):
+        assert micro_line.num_ttds == 3
+        assert micro_line.total_length_km == pytest.approx(3.0)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(nodes(("a", NodeKind.BOUNDARY)), [])
+
+    def test_duplicate_node(self):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                nodes(("a", NodeKind.BOUNDARY), ("a", NodeKind.BOUNDARY)),
+                [Track("t", "a", "b", 1.0, "T")],
+            )
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                nodes(("a", NodeKind.BOUNDARY), ("b", NodeKind.BOUNDARY)),
+                [Track("t", "a", "zz", 1.0, "T")],
+            )
+
+    def test_boundary_degree_must_be_one(self):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                nodes(
+                    ("a", NodeKind.BOUNDARY),
+                    ("b", NodeKind.BOUNDARY),
+                    ("c", NodeKind.BOUNDARY),
+                ),
+                [
+                    Track("t1", "a", "b", 1.0, "T1"),
+                    Track("t2", "a", "c", 1.0, "T2"),
+                ],
+            )
+
+    def test_link_degree_must_be_two(self):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                nodes(("a", NodeKind.BOUNDARY), ("m", NodeKind.LINK)),
+                [Track("t", "a", "m", 1.0, "T")],
+            )
+
+    def test_switch_degree_at_least_three(self):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                nodes(("a", NodeKind.BOUNDARY), ("s", NodeKind.SWITCH),
+                      ("b", NodeKind.BOUNDARY)),
+                [Track("t1", "a", "s", 1.0, "T1"),
+                 Track("t2", "s", "b", 1.0, "T2")],
+            )
+
+    def test_disconnected_network_rejected(self):
+        with pytest.raises(NetworkError, match="disconnected"):
+            RailwayNetwork(
+                nodes(
+                    ("a", NodeKind.BOUNDARY), ("b", NodeKind.BOUNDARY),
+                    ("c", NodeKind.BOUNDARY), ("d", NodeKind.BOUNDARY),
+                ),
+                [Track("t1", "a", "b", 1.0, "T1"),
+                 Track("t2", "c", "d", 1.0, "T2")],
+            )
+
+    def test_station_referencing_unknown_track(self, micro_line):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                list(micro_line.nodes.values()),
+                list(micro_line.tracks.values()),
+                {"X": ["nope"]},
+            )
+
+    def test_station_with_no_tracks(self, micro_line):
+        with pytest.raises(NetworkError):
+            RailwayNetwork(
+                list(micro_line.nodes.values()),
+                list(micro_line.tracks.values()),
+                {"X": []},
+            )
+
+
+class TestTTDValidation:
+    def test_branching_ttd_rejected(self):
+        # Three tracks meeting at a switch, all in one TTD: not a path.
+        with pytest.raises(NetworkError, match="simple path"):
+            RailwayNetwork(
+                nodes(
+                    ("a", NodeKind.BOUNDARY), ("b", NodeKind.BOUNDARY),
+                    ("c", NodeKind.BOUNDARY), ("s", NodeKind.SWITCH),
+                ),
+                [
+                    Track("t1", "a", "s", 1.0, "T"),
+                    Track("t2", "b", "s", 1.0, "T"),
+                    Track("t3", "c", "s", 1.0, "T"),
+                ],
+            )
+
+    def test_switch_inside_ttd_rejected(self):
+        with pytest.raises(NetworkError, match="switch"):
+            RailwayNetwork(
+                nodes(
+                    ("a", NodeKind.BOUNDARY), ("s", NodeKind.SWITCH),
+                    ("b", NodeKind.BOUNDARY), ("c", NodeKind.BOUNDARY),
+                ),
+                [
+                    Track("t1", "a", "s", 1.0, "T"),
+                    Track("t2", "s", "b", 1.0, "T"),
+                    Track("t3", "s", "c", 1.0, "Other"),
+                ],
+            )
+
+    def test_multi_track_path_ttd_accepted(self, micro_line):
+        # Re-tag the micro line so two consecutive tracks share a TTD.
+        tracks = [
+            Track("staA", "A", "m1", 1.0, "T1"),
+            Track("mid", "m1", "m2", 1.0, "T1"),
+            Track("staB", "m2", "B", 1.0, "T2"),
+        ]
+        network = RailwayNetwork(list(micro_line.nodes.values()), tracks)
+        assert network.num_ttds == 2
+
+
+class TestQueries:
+    def test_tracks_at(self, loop_line):
+        at_p1 = {t.name for t in loop_line.tracks_at("p1")}
+        assert at_p1 == {"staA", "up", "down"}
+        assert loop_line.degree("p1") == 3
+
+    def test_ttd_sections(self, loop_line):
+        sections = loop_line.ttd_sections()
+        assert set(sections) == {"TTD1", "TTD2", "TTD3", "TTD4"}
+        assert [t.name for t in sections["TTD2"]] == ["up"]
+
+    def test_station_tracks(self, micro_line):
+        assert [t.name for t in micro_line.station_tracks("A")] == ["staA"]
+        with pytest.raises(NetworkError):
+            micro_line.station_tracks("Nowhere")
+
+    def test_repr(self, micro_line):
+        text = repr(micro_line)
+        assert "3 tracks" in text and "3 TTDs" in text

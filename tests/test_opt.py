@@ -1,0 +1,149 @@
+"""Tests for the SAT-based minimisation engines."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.logic import CNF, VarPool
+from repro.opt import (
+    minimize_lexicographic,
+    minimize_sum,
+    minimize_sum_core_guided,
+)
+
+
+def brute_force_min(num_vars, clauses, objective):
+    best = None
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def value(lit):
+            phase = bits[abs(lit) - 1]
+            return phase if lit > 0 else not phase
+
+        if all(any(value(lit) for lit in c) for c in clauses):
+            cost = sum(1 for lit in objective if value(lit))
+            best = cost if best is None else min(best, cost)
+    return best
+
+
+def build(num_vars, clauses):
+    cnf = CNF(VarPool())
+    for v in range(1, num_vars + 1):
+        cnf.pool.var(v)
+    for clause in clauses:
+        cnf.add(clause)
+    return cnf
+
+
+ENGINES = [
+    ("linear", lambda cnf, obj: minimize_sum(cnf, obj, strategy="linear")),
+    ("binary", lambda cnf, obj: minimize_sum(cnf, obj, strategy="binary")),
+    ("core", minimize_sum_core_guided),
+]
+
+
+class TestEnginesAgainstBruteForce:
+    @pytest.mark.parametrize("name,engine", ENGINES)
+    def test_random_instances(self, name, engine):
+        rng = random.Random(hash(name) & 0xFFFF)
+        for __ in range(40):
+            num_vars = rng.randint(2, 7)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randint(1, num_vars)
+                 for _ in range(rng.randint(1, 3))]
+                for _ in range(rng.randint(1, 15))
+            ]
+            objective = [
+                rng.choice([1, -1]) * v
+                for v in rng.sample(range(1, num_vars + 1),
+                                    rng.randint(1, num_vars))
+            ]
+            expected = brute_force_min(num_vars, clauses, objective)
+            result = engine(build(num_vars, clauses), list(objective))
+            if expected is None:
+                assert not result.feasible
+            else:
+                assert result.feasible
+                assert result.proven_optimal
+                assert result.cost == expected
+
+    @pytest.mark.parametrize("name,engine", ENGINES)
+    def test_infeasible(self, name, engine):
+        cnf = build(1, [[1], [-1]])
+        result = engine(cnf, [1])
+        assert not result.feasible
+
+    @pytest.mark.parametrize("name,engine", ENGINES)
+    def test_zero_cost_possible(self, name, engine):
+        cnf = build(3, [[1, 2, 3]])
+        result = engine(cnf, [])
+        assert result.feasible and result.cost == 0 and result.proven_optimal
+
+    @pytest.mark.parametrize("name,engine", ENGINES)
+    def test_all_soft_forced(self, name, engine):
+        cnf = build(3, [[1], [2], [3]])
+        result = engine(cnf, [1, 2, 3])
+        assert result.feasible and result.cost == 3 and result.proven_optimal
+
+    @pytest.mark.parametrize("name,engine", ENGINES)
+    def test_model_satisfies_hard_clauses(self, name, engine):
+        clauses = [[1, 2], [-1, 3], [-2, -3, 4]]
+        cnf = build(4, clauses)
+        result = engine(cnf, [1, 2, 3, 4])
+        true_set = result.true_set()
+
+        def value(lit):
+            return (abs(lit) in true_set) == (lit > 0)
+
+        assert all(any(value(lit) for lit in clause) for clause in clauses)
+
+
+class TestMinimizeSumDetails:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            minimize_sum(build(1, [[1]]), [1], strategy="quantum")
+
+    def test_on_improvement_callback(self):
+        costs = []
+        cnf = build(4, [[1, 2, 3, 4]])
+        minimize_sum(cnf, [1, 2, 3, 4], on_improvement=costs.append)
+        assert costs  # called at least once
+        assert costs[-1] == 1
+        assert costs == sorted(costs, reverse=True)
+
+    def test_solve_calls_counted(self):
+        cnf = build(4, [[1, 2, 3, 4]])
+        result = minimize_sum(cnf, [1, 2, 3, 4])
+        assert result.solve_calls >= 2
+
+
+class TestLexicographic:
+    def test_two_objectives(self):
+        cnf = build(4, [[1, 2], [3, 4]])
+        results = minimize_lexicographic(cnf, [[1, 2], [3, 4]])
+        assert [r.cost for r in results] == [1, 1]
+
+    def test_priority_order_matters(self):
+        # x1 + x2 >= 1 hard; obj1 = x1, obj2 = x2.
+        # Minimising x1 first forces x1 = 0, so x2 must be 1.
+        cnf = build(2, [[1, 2]])
+        results = minimize_lexicographic(cnf, [[1], [2]])
+        assert results[0].cost == 0
+        assert results[1].cost == 1
+
+    def test_infeasible_stops_early(self):
+        cnf = build(1, [[1], [-1]])
+        results = minimize_lexicographic(cnf, [[1], [1]])
+        assert len(results) == 1
+        assert not results[0].feasible
+
+    def test_empty_objective_list_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_lexicographic(build(1, [[1]]), [])
+
+    def test_binary_strategy(self):
+        cnf = build(4, [[1, 2], [3, 4]])
+        results = minimize_lexicographic(cnf, [[1, 2], [3, 4]], strategy="binary")
+        assert [r.cost for r in results] == [1, 1]

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the railway domain layers.
+
+The central property: every SAT answer produced by the encoder, on randomly
+generated line networks and schedules, passes the independent operational
+validator — and layouts found by generation actually verify.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.encoding.encoder import EtcsEncoding
+from repro.encoding.validate import validate_solution
+from repro.network.builder import NetworkBuilder
+from repro.network.discretize import DiscreteNetwork
+from repro.network.paths import (
+    TTDPathIndex,
+    chains,
+    reachable,
+    segment_distances,
+)
+from repro.network.sections import VSSLayout
+from repro.sat import SolveResult
+from repro.tasks import generate_layout, verify_schedule
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+@st.composite
+def line_networks(draw):
+    """A random line: station A - n tracks - station B, random TTD grouping."""
+    num_mid = draw(st.integers(1, 3))
+    lengths = [draw(st.floats(0.5, 2.0)) for _ in range(num_mid + 2)]
+    # TTD grouping: each mid track either continues the previous TTD or
+    # starts a new one (stations are their own TTDs).
+    builder = NetworkBuilder().boundary("A")
+    names = []
+    for i in range(num_mid + 1):
+        builder.link(f"m{i}")
+    builder.boundary("B")
+    nodes = ["A"] + [f"m{i}" for i in range(num_mid + 1)] + ["B"]
+    ttd = 0
+    for i in range(num_mid + 2):
+        if i > 0 and not draw(st.booleans()):
+            ttd += 1
+        builder.track(
+            nodes[i], nodes[i + 1], length_km=lengths[i],
+            ttd=f"T{ttd}", name=f"track{i}",
+        )
+    builder.station("A", ["track0"])
+    builder.station("B", [f"track{num_mid + 1}"])
+    return builder.build()
+
+
+@st.composite
+def schedules(draw):
+    """One or two same-direction trains with optional deadlines."""
+    num_trains = draw(st.integers(1, 2))
+    runs = []
+    for i in range(num_trains):
+        dep = draw(st.floats(0.0, 2.0))
+        arrival = draw(st.one_of(st.none(), st.floats(dep + 2.0, 9.5)))
+        runs.append(
+            TrainRun(
+                Train(f"t{i}", length_m=draw(st.sampled_from([100, 400])),
+                      max_speed_kmh=draw(st.sampled_from([60, 120]))),
+                start="A",
+                goal="B",
+                departure_min=dep,
+                arrival_min=arrival,
+            )
+        )
+    return Schedule(runs, duration_min=10.0)
+
+
+class TestGraphProperties:
+    @given(line_networks(), st.floats(0.3, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_discretization_preserves_length(self, network, r_s):
+        net = DiscreteNetwork(network, r_s)
+        total = sum(seg.length_km for seg in net.segments)
+        assert abs(total - network.total_length_km) < 1e-6
+
+    @given(line_networks(), st.floats(0.3, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_chains_are_connected_paths(self, network, r_s):
+        net = DiscreteNetwork(network, r_s)
+        for length in (1, 2, 3):
+            for chain in chains(net, length):
+                assert len(chain) == length
+                for a, b in zip(chain, chain[1:]):
+                    assert b in net.seg_neighbours[a]
+
+    @given(line_networks(), st.floats(0.3, 1.5), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_reachable_matches_bfs_distances(self, network, r_s, radius):
+        net = DiscreteNetwork(network, r_s)
+        source = 0
+        dist = segment_distances(net, source)
+        expected = {e for e in range(net.num_segments) if 0 <= dist[e] <= radius}
+        assert set(reachable(net, source, radius)) == expected
+
+    @given(line_networks(), st.floats(0.3, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_between_symmetry(self, network, r_s):
+        net = DiscreteNetwork(network, r_s)
+        index = TTDPathIndex(net)
+        for ttd, members in net.ttd_segments.items():
+            for e in members:
+                for f in members:
+                    assert index.between(e, f) == index.between(f, e)
+
+    @given(line_networks(), st.floats(0.3, 1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_section_counts_bracketed(self, network, r_s):
+        net = DiscreteNetwork(network, r_s)
+        pure = VSSLayout.pure_ttd(net)
+        finest = VSSLayout.finest(net)
+        assert pure.num_sections == net.num_ttds
+        assert finest.num_sections == net.num_segments
+        assert pure.num_sections <= finest.num_sections
+
+    @given(line_networks(), st.floats(0.3, 1.5), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_each_added_border_adds_one_section(self, network, r_s, data):
+        net = DiscreteNetwork(network, r_s)
+        free = net.free_border_candidates()
+        assume(free)
+        chosen = data.draw(st.sets(st.sampled_from(free)))
+        layout = VSSLayout(net, set(net.forced_borders) | chosen)
+        assert layout.num_sections == net.num_ttds + len(chosen)
+
+
+class TestEncoderProperties:
+    @given(line_networks(), schedules())
+    @settings(max_examples=30, deadline=None)
+    def test_sat_solutions_validate(self, network, schedule):
+        net = DiscreteNetwork(network, 0.5)
+        encoding = EtcsEncoding(net, schedule, 1.0).build()
+        solver = encoding.cnf.to_solver()
+        if solver.solve() is SolveResult.SAT:
+            solution = encoding.decode(
+                {lit for lit in solver.model() if lit > 0}
+            )
+            assert validate_solution(encoding, solution) == []
+
+    @given(line_networks(), schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_generated_layouts_verify(self, network, schedule):
+        net = DiscreteNetwork(network, 0.5)
+        generated = generate_layout(net, schedule, 1.0)
+        if generated.satisfiable:
+            verified = verify_schedule(
+                net, schedule, 1.0, layout=generated.solution.layout
+            )
+            assert verified.satisfiable
+
+    @given(line_networks(), schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_finest_layout_dominates(self, network, schedule):
+        """If any layout works, the finest layout works."""
+        net = DiscreteNetwork(network, 0.5)
+        generated = generate_layout(net, schedule, 1.0)
+        finest = verify_schedule(
+            net, schedule, 1.0, layout=VSSLayout.finest(net)
+        )
+        if generated.satisfiable:
+            assert finest.satisfiable
+
+    @given(line_networks(), schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_verification_monotone_in_layout(self, network, schedule):
+        """Pure-TTD feasible implies finest-layout feasible (monotonicity)."""
+        net = DiscreteNetwork(network, 0.5)
+        pure = verify_schedule(net, schedule, 1.0)
+        if pure.satisfiable:
+            finest = verify_schedule(
+                net, schedule, 1.0, layout=VSSLayout.finest(net)
+            )
+            assert finest.satisfiable
+
+
+class TestGreedyCrossValidation:
+    @given(line_networks(), schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_success_implies_sat(self, network, schedule):
+        """A successful greedy run is a constructive witness: SAT
+        verification on the same layout must also succeed."""
+        from repro.baseline import greedy_dispatch
+
+        net = DiscreteNetwork(network, 0.5)
+        layout = VSSLayout.finest(net)
+        greedy = greedy_dispatch(net, schedule, 1.0, layout=layout)
+        if greedy.success:
+            sat = verify_schedule(net, schedule, 1.0, layout=layout)
+            assert sat.satisfiable, (
+                f"greedy witness not accepted by SAT: "
+                f"arrivals={greedy.arrivals}, trajectories="
+                f"{[[sorted(x) for x in tr] for tr in greedy.trajectories]}"
+            )

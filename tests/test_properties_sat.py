@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the SAT substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import CNF, Totalizer, VarPool, at_most_k_sequential, exactly_one
+from repro.sat import Solver, SolveResult, parse_dimacs, write_dimacs
+
+
+def clauses_strategy(max_vars=6, max_clauses=20, max_len=4):
+    literal = st.integers(1, max_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause = st.lists(literal, min_size=1, max_size=max_len)
+    return st.lists(clause, min_size=0, max_size=max_clauses)
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def value(lit):
+            phase = bits[abs(lit) - 1]
+            return phase if lit > 0 else not phase
+
+        if all(any(value(lit) for lit in c) for c in clauses):
+            return True
+    return False
+
+
+class TestSolverProperties:
+    @given(clauses_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_verdict_matches_brute_force(self, clauses):
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        verdict = solver.solve() is SolveResult.SAT
+        assert verdict == brute_force(6, clauses)
+
+    @given(clauses_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_models_satisfy_formula(self, clauses):
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        if solver.solve() is SolveResult.SAT:
+            for clause in clauses:
+                assert any(solver.model_value(lit) for lit in clause)
+
+    @given(clauses_strategy(), st.lists(
+        st.integers(1, 6).flatmap(lambda v: st.sampled_from([v, -v])),
+        max_size=4,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_assumptions_equal_units(self, clauses, assumptions):
+        """solve(assumptions) == solve() of formula + assumption units."""
+        incremental = Solver()
+        for clause in clauses:
+            incremental.add_clause(clause)
+        verdict_a = incremental.solve(assumptions)
+
+        monolithic = Solver()
+        for clause in clauses:
+            monolithic.add_clause(clause)
+        for lit in assumptions:
+            monolithic.add_clause([lit])
+        verdict_b = monolithic.solve()
+        assert verdict_a == verdict_b
+
+    @given(clauses_strategy(), st.lists(
+        st.integers(1, 6).flatmap(lambda v: st.sampled_from([v, -v])),
+        max_size=4,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_core_is_really_unsat(self, clauses, assumptions):
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        if solver.solve(assumptions) is SolveResult.UNSAT:
+            core = solver.unsat_core()
+            assert set(core) <= set(assumptions)
+            # The core alone (as units) must already be UNSAT.
+            check = Solver()
+            for clause in clauses:
+                check.add_clause(clause)
+            for lit in core:
+                check.add_clause([lit])
+            assert check.solve() is SolveResult.UNSAT
+
+    @given(clauses_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_solving_twice_is_stable(self, clauses):
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() == solver.solve()
+
+    @given(clauses_strategy(max_vars=5))
+    @settings(max_examples=60, deadline=None)
+    def test_dimacs_roundtrip_preserves_verdict(self, clauses):
+        text = write_dimacs(5, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert parsed == clauses
+        a, b = Solver(), Solver()
+        for clause in clauses:
+            a.add_clause(clause)
+        b.ensure_var(num_vars or 1)
+        for clause in parsed:
+            b.add_clause(clause)
+        assert a.solve() == b.solve()
+
+
+class TestEncodingProperties:
+    @given(st.integers(1, 8), st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_at_most_k_never_exceeded(self, n, k):
+        cnf = CNF(VarPool())
+        lits = [cnf.pool.var(i) for i in range(n)]
+        at_most_k_sequential(cnf, lits, k)
+        solver = cnf.to_solver()
+        for _ in range(10):
+            if solver.solve() is not SolveResult.SAT:
+                break
+            model = [bool(solver.model_value(v)) for v in lits]
+            assert sum(model) <= k
+            solver.add_clause(
+                [-v if solver.model_value(v) else v for v in lits]
+            )
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_totalizer_bound_respected(self, n, data):
+        k = data.draw(st.integers(0, n - 1))
+        cnf = CNF(VarPool())
+        lits = [cnf.pool.var(i) for i in range(n)]
+        totalizer = Totalizer(cnf, lits)
+        solver = cnf.to_solver()
+        if solver.solve([totalizer.bound_literal(k)]) is SolveResult.SAT:
+            model = [bool(solver.model_value(v)) for v in lits]
+            assert sum(model) <= k
+
+    @given(st.integers(1, 9), st.sampled_from(["pairwise", "ladder",
+                                               "commander"]))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_always_one(self, n, amo):
+        cnf = CNF(VarPool())
+        lits = [cnf.pool.var(i) for i in range(n)]
+        exactly_one(cnf, lits, amo=amo)
+        solver = cnf.to_solver()
+        assert solver.solve() is SolveResult.SAT
+        model = [bool(solver.model_value(v)) for v in lits]
+        assert sum(model) == 1

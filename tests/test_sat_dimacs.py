@@ -1,0 +1,86 @@
+"""Tests for DIMACS CNF parsing and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat import Solver, SolveResult, parse_dimacs, write_dimacs
+from repro.sat.dimacs import DimacsError, parse_dimacs_file
+
+
+class TestParse:
+    def test_simple(self):
+        num_vars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3]]
+
+    def test_comments_ignored(self):
+        text = "c a comment\nc another\np cnf 1 1\nc inline\n1 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 1
+        assert clauses == [[1]]
+
+    def test_clause_spanning_lines(self):
+        num_vars, clauses = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert clauses == [[1, 2, 3]]
+
+    def test_multiple_clauses_per_line(self):
+        __, clauses = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert clauses == [[1], [-2]]
+
+    def test_num_vars_grows_with_usage(self):
+        num_vars, __ = parse_dimacs("p cnf 1 1\n9 0\n")
+        assert num_vars == 9
+
+    def test_missing_header_is_fine(self):
+        num_vars, clauses = parse_dimacs("1 2 0\n")
+        assert num_vars == 2
+        assert clauses == [[1, 2]]
+
+    def test_unterminated_clause(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 2\n1 0\n")
+
+    def test_bad_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_percent_terminator_tolerated(self):
+        # Some SATLIB files end with a "%" line.
+        num_vars, clauses = parse_dimacs("p cnf 1 1\n1 0\n%\n")
+        assert clauses == [[1]]
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        clauses = [[1, -2, 3], [-1], [2, 3]]
+        text = write_dimacs(3, clauses, comment="hello\nworld")
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3
+        assert parsed == clauses
+        assert text.startswith("c hello\nc world\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        clauses = [[1, 2], [-1, -2]]
+        path = tmp_path / "f.cnf"
+        path.write_text(write_dimacs(2, clauses))
+        num_vars, parsed = parse_dimacs_file(path)
+        assert (num_vars, parsed) == (2, clauses)
+
+    def test_parsed_formula_solvable(self):
+        text = write_dimacs(2, [[1, 2], [-1, 2], [1, -2]])
+        num_vars, clauses = parse_dimacs(text)
+        solver = Solver()
+        solver.ensure_var(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is SolveResult.SAT
+        assert solver.model_value(1) and solver.model_value(2)

@@ -1,0 +1,39 @@
+"""Tests for the Luby restart sequence."""
+
+import pytest
+
+from repro.sat.luby import LubyGenerator, luby
+
+
+def test_known_prefix():
+    expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1]
+    assert [luby(i) for i in range(1, len(expected) + 1)] == expected
+
+
+def test_values_are_powers_of_two():
+    for i in range(1, 200):
+        value = luby(i)
+        assert value & (value - 1) == 0  # power of two
+
+
+def test_positions_of_large_values():
+    # luby(2^k - 1) == 2^(k-1)
+    for k in range(1, 10):
+        assert luby((1 << k) - 1) == 1 << (k - 1)
+
+
+def test_index_must_be_positive():
+    with pytest.raises(ValueError):
+        luby(0)
+
+
+def test_generator_scales_by_base():
+    gen = LubyGenerator(100)
+    assert [gen.next_limit() for _ in range(7)] == [
+        100, 100, 200, 100, 100, 200, 400,
+    ]
+
+
+def test_generator_rejects_bad_base():
+    with pytest.raises(ValueError):
+        LubyGenerator(0)

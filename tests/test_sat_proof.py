@@ -1,0 +1,165 @@
+"""Tests for DRAT proof logging and RUP checking."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat import Solver, SolveResult
+from repro.sat.proof import ProofLogger, check_rup_proof, parse_drat
+
+
+def pigeonhole(holes: int) -> list[list[int]]:
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(holes + 1)]
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+def solve_with_proof(clauses):
+    solver = Solver()
+    logger = ProofLogger()
+    solver.attach_proof(logger)
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdict = solver.solve()
+    return verdict, logger, solver
+
+
+class TestProofLogging:
+    def test_unsat_proof_ends_with_empty_clause(self):
+        clauses = pigeonhole(4)
+        verdict, logger, __ = solve_with_proof(clauses)
+        assert verdict is SolveResult.UNSAT
+        assert logger.ends_with_empty_clause()
+        assert logger.num_additions > 1
+
+    def test_sat_run_logs_no_empty_clause(self):
+        verdict, logger, __ = solve_with_proof([[1, 2], [-1, 2]])
+        assert verdict is SolveResult.SAT
+        assert not logger.ends_with_empty_clause()
+
+    def test_trivial_contradiction(self):
+        verdict, logger, __ = solve_with_proof([[1], [-1]])
+        assert verdict is SolveResult.UNSAT
+        assert logger.ends_with_empty_clause()
+
+
+class TestRupChecker:
+    @pytest.mark.parametrize("holes", [3, 4, 5])
+    def test_pigeonhole_proofs_check(self, holes):
+        clauses = pigeonhole(holes)
+        verdict, logger, __ = solve_with_proof(clauses)
+        assert verdict is SolveResult.UNSAT
+        num_vars = max(abs(l) for c in clauses for l in c)
+        assert check_rup_proof(num_vars, clauses, logger.steps)
+
+    def test_random_unsat_proofs_check(self):
+        rng = random.Random(5)
+        checked = 0
+        while checked < 5:
+            num_vars = rng.randint(4, 8)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randint(1, num_vars)
+                 for _ in range(3)]
+                for _ in range(num_vars * 6)
+            ]
+            verdict, logger, __ = solve_with_proof(clauses)
+            if verdict is SolveResult.UNSAT:
+                assert check_rup_proof(num_vars, clauses, logger.steps)
+                checked += 1
+
+    def test_bogus_proof_rejected(self):
+        # Claiming the empty clause out of thin air must fail.
+        clauses = [[1, 2], [-1, 2]]
+        assert not check_rup_proof(2, clauses, [("a", ())])
+
+    def test_non_rup_step_rejected(self):
+        clauses = [[1, 2, 3]]
+        # (1) is not a RUP consequence of (1 v 2 v 3).
+        steps = [("a", (1,)), ("a", ())]
+        assert not check_rup_proof(3, clauses, steps)
+
+    def test_proof_without_empty_clause_rejected(self):
+        clauses = [[1], [-1, 2]]
+        steps = [("a", (2,))]  # valid lemma, but no refutation
+        assert not check_rup_proof(2, clauses, steps)
+
+    def test_deletions_respected(self):
+        # Deleting the clause a later step depends on invalidates the proof.
+        clauses = [[1], [-1]]
+        bad = [("d", (1,)), ("a", ())]
+        good = [("a", ())]
+        assert check_rup_proof(1, clauses, good)
+        assert not check_rup_proof(1, clauses, bad)
+
+    def test_proof_with_deletions_from_solver(self):
+        """Force clause deletion during solving; the proof must still check."""
+        from repro.sat.types import SolverConfig
+
+        clauses = pigeonhole(5)
+        solver = Solver(
+            SolverConfig(
+                learned_clause_limit_factor=0.01,
+                learned_clause_min_limit=30,
+            )
+        )
+        logger = ProofLogger()
+        solver.attach_proof(logger)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is SolveResult.UNSAT
+        assert any(kind == "d" for kind, __ in logger.steps)
+        num_vars = max(abs(l) for c in clauses for l in c)
+        assert check_rup_proof(num_vars, clauses, logger.steps)
+
+
+class TestDratFormat:
+    def test_roundtrip(self):
+        logger = ProofLogger()
+        logger.add([1, -2])
+        logger.delete([3])
+        logger.add([])
+        text = logger.to_drat()
+        assert parse_drat(text) == logger.steps
+
+    def test_parse_rejects_unterminated(self):
+        with pytest.raises(ValueError):
+            parse_drat("1 2\n")
+
+    def test_parse_skips_comments(self):
+        steps = parse_drat("c hello\n1 0\nd 1 0\n0\n")
+        assert steps == [("a", (1,)), ("d", (1,)), ("a", ())]
+
+
+class TestEtcsUnsatProofs:
+    def test_running_example_verification_proof(self, micro_net):
+        """The headway scenario's UNSAT verdict carries a checkable proof."""
+        from repro.encoding.encoder import EtcsEncoding
+        from repro.network.sections import VSSLayout
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        runs = [
+            TrainRun(Train("1", 100, 60), "A", "B", 0.0, 4.0),
+            TrainRun(Train("2", 100, 60), "A", "B", 0.5, 2.0),
+        ]
+        encoding = EtcsEncoding(micro_net, Schedule(runs, 5.0), 0.5).build()
+        encoding.pin_layout(VSSLayout.pure_ttd(micro_net))
+
+        solver = Solver()
+        logger = ProofLogger()
+        solver.attach_proof(logger)
+        solver.ensure_var(encoding.cnf.num_vars)
+        for clause in encoding.cnf.clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is SolveResult.UNSAT
+        assert check_rup_proof(
+            encoding.cnf.num_vars, encoding.cnf.clauses, logger.steps
+        )

@@ -1,0 +1,150 @@
+"""Tests for the clause preprocessor, including equivalence properties."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver, SolveResult
+from repro.sat.simplify import simplify_clauses
+
+
+def models(num_vars: int, clauses: list[list[int]]) -> set[tuple[bool, ...]]:
+    result = set()
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def value(lit: int) -> bool:
+            phase = bits[abs(lit) - 1]
+            return phase if lit > 0 else not phase
+
+        if all(any(value(lit) for lit in c) for c in clauses):
+            result.add(bits)
+    return result
+
+
+class TestUnits:
+    def test_unit_propagation(self):
+        clauses = [[1], [-1, 2], [-2, 3]]
+        simplified, stats = simplify_clauses(clauses)
+        assert stats.units_propagated == 3
+        assert sorted(stats.fixed_literals) == [1, 2, 3]
+        assert sorted(map(sorted, simplified)) == [[1], [2], [3]]
+
+    def test_conflict_detected(self):
+        simplified, stats = simplify_clauses([[1], [-1]])
+        assert stats.conflict
+        assert simplified == [[]]
+
+    def test_conflict_via_propagation(self):
+        simplified, stats = simplify_clauses([[1], [-1, 2], [-2], [3, 4]])
+        assert stats.conflict
+
+    def test_tautology_removed(self):
+        simplified, stats = simplify_clauses([[1, -1, 2], [3, 4]])
+        assert stats.tautologies_removed == 1
+        assert simplified == [[3, 4]]
+
+    def test_duplicate_literals_removed(self):
+        simplified, stats = simplify_clauses([[1, 1, 2]])
+        assert stats.duplicates_removed == 1
+        assert simplified == [[1, 2]]
+
+
+class TestSubsumption:
+    def test_direct_subsumption(self):
+        simplified, stats = simplify_clauses([[1, 2], [1, 2, 3]])
+        assert stats.subsumed_removed == 1
+        assert simplified == [[1, 2]]
+
+    def test_identical_clauses_deduplicated(self):
+        simplified, stats = simplify_clauses([[1, 2], [2, 1]])
+        assert stats.subsumed_removed == 1
+        assert len(simplified) == 1
+
+    def test_no_false_subsumption(self):
+        clauses = [[1, 2], [1, 3]]
+        simplified, stats = simplify_clauses(clauses)
+        assert stats.subsumed_removed == 0
+        assert len(simplified) == 2
+
+
+class TestStrengthening:
+    def test_self_subsuming_resolution(self):
+        # (1 v 2) and (-1 v 2 v 3): the second strengthens to (2 v 3).
+        simplified, stats = simplify_clauses([[1, 2], [-1, 2, 3]])
+        assert stats.literals_strengthened >= 1
+        assert sorted(map(sorted, simplified)) == [[1, 2], [2, 3]]
+
+    def test_strengthening_cascades_into_units(self):
+        # (1 v 2), (-1 v 2) -> strengthen to (2) -> unit-propagate.
+        simplified, stats = simplify_clauses([[1, 2], [-1, 2]])
+        assert 2 in stats.fixed_literals
+
+
+class TestEquivalenceProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(1, 5).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_models_preserved(self, clauses):
+        simplified, stats = simplify_clauses(clauses)
+        if stats.conflict:
+            assert models(5, clauses) == set()
+        else:
+            assert models(5, clauses) == models(5, simplified)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_solver_agrees_after_preprocessing(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, num_vars)
+             for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 25))
+        ]
+        simplified, stats = simplify_clauses(clauses)
+        direct = Solver()
+        for clause in clauses:
+            direct.add_clause(clause)
+        preprocessed = Solver()
+        if stats.conflict:
+            assert direct.solve() is SolveResult.UNSAT
+            return
+        for clause in simplified:
+            preprocessed.add_clause(clause)
+        assert direct.solve() == preprocessed.solve()
+
+
+class TestOnEtcsEncodings:
+    def test_shrinks_running_example(self):
+        from repro.casestudies.running_example import running_example
+        from repro.encoding.encoder import EtcsEncoding
+        from repro.network.sections import VSSLayout
+
+        study = running_example()
+        net = study.discretize()
+        encoding = EtcsEncoding(net, study.schedule, study.r_t_min).build()
+        encoding.pin_layout(VSSLayout.pure_ttd(net))
+        simplified, stats = simplify_clauses(encoding.cnf.clauses)
+        # Pinned borders are units: propagation must fire, and the verdict
+        # must stay UNSAT.
+        assert stats.units_propagated > 0
+        solver = Solver()
+        solver.ensure_var(encoding.cnf.num_vars)
+        if stats.conflict:
+            return  # preprocessing alone refuted it: even better
+        for clause in simplified:
+            solver.add_clause(clause)
+        assert solver.solve() is SolveResult.UNSAT

@@ -1,0 +1,203 @@
+"""Tests for task extensions: proof-backed verification and the
+total-arrival objective."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tasks import optimize_schedule, verify_schedule
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+
+@pytest.fixture
+def infeasible_schedule():
+    run = TrainRun(Train("T", 100, 60), "A", "B", 0.0, 1.0)
+    return Schedule([run], 5.0)
+
+
+class TestProofBackedVerification:
+    def test_unsat_comes_with_checked_proof(self, micro_net,
+                                            infeasible_schedule):
+        result = verify_schedule(
+            micro_net, infeasible_schedule, 0.5, with_proof=True
+        )
+        assert not result.satisfiable
+        assert result.proof_checked is True
+
+    def test_sat_has_no_proof(self, micro_net, single_train_schedule):
+        result = verify_schedule(
+            micro_net, single_train_schedule, 0.5, with_proof=True
+        )
+        assert result.satisfiable
+        assert result.proof_checked is None
+
+    def test_default_skips_proof(self, micro_net, infeasible_schedule):
+        result = verify_schedule(micro_net, infeasible_schedule, 0.5)
+        assert result.proof_checked is None
+
+    def test_running_example_proof(self):
+        from repro.casestudies.running_example import running_example
+
+        study = running_example()
+        net = study.discretize()
+        result = verify_schedule(
+            net, study.schedule, study.r_t_min, with_proof=True
+        )
+        assert not result.satisfiable
+        assert result.proof_checked is True
+
+
+class TestTotalArrivalObjective:
+    @pytest.fixture
+    def two_trains(self):
+        return Schedule(
+            [
+                TrainRun(Train("1", 100, 120), "A", "B", 0.0, None),
+                TrainRun(Train("2", 100, 120), "A", "B", 0.5, None),
+            ],
+            duration_min=5.0,
+        )
+
+    def test_objective_validates(self, micro_net, two_trains):
+        result = optimize_schedule(
+            micro_net, two_trains, 0.5, objective="total-arrival"
+        )
+        assert result.satisfiable and result.proven_optimal
+
+    def test_unknown_objective_rejected(self, micro_net, two_trains):
+        with pytest.raises(ValueError, match="unknown objective"):
+            optimize_schedule(micro_net, two_trains, 0.5, objective="vibes")
+
+    def test_total_arrival_never_worse_summed(self, micro_net, two_trains):
+        """Total-arrival optimum has summed arrivals <= the makespan
+        optimum's summed arrivals (it optimises exactly that)."""
+        by_sum = optimize_schedule(
+            micro_net, two_trains, 0.5, objective="total-arrival"
+        )
+        by_makespan = optimize_schedule(micro_net, two_trains, 0.5)
+
+        def summed(result):
+            return sum(
+                t.arrival_step for t in result.solution.trajectories
+            )
+
+        assert summed(by_sum) <= summed(by_makespan)
+
+    def test_makespan_never_worse_at_makespan(self, micro_net, two_trains):
+        by_sum = optimize_schedule(
+            micro_net, two_trains, 0.5, objective="total-arrival"
+        )
+        by_makespan = optimize_schedule(micro_net, two_trains, 0.5)
+        assert by_makespan.time_steps <= by_sum.solution.makespan
+
+    def test_running_example_objectives_differ_sensibly(self):
+        from repro.casestudies.running_example import running_example
+
+        study = running_example()
+        net = study.discretize()
+        by_makespan = optimize_schedule(net, study.schedule, study.r_t_min)
+        by_sum = optimize_schedule(
+            net, study.schedule, study.r_t_min, objective="total-arrival"
+        )
+        assert by_makespan.time_steps == 7
+        sum_makespan = sum(
+            t.arrival_step for t in by_makespan.solution.trajectories
+        )
+        sum_total = sum(
+            t.arrival_step for t in by_sum.solution.trajectories
+        )
+        assert sum_total <= sum_makespan
+        assert by_sum.solution.makespan >= by_makespan.time_steps
+
+
+class TestWeightedGeneration:
+    def test_costs_steer_border_placement(self):
+        from repro.casestudies.running_example import running_example
+        from repro.tasks import generate_layout
+
+        study = running_example()
+        net = study.discretize()
+        plain = generate_layout(net, study.schedule, study.r_t_min)
+        cheap_border = next(iter(plain.solution.layout.added_borders))
+        # Make the solver's favourite border prohibitively expensive.
+        costs = {cheap_border: 50}
+        steered = generate_layout(
+            net, study.schedule, study.r_t_min, border_costs=costs
+        )
+        assert steered.satisfiable
+        assert cheap_border not in steered.solution.layout.added_borders
+
+    def test_uniform_costs_match_unweighted(self, micro_net):
+        from repro.tasks import generate_layout
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        schedule = Schedule(
+            [
+                TrainRun(Train("1", 100, 60), "A", "B", 0.0, 4.0),
+                TrainRun(Train("2", 100, 60), "A", "B", 0.5, 2.0),
+            ],
+            duration_min=5.0,
+        )
+        weighted = generate_layout(
+            micro_net, schedule, 0.5,
+            border_costs={v: 1 for v in micro_net.free_border_candidates()},
+        )
+        plain = generate_layout(micro_net, schedule, 0.5)
+        assert weighted.objective_value == plain.objective_value
+
+
+class TestRefineArrivals:
+    def test_refinement_keeps_makespan(self):
+        from repro.casestudies.running_example import running_example
+        from repro.tasks import optimize_schedule
+
+        study = running_example()
+        net = study.discretize()
+        plain = optimize_schedule(net, study.schedule, study.r_t_min)
+        refined = optimize_schedule(
+            net, study.schedule, study.r_t_min, refine_arrivals=True
+        )
+        assert refined.time_steps == plain.time_steps == 7
+
+    def test_refinement_matches_fig2b_arrival_sum(self):
+        """The paper's Fig. 2b arrivals (7/5/5/7) sum to 24; the
+        lexicographic makespan-then-arrivals optimum reproduces that sum
+        (the distribution varies between equally-optimal models)."""
+        from repro.casestudies.running_example import running_example
+        from repro.tasks import optimize_schedule
+
+        study = running_example()
+        net = study.discretize()
+        refined = optimize_schedule(
+            net, study.schedule, study.r_t_min, refine_arrivals=True
+        )
+        arrivals = [
+            t.arrival_step for t in refined.solution.trajectories
+        ]
+        assert sum(arrivals) == 24
+        assert max(arrivals) == 7
+
+    def test_refinement_never_worse_than_plain(self, micro_net):
+        from repro.tasks import optimize_schedule
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        schedule = Schedule(
+            [
+                TrainRun(Train("1", 100, 120), "A", "B", 0.0, None),
+                TrainRun(Train("2", 100, 120), "A", "B", 0.5, None),
+            ],
+            duration_min=5.0,
+        )
+        plain = optimize_schedule(micro_net, schedule, 0.5)
+        refined = optimize_schedule(
+            micro_net, schedule, 0.5, refine_arrivals=True
+        )
+
+        def summed(result):
+            return sum(t.arrival_step for t in result.solution.trajectories)
+
+        assert refined.time_steps == plain.time_steps
+        assert summed(refined) <= summed(plain)

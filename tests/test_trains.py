@@ -1,0 +1,162 @@
+"""Tests for trains, schedules, and temporal discretisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trains.discretize import discretize_run, discretize_schedule
+from repro.trains.schedule import Schedule, ScheduleError, Stop, TrainRun
+from repro.trains.train import Train
+
+
+class TestTrain:
+    def test_valid(self):
+        train = Train("ICE", length_m=400, max_speed_kmh=300)
+        assert train.length_km == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name="", length_m=100, max_speed_kmh=100),
+        dict(name="x", length_m=0, max_speed_kmh=100),
+        dict(name="x", length_m=100, max_speed_kmh=0),
+        dict(name="x", length_m=-5, max_speed_kmh=100),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Train(**kwargs)
+
+
+class TestTrainRun:
+    def make(self, **overrides):
+        kwargs = dict(
+            train=Train("T", 200, 120),
+            start="A",
+            goal="B",
+            departure_min=0.0,
+            arrival_min=5.0,
+        )
+        kwargs.update(overrides)
+        return TrainRun(**kwargs)
+
+    def test_valid(self):
+        run = self.make()
+        assert run.stops == ()
+
+    def test_negative_departure(self):
+        with pytest.raises(ScheduleError):
+            self.make(departure_min=-1.0)
+
+    def test_arrival_before_departure(self):
+        with pytest.raises(ScheduleError):
+            self.make(departure_min=3.0, arrival_min=2.0)
+
+    def test_start_equals_goal(self):
+        with pytest.raises(ScheduleError):
+            self.make(goal="A")
+
+    def test_open_arrival_allowed(self):
+        run = self.make(arrival_min=None)
+        assert run.arrival_min is None
+
+
+class TestSchedule:
+    def run(self, name="T", dep=0.0, arr=5.0):
+        return TrainRun(Train(name, 200, 120), "A", "B", dep, arr)
+
+    def test_valid(self):
+        schedule = Schedule([self.run()], duration_min=10.0)
+        assert len(schedule) == 1
+        assert schedule.run_of("T").train.name == "T"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule([], 10.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule([self.run(), self.run()], 10.0)
+
+    def test_departure_after_end_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule([self.run(dep=11.0, arr=12.0)], 10.0)
+
+    def test_arrival_after_end_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule([self.run(arr=11.0)], 10.0)
+
+    def test_unknown_train_lookup(self):
+        schedule = Schedule([self.run()], 10.0)
+        with pytest.raises(ScheduleError):
+            schedule.run_of("nope")
+
+    def test_without_deadlines(self):
+        schedule = Schedule([self.run()], 10.0)
+        free = schedule.without_deadlines()
+        assert all(run.arrival_min is None for run in free)
+        # The original is untouched.
+        assert schedule.runs[0].arrival_min == 5.0
+
+
+class TestDiscretizeRun:
+    def test_length_and_speed(self, micro_net):
+        run = TrainRun(Train("T", 700, 120), "A", "B", 0.0, 4.0)
+        discrete = discretize_run(micro_net, run, 0, r_t_min=0.5, t_max=10)
+        assert discrete.length_segments == 2  # ceil(0.7 / 0.5)
+        assert discrete.speed_segments == 2  # 120 km/h = 1 km / 0.5 min
+        assert discrete.departure_step == 0
+        assert discrete.arrival_step == 8
+
+    def test_speed_at_least_one(self, micro_net):
+        run = TrainRun(Train("T", 100, 10), "A", "B", 0.0, 4.0)
+        discrete = discretize_run(micro_net, run, 0, r_t_min=0.5, t_max=10)
+        assert discrete.speed_segments == 1
+
+    def test_arrival_clamped_to_horizon(self, micro_net):
+        run = TrainRun(Train("T", 100, 120), "A", "B", 0.0, 5.0)
+        discrete = discretize_run(micro_net, run, 0, r_t_min=0.5, t_max=10)
+        assert discrete.arrival_step == 9
+
+    def test_train_too_long_for_station(self, micro_net):
+        run = TrainRun(Train("T", 1500, 120), "A", "B", 0.0, 4.0)
+        with pytest.raises(ScheduleError, match="does not fit"):
+            discretize_run(micro_net, run, 0, r_t_min=0.5, t_max=10)
+
+    def test_stop_windows(self, micro_net):
+        micro_net.network.stations["M"] = ["mid"]
+        run = TrainRun(
+            Train("T", 100, 120), "A", "B", 0.0, 4.5,
+            stops=(Stop("M", earliest_min=1.0, latest_min=3.0),),
+        )
+        discrete = discretize_run(micro_net, run, 0, r_t_min=0.5, t_max=10)
+        stop = discrete.stops[0]
+        assert stop.earliest_step == 2
+        assert stop.latest_step == 6
+        assert set(stop.segments) == set(micro_net.track_segments("mid"))
+
+    def test_empty_stop_window_rejected(self, micro_net):
+        micro_net.network.stations["M"] = ["mid"]
+        run = TrainRun(
+            Train("T", 100, 120), "A", "B", 0.0, 4.5,
+            stops=(Stop("M", earliest_min=3.0, latest_min=1.0),),
+        )
+        with pytest.raises(ScheduleError, match="empty stop window"):
+            discretize_run(micro_net, run, 0, r_t_min=0.5, t_max=10)
+
+
+class TestDiscretizeSchedule:
+    def test_t_max(self, micro_net, single_train_schedule):
+        runs, t_max = discretize_schedule(micro_net, single_train_schedule, 0.5)
+        assert t_max == 10
+        assert len(runs) == 1
+        assert runs[0].index == 0
+
+    def test_invalid_resolution(self, micro_net, single_train_schedule):
+        with pytest.raises(ScheduleError):
+            discretize_schedule(micro_net, single_train_schedule, 0.0)
+
+    def test_departure_beyond_horizon(self, micro_net):
+        run = TrainRun(Train("T", 100, 120), "A", "B", 4.9, None)
+        schedule = Schedule([run], 5.0)
+        # At r_t = 2.0 the 5-minute scenario is only 2 steps longs; a
+        # departure rounding to step 2 falls outside.
+        with pytest.raises(ScheduleError, match="departs at step"):
+            discretize_schedule(micro_net, schedule, 2.0)

@@ -1,0 +1,105 @@
+"""Tests for schedule JSON serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trains.io import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.trains.schedule import Schedule, ScheduleError, Stop, TrainRun
+from repro.trains.train import Train
+
+
+@pytest.fixture
+def rich_schedule():
+    return Schedule(
+        [
+            TrainRun(
+                Train("IC-1", 400, 160),
+                start="A",
+                goal="B",
+                departure_min=0.0,
+                arrival_min=12.0,
+                stops=(Stop("M", earliest_min=2.0, latest_min=6.0),),
+            ),
+            TrainRun(
+                Train("FRT", 600, 80),
+                start="B",
+                goal="A",
+                departure_min=3.0,
+                arrival_min=None,
+            ),
+        ],
+        duration_min=20.0,
+    )
+
+
+class TestRoundtrip:
+    def test_preserves_everything(self, rich_schedule):
+        restored = schedule_from_json(schedule_to_json(rich_schedule))
+        assert restored.duration_min == rich_schedule.duration_min
+        assert len(restored) == len(rich_schedule)
+        for original, copy in zip(rich_schedule.runs, restored.runs):
+            assert copy.train == original.train
+            assert (copy.start, copy.goal) == (original.start, original.goal)
+            assert copy.departure_min == original.departure_min
+            assert copy.arrival_min == original.arrival_min
+            assert copy.stops == original.stops
+
+    def test_file_roundtrip(self, rich_schedule, tmp_path):
+        path = tmp_path / "sched.json"
+        save_schedule(rich_schedule, path)
+        assert load_schedule(path).run_of("IC-1").arrival_min == 12.0
+
+    def test_case_study_schedules_roundtrip(self):
+        from repro.casestudies import all_case_studies
+
+        for study in all_case_studies():
+            restored = schedule_from_json(schedule_to_json(study.schedule))
+            assert len(restored) == len(study.schedule)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ScheduleError, match="invalid JSON"):
+            schedule_from_json("{nope")
+
+    def test_missing_fields(self):
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_json('{"trains": [{"name": "x"}]}')
+
+    def test_semantic_validation_applies(self):
+        text = """
+        {"duration_min": 5.0,
+         "trains": [{"name": "x", "length_m": 100, "max_speed_kmh": 100,
+                     "start": "A", "goal": "A",
+                     "departure_min": 0.0, "arrival_min": 3.0}]}
+        """
+        with pytest.raises(ScheduleError):
+            schedule_from_json(text)
+
+
+class TestCliIntegration:
+    def test_schedule_file_flag(self, micro_line, tmp_path, rich_schedule):
+        from repro.cli import main
+        from repro.network.io import save_network
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        net_path = tmp_path / "net.json"
+        save_network(micro_line, net_path)
+        schedule = Schedule(
+            [TrainRun(Train("T", 400, 120), "A", "B", 0.0, 4.0)], 5.0
+        )
+        sched_path = tmp_path / "sched.json"
+        save_schedule(schedule, sched_path)
+        code = main([
+            "verify", "--network", str(net_path),
+            "--schedule", str(sched_path),
+            "--r-s", "0.5", "--r-t", "0.5",
+        ])
+        assert code == 0

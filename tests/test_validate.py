@@ -1,0 +1,194 @@
+"""Tests for the independent solution validator.
+
+These tests corrupt known-good solutions in specific ways and check the
+validator reports exactly the intended violation class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.encoding.decode import Solution, TrainTrajectory
+from repro.encoding.encoder import EtcsEncoding
+from repro.encoding.validate import validate_solution
+from repro.sat import SolveResult
+
+
+def build_solution(net, schedule, r_t=0.5):
+    encoding = EtcsEncoding(net, schedule, r_t).build()
+    solver = encoding.cnf.to_solver()
+    assert solver.solve() is SolveResult.SAT
+    solution = encoding.decode({lit for lit in solver.model() if lit > 0})
+    assert validate_solution(encoding, solution) == []
+    return encoding, solution
+
+
+def with_steps(solution, train_index, new_steps):
+    trajectories = list(solution.trajectories)
+    trajectories[train_index] = dataclasses.replace(
+        trajectories[train_index], steps=new_steps
+    )
+    return Solution(
+        layout=solution.layout,
+        trajectories=trajectories,
+        makespan=solution.makespan,
+        t_max=solution.t_max,
+    )
+
+
+class TestFootprintChecks:
+    def test_wrong_footprint_size(self, micro_net, single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        steps = list(solution.trajectories[0].steps)
+        steps[0] = steps[0] | {5}  # second segment for a 1-segment train
+        problems = validate_solution(
+            encoding, with_steps(solution, 0, steps)
+        )
+        assert any("footprint" in p for p in problems)
+
+    def test_disconnected_chain(self, micro_net):
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        run = TrainRun(Train("T", 900, 120), "A", "B", 0.0, 4.5)
+        encoding, solution = build_solution(micro_net, Schedule([run], 5.0))
+        steps = list(solution.trajectories[0].steps)
+        # Replace a valid 2-chain with two far-apart segments.
+        steps[2] = frozenset({0, 5})
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("connected chain" in p for p in problems)
+
+
+class TestPresenceChecks:
+    def test_present_before_departure(self, micro_net):
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        run = TrainRun(Train("T", 100, 120), "A", "B", 1.0, 4.5)
+        encoding, solution = build_solution(micro_net, Schedule([run], 5.0))
+        steps = list(solution.trajectories[0].steps)
+        steps[0] = frozenset({2})
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("before departure" in p for p in problems)
+
+    def test_absent_at_departure(self, micro_net, single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        steps = list(solution.trajectories[0].steps)
+        steps[0] = frozenset()
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("absent at its departure" in p for p in problems)
+
+    def test_departure_away_from_start(self, micro_net,
+                                       single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        steps = list(solution.trajectories[0].steps)
+        mid = micro_net.track_segments("mid")[0]
+        steps[0] = frozenset({mid})
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("does not touch start" in p for p in problems)
+
+    def test_reentry_after_leaving(self, micro_net, single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        goal = set(encoding.runs[0].goal_segments)
+        boundary = sorted(goal & micro_net.boundary_segments())[0]
+        start = sorted(
+            set(encoding.runs[0].start_segments)
+            - micro_net.boundary_segments()
+        )[0]
+        mid = micro_net.track_segments("mid")[1]
+        steps = [frozenset()] * encoding.t_max
+        steps[0] = frozenset({start})
+        steps[1] = frozenset({mid})
+        steps[2] = frozenset({boundary})  # arrives and leaves via B
+        steps[encoding.t_max - 1] = frozenset({boundary})  # re-enters!
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("re-entered" in p for p in problems)
+
+    def test_leaving_before_goal(self, micro_net, single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        steps = [frozenset()] * encoding.t_max
+        steps[0] = solution.trajectories[0].steps[0]
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("before visiting its goal" in p for p in problems)
+
+    def test_vanishing_without_boundary_access(self, micro_net,
+                                               single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        steps = list(solution.trajectories[0].steps)
+        goal_inner = [
+            e for e in encoding.runs[0].goal_segments
+            if e not in micro_net.boundary_segments()
+        ][0]
+        arrival = solution.trajectories[0].arrival_step
+        steps[arrival] = frozenset({goal_inner})
+        for t in range(arrival + 1, encoding.t_max):
+            steps[t] = frozenset()
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("without boundary access" in p for p in problems)
+
+
+class TestMovementChecks:
+    def test_teleport_detected(self, micro_net, single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        steps = list(solution.trajectories[0].steps)
+        start = set(encoding.runs[0].start_segments)
+        goal = set(encoding.runs[0].goal_segments)
+        steps[0] = frozenset({sorted(start)[0]})
+        steps[1] = frozenset({sorted(goal)[-1]})  # 5+ hops at speed 2
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("no successor within speed" in p for p in problems)
+
+
+class TestInteractionChecks:
+    def test_shared_vss_detected(self, loop_net, crossing_schedule):
+        encoding, solution = build_solution(loop_net, crossing_schedule)
+        # Put train 1 exactly on train 0's position at some present step.
+        t = next(
+            t for t in range(encoding.t_max)
+            if solution.trajectories[0].steps[t]
+            and solution.trajectories[1].steps[t]
+        )
+        steps = list(solution.trajectories[1].steps)
+        steps[t] = solution.trajectories[0].steps[t]
+        problems = validate_solution(encoding, with_steps(solution, 1, steps))
+        assert any("share VSS section" in p for p in problems)
+
+    def test_swap_detected(self, micro_net, crossing_schedule):
+        encoding, solution = build_solution(micro_net, crossing_schedule)
+        # Construct an explicit swap at steps 4/5 on the middle track.
+        mid = micro_net.track_segments("mid")
+        steps_a = list(solution.trajectories[0].steps)
+        steps_b = list(solution.trajectories[1].steps)
+        steps_a[4], steps_a[5] = frozenset({mid[0]}), frozenset({mid[1]})
+        steps_b[4], steps_b[5] = frozenset({mid[1]}), frozenset({mid[0]})
+        corrupted = with_steps(
+            with_steps(solution, 0, steps_a), 1, steps_b
+        )
+        problems = validate_solution(encoding, corrupted)
+        assert any("swapped positions" in p for p in problems)
+
+
+class TestScheduleChecks:
+    def test_missed_goal(self, micro_net, single_train_schedule):
+        encoding, solution = build_solution(micro_net, single_train_schedule)
+        start = solution.trajectories[0].steps[0]
+        steps = [start] * encoding.t_max  # parked forever at the start
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("goal not reached" in p for p in problems)
+
+    def test_missed_stop(self, micro_net):
+        from repro.trains.schedule import Schedule, Stop, TrainRun
+        from repro.trains.train import Train
+
+        micro_net.network.stations["M"] = ["mid"]
+        run = TrainRun(
+            Train("T", 100, 120), "A", "B", 0.0, 4.5,
+            stops=(Stop("M", earliest_min=0.5, latest_min=1.0),),
+        )
+        encoding, solution = build_solution(micro_net, Schedule([run], 5.0))
+        # Delay the mid visit beyond the window by parking at the start.
+        steps = list(solution.trajectories[0].steps)
+        steps[1] = steps[0]
+        steps[2] = steps[0]
+        problems = validate_solution(encoding, with_steps(solution, 0, steps))
+        assert any("stop" in p for p in problems)

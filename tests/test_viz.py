@@ -1,0 +1,138 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+from repro.encoding.encoder import EtcsEncoding
+from repro.network.sections import VSSLayout
+from repro.sat import SolveResult
+from repro.tasks import verify_schedule
+from repro.viz import (
+    format_table1,
+    format_task_result,
+    render_layout,
+    render_network_summary,
+    render_spacetime,
+)
+
+
+def solved(net, schedule, r_t=0.5):
+    encoding = EtcsEncoding(net, schedule, r_t).build()
+    solver = encoding.cnf.to_solver()
+    assert solver.solve() is SolveResult.SAT
+    return encoding.decode({lit for lit in solver.model() if lit > 0})
+
+
+class TestRenderLayout:
+    def test_pure_layout_has_no_bars(self, micro_net):
+        text = render_layout(VSSLayout.pure_ttd(micro_net))
+        assert "|" not in text
+        assert "3 sections" in text
+
+    def test_added_border_shows_bar(self, micro_net):
+        free = micro_net.free_border_candidates()
+        layout = VSSLayout(
+            micro_net, set(micro_net.forced_borders) | {free[0]}
+        )
+        text = render_layout(layout)
+        assert text.count("|") == 1
+        assert "4 sections" in text
+
+    def test_every_ttd_listed(self, loop_net):
+        text = render_layout(VSSLayout.pure_ttd(loop_net))
+        for ttd in loop_net.ttd_segments:
+            assert ttd in text
+
+
+class TestRenderNetworkSummary:
+    def test_mentions_counts_and_stations(self, micro_net):
+        text = render_network_summary(micro_net)
+        assert "6 segments" in text
+        assert "3 TTD sections" in text
+        assert "A ->" in text or "A -" in text
+
+
+class TestRenderSpacetime:
+    def test_one_row_per_step(self, micro_net, single_train_schedule):
+        solution = solved(micro_net, single_train_schedule)
+        text = render_spacetime(micro_net, solution)
+        lines = text.splitlines()
+        assert len(lines) == solution.t_max + 1  # header + steps
+
+    def test_train_symbol_appears(self, micro_net, single_train_schedule):
+        solution = solved(micro_net, single_train_schedule)
+        text = render_spacetime(micro_net, solution)
+        assert "T" in text.splitlines()[1]  # present at step 0
+
+    def test_track_names_in_header(self, micro_net, single_train_schedule):
+        solution = solved(micro_net, single_train_schedule)
+        header = render_spacetime(micro_net, solution).splitlines()[0]
+        assert "mid" in header
+
+
+class TestFormatTable:
+    def test_single_row(self, micro_net, single_train_schedule):
+        result = verify_schedule(micro_net, single_train_schedule, 0.5)
+        row = format_task_result(result)
+        assert "verification" in row
+        assert "Yes" in row
+
+    def test_unsat_row_has_dash(self, micro_net):
+        from repro.trains.schedule import Schedule, TrainRun
+        from repro.trains.train import Train
+
+        run = TrainRun(Train("T", 100, 60), "A", "B", 0.0, 1.0)
+        result = verify_schedule(micro_net, Schedule([run], 5.0), 0.5)
+        row = format_task_result(result)
+        assert "No" in row
+        assert "-" in row
+
+    def test_full_table(self, micro_net, single_train_schedule):
+        result = verify_schedule(micro_net, single_train_schedule, 0.5)
+        table = format_table1([("Micro (r_t = 0.5, r_s = 0.5)", [result])])
+        lines = table.splitlines()
+        assert "Task" in lines[0]
+        assert "Micro" in lines[2]
+        assert "verification" in lines[3]
+
+
+class TestRenderTimetable:
+    def test_single_train_events(self, micro_net, single_train_schedule):
+        from repro.viz import render_timetable, station_events
+
+        solution = solved(micro_net, single_train_schedule)
+        text = render_timetable(micro_net, solution, 0.5)
+        assert "train T" in text
+        assert "dep" in text and "A" in text
+        assert "arr" in text and "B" in text
+
+    def test_station_events_ordered(self, micro_net, single_train_schedule):
+        from repro.viz import station_events
+
+        solution = solved(micro_net, single_train_schedule)
+        events = station_events(
+            micro_net, solution.trajectories[0]
+        )
+        steps = [step for step, __ in events]
+        assert steps == sorted(steps)
+        assert events[0][1] == "A"
+        assert events[-1][1] == "B"
+
+    def test_time_formatting(self):
+        from repro.viz.timetable import _format_time
+
+        assert _format_time(0, 0.5) == "0:00"
+        assert _format_time(7, 0.5) == "0:03:30"
+        assert _format_time(10, 0.5) == "0:05"
+        assert _format_time(25, 5.0) == "2:05"
+
+    def test_running_example_matches_fig2_style(self):
+        from repro.casestudies.running_example import running_example
+        from repro.tasks import optimize_schedule
+        from repro.viz import render_timetable
+
+        study = running_example()
+        net = study.discretize()
+        result = optimize_schedule(net, study.schedule, study.r_t_min)
+        text = render_timetable(net, result.solution, study.r_t_min)
+        for name in "1234":
+            assert f"train {name}" in text
