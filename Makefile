@@ -1,0 +1,22 @@
+PYTHON ?= python
+
+.PHONY: tier1 test smoke bench bench-portfolio
+
+# Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
+# on the running example, so the parallel paths are exercised on every run.
+tier1: test smoke
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+smoke:
+	PYTHONPATH=src $(PYTHON) -m repro generate --case running-example -j 2
+	PYTHONPATH=src $(PYTHON) -m repro verify --case running-example -j 2; \
+		test $$? -eq 1  # running example verification is UNSAT by design
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-portfolio:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_portfolio.py \
+		--benchmark-only -q

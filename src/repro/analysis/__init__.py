@@ -5,6 +5,10 @@
   (the discretisation knobs of the paper's §III-A)?
 """
 
-from repro.analysis.sensitivity import SweepPoint, resolution_sweep
+from repro.analysis.sensitivity import (
+    SweepPoint,
+    resolution_sweep,
+    resolution_sweep_parallel,
+)
 
-__all__ = ["SweepPoint", "resolution_sweep"]
+__all__ = ["SweepPoint", "resolution_sweep", "resolution_sweep_parallel"]

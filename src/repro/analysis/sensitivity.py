@@ -102,6 +102,62 @@ def resolution_sweep(
     return points
 
 
+def _sweep_one(
+    network: RailwayNetwork,
+    schedule: Schedule,
+    r_s: float,
+    r_t: float,
+    task: str,
+    options: EncodingOptions | None,
+) -> SweepPoint:
+    """One resolution pair of the sweep (a batchable unit)."""
+    return resolution_sweep(network, schedule, [(r_s, r_t)], task, options)[0]
+
+
+def resolution_sweep_parallel(
+    network: RailwayNetwork,
+    schedule: Schedule,
+    resolutions: list[tuple[float, float]],
+    task: str = "verify",
+    options: EncodingOptions | None = None,
+    processes: int | None = None,
+) -> list[SweepPoint]:
+    """:func:`resolution_sweep` with the points run as a process-pool batch.
+
+    Every resolution pair re-discretises, re-encodes, and re-solves
+    independently, so the sweep parallelises embarrassingly well — this is
+    the batch-runner variant (:mod:`repro.tasks.batch`).  Points come back
+    in sweep order regardless of completion order.
+    """
+    from repro.tasks.batch import BatchJob, run_batch
+
+    if task not in ("verify", "generate"):
+        raise ValueError(f"unknown task {task!r}")
+    jobs = [
+        BatchJob(
+            name=f"sweep/r_s={r_s}/r_t={r_t}",
+            func=_sweep_one,
+            args=(network, schedule, r_s, r_t, task, options),
+        )
+        for r_s, r_t in resolutions
+    ]
+    report = run_batch(jobs, processes=processes)
+    points = []
+    for result, (r_s, r_t) in zip(report.results, resolutions):
+        if result.ok:
+            points.append(result.value)
+        else:
+            points.append(
+                SweepPoint(
+                    r_s_km=r_s, r_t_min=r_t, segments=0, t_max=0,
+                    paper_vars=0, actual_vars=0, clauses=0,
+                    satisfiable=None, sections=None,
+                    runtime_s=result.runtime_s, error=result.error,
+                )
+            )
+    return points
+
+
 def format_sweep(points: list[SweepPoint]) -> str:
     """Render sweep points as an aligned text table."""
     header = (

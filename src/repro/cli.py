@@ -125,6 +125,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="print the per-train station timetable")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        metavar="N", help=help_text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="etcs-l3",
@@ -137,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="verify a schedule on pure TTDs")
     _add_scenario_args(verify)
+    _add_jobs_arg(verify, "race the solve over N portfolio processes")
     verify.add_argument("--proof", action="store_true",
                         help="back UNSAT verdicts with a checked DRAT proof")
     verify.add_argument("--explain", action="store_true",
@@ -145,11 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     generate = sub.add_parser("generate", help="generate a minimal VSS layout")
     _add_scenario_args(generate)
+    _add_jobs_arg(generate, "race each descent solve over N portfolio "
+                            "processes (linear/binary strategies)")
     generate.add_argument("--strategy", default="linear",
                           choices=["linear", "binary", "core"])
 
     optimize = sub.add_parser("optimize", help="optimize the schedule makespan")
     _add_scenario_args(optimize)
+    _add_jobs_arg(optimize, "race each descent solve over N portfolio "
+                            "processes (linear/binary strategies)")
     optimize.add_argument("--strategy", default="linear",
                           choices=["linear", "binary", "core"])
     optimize.add_argument("--min-borders", action="store_true",
@@ -161,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument("--skip-slow", action="store_true",
                         help="only the Running Example and Simple Layout")
+    _add_jobs_arg(table1, "run the table rows as a batch over N processes")
 
     export = sub.add_parser(
         "export", help="export a scenario's CNF encoding as DIMACS"
@@ -189,15 +200,31 @@ def main(argv: list[str] | None = None) -> int:
         studies = all_case_studies()
         if args.skip_slow:
             studies = studies[:2]
+        if args.jobs > 1:
+            from repro.tasks.batch import run_table1
+
+            report = run_table1(skip_slow=args.skip_slow,
+                                processes=args.jobs)
+            failures = report.failures()
+            if failures:
+                for failure in failures:
+                    print(f"FAILED {failure.name}: {failure.error}",
+                          file=sys.stderr)
+                raise SystemExit(1)
+            rows = report.values()
+            grouped = [rows[i:i + 3] for i in range(0, len(rows), 3)]
+        else:
+            grouped = []
+            for study in studies:
+                net = study.discretize()
+                grouped.append([
+                    verify_schedule(net, study.schedule, study.r_t_min),
+                    generate_layout(net, study.schedule, study.r_t_min),
+                    optimize_schedule(net, study.schedule, study.r_t_min,
+                                      minimize_borders_secondary=True),
+                ])
         groups = []
-        for study in studies:
-            net = study.discretize()
-            results = [
-                verify_schedule(net, study.schedule, study.r_t_min),
-                generate_layout(net, study.schedule, study.r_t_min),
-                optimize_schedule(net, study.schedule, study.r_t_min,
-                                  minimize_borders_secondary=True),
-            ]
+        for study, results in zip(studies, grouped):
             caption = (
                 f"{study.name} (r_t = {study.r_t_min} min, "
                 f"r_s = {study.r_s_km} km)"
@@ -231,7 +258,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
     if args.command == "verify":
-        result = verify_schedule(net, schedule, r_t, with_proof=args.proof)
+        result = verify_schedule(net, schedule, r_t, with_proof=args.proof,
+                                 parallel=args.jobs)
         if args.proof and not result.satisfiable:
             status = "VALID" if result.proof_checked else "REJECTED"
             print(f"DRAT proof of infeasibility: {status}")
@@ -249,13 +277,15 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"diagnosis: conflicting timetable commitments of "
                       f"train(s) {trains}")
     elif args.command == "generate":
-        result = generate_layout(net, schedule, r_t, strategy=args.strategy)
+        result = generate_layout(net, schedule, r_t, strategy=args.strategy,
+                                 parallel=args.jobs)
     else:
         result = optimize_schedule(
             net, schedule, r_t,
             strategy=args.strategy,
             minimize_borders_secondary=args.min_borders,
             objective=args.objective,
+            parallel=args.jobs,
         )
     _report(result, net, args.diagram, args.timetable, r_t)
     return 0 if result.satisfiable else 1

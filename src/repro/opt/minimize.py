@@ -3,6 +3,14 @@
 Both strategies build one incremental totalizer over the objective literals
 and then tighten its bound with unit *assumptions* — the solver keeps all its
 learned clauses across iterations, which is what makes the loop cheap.
+
+With ``parallel > 1`` every solve of the descent is instead raced through
+the process portfolio (:mod:`repro.sat.portfolio`): each bound probe ships
+the current clause set (hard constraints + totalizer) to diversified worker
+configurations and takes the first definitive answer.  Each probe is then a
+from-scratch solve — incremental clause learning across probes is traded for
+racing the bound proofs, which is the profitable trade on multi-core
+hardware for the hard UNSAT "prove optimality" steps.
 """
 
 from __future__ import annotations
@@ -12,6 +20,11 @@ from typing import Callable
 from repro.logic.cnf import CNF
 from repro.logic.totalizer import Totalizer
 from repro.opt.result import MinimizeResult
+from repro.sat.portfolio import (
+    PortfolioMember,
+    diversified_members,
+    solve_portfolio,
+)
 from repro.sat.solver import Solver
 from repro.sat.types import SolveResult
 
@@ -22,6 +35,9 @@ def minimize_sum(
     strategy: str = "linear",
     solver: Solver | None = None,
     on_improvement: Callable[[int], None] | None = None,
+    parallel: int = 1,
+    portfolio_members: list[PortfolioMember] | None = None,
+    descent_timeout_s: float | None = None,
 ) -> MinimizeResult:
     """Minimise the number of true literals among ``objective_lits``.
 
@@ -31,9 +47,21 @@ def minimize_sum(
 
     ``on_improvement`` (if given) is called with each strictly better cost as
     it is discovered — useful for logging long optimisations.
+
+    ``parallel > 1`` races every solve through a process portfolio of that
+    many diversified configurations (``portfolio_members`` overrides them).
+    ``descent_timeout_s`` bounds each *bound-probing* call; a probe that
+    times out ends the descent gracefully at the best bound known so far
+    (``proven_optimal=False``).  ``parallel=1`` is exactly the serial
+    incremental path.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
+    if parallel > 1:
+        return _minimize_sum_portfolio(
+            cnf, objective_lits, strategy, on_improvement,
+            parallel, portfolio_members, descent_timeout_s,
+        )
     solver = cnf.to_solver(solver)
     calls = 1
     verdict = solver.solve()
@@ -110,3 +138,121 @@ def minimize_sum(
 def _cost_of(solver: Solver, objective_lits: list[int]) -> int:
     """Number of objective literals true in the solver's current model."""
     return sum(1 for lit in objective_lits if solver.model_value(lit))
+
+
+def _model_cost(model: list[int], objective_lits: list[int]) -> int:
+    """Number of objective literals true in a model given as literal list."""
+    true_lits = set(model)
+    return sum(1 for lit in objective_lits if lit in true_lits)
+
+
+def _minimize_sum_portfolio(
+    cnf: CNF,
+    objective_lits: list[int],
+    strategy: str,
+    on_improvement: Callable[[int], None] | None,
+    parallel: int,
+    members: list[PortfolioMember] | None,
+    descent_timeout_s: float | None,
+) -> MinimizeResult:
+    """Portfolio-routed descent: every solve is a race over diversified
+    configurations; the deterministic portfolio keeps the result a pure
+    function of the problem (see :mod:`repro.sat.portfolio`)."""
+    members = members or diversified_members(parallel)
+    winners: dict[str, int] = {}
+    wall = 0.0
+
+    def race(assumptions=(), timeout_s=None):
+        nonlocal wall
+        result = solve_portfolio(
+            cnf.num_vars, cnf.clauses, assumptions=assumptions,
+            members=members, processes=parallel, timeout_s=timeout_s,
+        )
+        if result.stats is not None:
+            wall += result.stats.wall_time_s
+            if result.stats.winner_name:
+                winners[result.stats.winner_name] = (
+                    winners.get(result.stats.winner_name, 0) + 1
+                )
+        return result
+
+    def summary(calls: int) -> dict:
+        return {
+            "processes": parallel,
+            "calls": calls,
+            "winners": dict(winners),
+            "wall_time_s": wall,
+        }
+
+    calls = 1
+    first = race()
+    if first.verdict is not SolveResult.SAT:
+        return MinimizeResult(
+            feasible=False, solve_calls=calls, strategy=strategy,
+            portfolio=summary(calls),
+        )
+    best_model = first.model or []
+    best_cost = _model_cost(best_model, objective_lits)
+    if on_improvement:
+        on_improvement(best_cost)
+    if best_cost == 0 or not objective_lits:
+        return MinimizeResult(
+            feasible=True, cost=best_cost, model=best_model,
+            proven_optimal=True, solve_calls=calls, strategy=strategy,
+            portfolio=summary(calls),
+        )
+
+    totalizer = Totalizer(cnf, objective_lits)
+
+    if strategy == "linear":
+        proven = False
+        while best_cost > 0:
+            calls += 1
+            probe = race(
+                assumptions=[totalizer.bound_literal(best_cost - 1)],
+                timeout_s=descent_timeout_s,
+            )
+            if probe.verdict is SolveResult.SAT:
+                best_model = probe.model or []
+                best_cost = _model_cost(best_model, objective_lits)
+                if on_improvement:
+                    on_improvement(best_cost)
+            elif probe.verdict is SolveResult.UNSAT:
+                proven = True
+                break
+            else:  # timeout: keep the best-known bound
+                break
+        if best_cost == 0:
+            proven = True
+    else:  # binary search on the bound
+        low = 0
+        high = best_cost
+        proven = True
+        while low < high:
+            mid = (low + high) // 2
+            calls += 1
+            probe = race(
+                assumptions=[totalizer.bound_literal(mid)],
+                timeout_s=descent_timeout_s,
+            )
+            if probe.verdict is SolveResult.SAT:
+                best_model = probe.model or []
+                high = _model_cost(best_model, objective_lits)
+                best_cost = high
+                if on_improvement:
+                    on_improvement(best_cost)
+            elif probe.verdict is SolveResult.UNSAT:
+                low = mid + 1
+            else:
+                proven = False
+                break
+
+    return MinimizeResult(
+        feasible=True,
+        cost=best_cost,
+        model=best_model,
+        proven_optimal=proven,
+        solve_calls=calls,
+        strategy=strategy,
+        portfolio=summary(calls),
+    )

@@ -17,6 +17,9 @@ class MinimizeResult:
         proven_optimal: True when a final UNSAT step certified optimality.
         solve_calls: number of SAT solver invocations used.
         strategy: which engine produced the result.
+        portfolio: summary of the portfolio races when the descent ran with
+            ``parallel > 1`` (processes, calls, per-member win counts,
+            cumulative wall time); None on the serial path.
     """
 
     feasible: bool
@@ -25,6 +28,7 @@ class MinimizeResult:
     proven_optimal: bool = False
     solve_calls: int = 0
     strategy: str = ""
+    portfolio: dict | None = None
 
     def true_set(self) -> set[int]:
         """The model's true variables as a set (for decoding)."""

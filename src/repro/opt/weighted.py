@@ -29,12 +29,14 @@ def minimize_weighted_sum(
     cnf: CNF,
     weighted_lits: list[tuple[int, int]],
     strategy: str = "linear",
+    parallel: int = 1,
 ) -> MinimizeResult:
     """Minimise ``Σ weight * [lit is true]``.
 
     ``weighted_lits`` is a list of ``(literal, weight)`` pairs with positive
     integer weights.  Returns a :class:`MinimizeResult` whose ``cost`` is the
-    weighted optimum.
+    weighted optimum.  ``parallel`` is forwarded to the underlying
+    :func:`minimize_sum` descents (portfolio-raced when ``> 1``).
     """
     for lit, weight in weighted_lits:
         if weight <= 0 or not isinstance(weight, int):
@@ -47,7 +49,9 @@ def minimize_weighted_sum(
         duplicated = [
             lit for lit, weight in weighted_lits for __ in range(weight)
         ]
-        result = minimize_sum(cnf, duplicated, strategy=strategy)
+        result = minimize_sum(
+            cnf, duplicated, strategy=strategy, parallel=parallel
+        )
         return result
 
     # Stratified: minimise the heavy weights first, freeze, then lighter.
@@ -69,7 +73,9 @@ def minimize_weighted_sum(
     all_optimal = True
     for weight in ordered:
         lits = strata[weight]
-        result = minimize_sum(cnf, lits, strategy=strategy)
+        result = minimize_sum(
+            cnf, lits, strategy=strategy, parallel=parallel
+        )
         calls += result.solve_calls
         if not result.feasible:
             return MinimizeResult(

@@ -14,6 +14,15 @@ Public entry points:
 """
 
 from repro.sat.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.sat.portfolio import (
+    PortfolioDisagreementError,
+    PortfolioError,
+    PortfolioMember,
+    PortfolioResult,
+    PortfolioStats,
+    diversified_members,
+    solve_portfolio,
+)
 from repro.sat.proof import ProofLogger, check_rup_proof, parse_drat
 from repro.sat.simplify import SimplifyStats, simplify_clauses
 from repro.sat.solver import Solver
@@ -24,6 +33,13 @@ __all__ = [
     "SolveResult",
     "SolverConfig",
     "SolverStats",
+    "PortfolioMember",
+    "PortfolioResult",
+    "PortfolioStats",
+    "PortfolioError",
+    "PortfolioDisagreementError",
+    "diversified_members",
+    "solve_portfolio",
     "ProofLogger",
     "SimplifyStats",
     "simplify_clauses",

@@ -1,0 +1,490 @@
+"""Parallel portfolio SAT solving: race diversified configurations.
+
+A *portfolio* runs the same CNF through several differently-configured CDCL
+solvers in worker processes and takes the first definitive answer.  Because
+every member is a sound and complete solver, all members provably agree on
+the SAT/UNSAT verdict — racing them is verdict-preserving, and on multi-core
+hardware the wall time drops to the *fastest* member instead of the default
+one (cf. Engels & Wille's observation that solver-strategy choice dominates
+runtime on these ETCS moving-block encodings).
+
+Determinism (the default) is achieved by decoupling the race from the
+witness:
+
+* an **UNSAT** answer is accepted from whichever member proves it first —
+  the verdict is the same no matter who wins, so no nondeterminism leaks;
+* a **SAT** answer's *model* is always taken from the primary member
+  (index 0, the unmodified base configuration).  When another member finds
+  SAT first, the losers are cancelled and the primary is left to finish, so
+  the reported model — and everything decoded from it — is a pure function
+  of the formula, never of scheduling jitter.
+
+With ``deterministic=False`` the first finisher wins outright (lowest
+latency, model may vary between runs).
+
+Worker crashes never hang the run: dead processes are detected and the
+surviving members still produce the answer; if *every* member dies the
+portfolio falls back to solving in-process.  On platforms without ``fork``
+(or with ``processes <= 1``) the portfolio degrades to the exact serial
+path of the primary member.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sat.simplify import simplify_clauses
+from repro.sat.solver import Solver
+from repro.sat.proof import ProofLogger
+from repro.sat.types import SolveResult, SolverConfig
+
+#: Poll interval while waiting for worker results (seconds).
+_POLL_S = 0.02
+
+#: Large co-prime stride decorrelating the per-member derived seeds.
+_SEED_STRIDE = 0x9E3779B1
+
+
+class PortfolioError(RuntimeError):
+    """The portfolio could not produce an answer (all members failed)."""
+
+
+class PortfolioDisagreementError(PortfolioError):
+    """Two members returned contradictory verdicts — a soundness bug."""
+
+
+@dataclass(frozen=True)
+class PortfolioMember:
+    """One entry of the portfolio: a solver configuration plus knobs.
+
+    Attributes:
+        name: short label for reports ("base", "neg-phase", ...).
+        config: the :class:`SolverConfig` this member solves with.
+        presimplify: run the clause preprocessor before solving (skipped
+            automatically when a DRAT proof is requested, because the proof's
+            premises must be the original clauses).
+        solver_factory: optional ``config -> Solver`` hook, used by tests to
+            inject failing members; defaults to the plain constructor.
+    """
+
+    name: str
+    config: SolverConfig
+    presimplify: bool = False
+    solver_factory: Callable[[SolverConfig], Solver] | None = field(
+        default=None, compare=False
+    )
+
+
+def diversified_members(
+    n: int,
+    base: SolverConfig | None = None,
+    seed: int | None = None,
+) -> list[PortfolioMember]:
+    """Build ``n`` diversified portfolio members.
+
+    Member 0 is always the unmodified ``base`` configuration (so that the
+    deterministic portfolio's witnesses, and the ``processes=1`` degradation,
+    match the serial solver exactly).  Further members vary the random seed,
+    VSIDS decay, restart cadence, phase-saving polarity, random-decision
+    frequency, and preprocessing — the classic portfolio diversification
+    axes.  The recipe list cycles (with reseeding) for large ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"portfolio needs at least one member, got {n}")
+    base = base if base is not None else SolverConfig()
+    seed = seed if seed is not None else base.random_seed
+
+    def derived(index: int) -> int:
+        return (seed + index * _SEED_STRIDE) & 0x7FFFFFFF
+
+    recipes: list[tuple[str, dict, bool]] = [
+        ("neg-phase", {"default_phase": True}, False),
+        ("fast-decay", {"var_decay": 0.85, "restart_base": 50}, False),
+        ("presimplify", {"default_phase": True, "var_decay": 0.99}, True),
+        ("random-walk", {"random_var_freq": 0.05,
+                         "use_phase_saving": False}, False),
+        ("slow-restarts", {"restart_base": 500, "var_decay": 0.99}, False),
+        ("jumpy", {"random_var_freq": 0.1, "restart_base": 50,
+                   "default_phase": True}, False),
+        ("no-saving", {"use_phase_saving": False, "var_decay": 0.9}, False),
+    ]
+
+    members = [PortfolioMember("base", base)]
+    for i in range(1, n):
+        name, overrides, presimplify = recipes[(i - 1) % len(recipes)]
+        if i - 1 >= len(recipes):
+            name = f"{name}-{(i - 1) // len(recipes) + 1}"
+        config = dataclasses.replace(
+            base, random_seed=derived(i), **overrides
+        )
+        members.append(PortfolioMember(name, config, presimplify))
+    return members
+
+
+@dataclass
+class WorkerReport:
+    """Per-member outcome, for the merged portfolio report."""
+
+    name: str
+    verdict: str = ""  # "sat" / "unsat" / "" (cancelled / still running)
+    finished: bool = False
+    error: str = ""
+    solve_time_s: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class PortfolioStats:
+    """Merged report of one portfolio solve."""
+
+    winner: int | None
+    winner_name: str
+    verdict: SolveResult
+    wall_time_s: float
+    processes: int
+    serial_fallback: bool
+    workers: list[WorkerReport] = field(default_factory=list)
+
+    def merged_counters(self) -> dict:
+        """Sum the solver counters over every member that reported stats."""
+        totals: dict = {}
+        for report in self.workers:
+            for key, value in report.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "winner": self.winner,
+            "winner_name": self.winner_name,
+            "verdict": self.verdict.value,
+            "wall_time_s": self.wall_time_s,
+            "processes": self.processes,
+            "serial_fallback": self.serial_fallback,
+            "workers": [dataclasses.asdict(w) for w in self.workers],
+        }
+
+
+@dataclass
+class PortfolioResult:
+    """Answer of :func:`solve_portfolio`.
+
+    ``model`` is the winning member's model as a list of true literals
+    (DIMACS convention) when SAT, ``unsat_core`` the failed assumption
+    subset when UNSAT under assumptions, and ``proof_steps`` the winner's
+    DRAT log when a proof was requested and the verdict is UNSAT.
+    """
+
+    verdict: SolveResult
+    model: list[int] | None = None
+    unsat_core: list[int] = field(default_factory=list)
+    proof_steps: list | None = None
+    stats: PortfolioStats | None = None
+
+    def __bool__(self) -> bool:
+        return self.verdict is SolveResult.SAT
+
+    def true_set(self) -> set[int]:
+        """The model's true variables as a set (for decoding)."""
+        if self.model is None:
+            raise RuntimeError("no model: portfolio verdict was not SAT")
+        return {lit for lit in self.model if lit > 0}
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_processes() -> int:
+    """Worker count when the caller does not specify one."""
+    return min(4, os.cpu_count() or 1)
+
+
+def _run_member(
+    member: PortfolioMember,
+    num_vars: int,
+    clauses: list[list[int]],
+    assumptions: tuple[int, ...],
+    with_proof: bool,
+) -> dict:
+    """Solve one member in the current process; returns a plain dict."""
+    start = time.perf_counter()
+    factory = member.solver_factory or Solver
+    solver = factory(member.config)
+    logger = None
+    if with_proof:
+        logger = ProofLogger()
+        solver.attach_proof(logger)
+    work = clauses
+    if member.presimplify and not with_proof:
+        work, __ = simplify_clauses(clauses)
+    solver.ensure_var(max(num_vars, 1))
+    for clause in work:
+        solver.add_clause(clause)
+    verdict = solver.solve(list(assumptions))
+    outcome = {
+        "verdict": verdict.value,
+        "model": solver.model() if verdict is SolveResult.SAT else None,
+        "core": solver.unsat_core() if verdict is SolveResult.UNSAT else [],
+        "proof": (
+            list(logger.steps)
+            if logger is not None and verdict is SolveResult.UNSAT
+            else None
+        ),
+        "stats": solver.stats.as_dict(),
+        "time": time.perf_counter() - start,
+    }
+    return outcome
+
+
+def _worker(index, member, num_vars, clauses, assumptions, with_proof, out):
+    """Process entry point: solve and ship the outcome (or the error)."""
+    try:
+        outcome = _run_member(member, num_vars, clauses, assumptions,
+                              with_proof)
+        outcome["index"] = index
+        out.put(outcome)
+    except BaseException as exc:  # noqa: BLE001 — must never hang the parent
+        try:
+            out.put({"index": index,
+                     "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+
+
+def _serial_result(member, num_vars, clauses, assumptions, with_proof,
+                   start, processes, *, fallback):
+    """Solve in-process with one member and wrap it as a portfolio answer."""
+    outcome = _run_member(member, num_vars, clauses, tuple(assumptions),
+                          with_proof)
+    verdict = SolveResult(outcome["verdict"])
+    report = WorkerReport(
+        name=member.name, verdict=outcome["verdict"], finished=True,
+        solve_time_s=outcome["time"], stats=outcome["stats"],
+    )
+    stats = PortfolioStats(
+        winner=0, winner_name=member.name, verdict=verdict,
+        wall_time_s=time.perf_counter() - start, processes=processes,
+        serial_fallback=fallback, workers=[report],
+    )
+    return PortfolioResult(
+        verdict=verdict, model=outcome["model"],
+        unsat_core=outcome["core"], proof_steps=outcome["proof"],
+        stats=stats,
+    )
+
+
+def solve_portfolio(
+    num_vars: int,
+    clauses: list[list[int]],
+    assumptions: list[int] | tuple[int, ...] = (),
+    members: list[PortfolioMember] | None = None,
+    processes: int | None = None,
+    timeout_s: float | None = None,
+    with_proof: bool = False,
+    deterministic: bool = True,
+) -> PortfolioResult:
+    """Race a portfolio of solver configurations on one CNF.
+
+    Args:
+        num_vars: number of variables in the formula.
+        clauses: the CNF clauses (DIMACS-style literal lists).
+        assumptions: assumption literals, as for :meth:`Solver.solve`.
+        members: the portfolio; defaults to
+            :func:`diversified_members(processes)`.
+        processes: worker processes to race; defaults to
+            :func:`default_processes`.  ``processes <= 1`` (or a platform
+            without ``fork``) solves serially with the primary member — the
+            exact single-solver path.
+        timeout_s: overall wall-clock budget; on expiry every worker is
+            cancelled and the verdict is :data:`SolveResult.UNKNOWN`.
+        with_proof: ship the winner's DRAT log on UNSAT (member-level
+            preprocessing is skipped so the proof premises stay intact).
+        deterministic: take SAT models only from the primary member (see
+            module docstring).  ``False`` races to the first finisher.
+
+    Returns a :class:`PortfolioResult`; raises
+    :class:`PortfolioDisagreementError` if two members contradict each other
+    (which would mean an unsound solver) and :class:`PortfolioError` when no
+    member could produce an answer and the in-process fallback failed too.
+    """
+    start = time.perf_counter()
+    if processes is None:
+        processes = default_processes()
+    if members is None:
+        members = diversified_members(max(processes, 1))
+    if not members:
+        raise ValueError("empty portfolio")
+    members = list(members[: max(processes, 1)])
+
+    if processes <= 1 or len(members) == 1 or not fork_available():
+        return _serial_result(members[0], num_vars, clauses, assumptions,
+                              with_proof, start, processes, fallback=False)
+
+    ctx = multiprocessing.get_context("fork")
+    out: multiprocessing.Queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker,
+            args=(i, members[i], num_vars, clauses, tuple(assumptions),
+                  with_proof, out),
+            daemon=True,
+        )
+        for i in range(len(members))
+    ]
+    for proc in procs:
+        proc.start()
+
+    reports = [WorkerReport(name=member.name) for member in members]
+    outcomes: dict[int, dict] = {}
+    deadline = start + timeout_s if timeout_s is not None else None
+    winner_index: int | None = None
+    sat_candidate: int | None = None  # lowest-index SAT seen so far
+    timed_out = False
+    verdicts_seen: dict[int, str] = {}
+
+    def cancel(indices) -> None:
+        for i in indices:
+            if procs[i].is_alive():
+                procs[i].terminate()
+
+    try:
+        while True:
+            try:
+                msg = out.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if deadline is not None and time.perf_counter() > deadline:
+                    timed_out = True
+                    break
+                # Detect members that died without reporting (hard crash).
+                for i, proc in enumerate(procs):
+                    if (
+                        i not in outcomes
+                        and not reports[i].error
+                        and not proc.is_alive()
+                    ):
+                        reports[i].error = (
+                            f"worker died with exit code {proc.exitcode}"
+                        )
+                if all(
+                    i in outcomes or reports[i].error
+                    for i in range(len(procs))
+                ):
+                    break  # everyone is accounted for, nobody answered
+                continue
+
+            index = msg["index"]
+            if "error" in msg:
+                reports[index].error = msg["error"]
+                if all(
+                    i in outcomes or reports[i].error
+                    for i in range(len(procs))
+                ):
+                    break
+                continue
+
+            outcomes[index] = msg
+            reports[index].verdict = msg["verdict"]
+            reports[index].finished = True
+            reports[index].solve_time_s = msg["time"]
+            reports[index].stats = msg["stats"]
+            verdicts_seen[index] = msg["verdict"]
+            definitive = {
+                v for v in verdicts_seen.values()
+                if v != SolveResult.UNKNOWN.value
+            }
+            if len(definitive) > 1:
+                raise PortfolioDisagreementError(
+                    "portfolio members disagree on the verdict: "
+                    + ", ".join(
+                        f"{members[i].name}={v}"
+                        for i, v in sorted(verdicts_seen.items())
+                    )
+                )
+
+            if msg["verdict"] == SolveResult.UNSAT.value:
+                # Any member's UNSAT is everyone's UNSAT: accept and cancel.
+                winner_index = index
+                break
+            if msg["verdict"] == SolveResult.SAT.value:
+                if not deterministic or index == 0:
+                    winner_index = index
+                    break
+                # Deterministic mode: remember the witness, free the other
+                # racers, and let the primary finish so the reported model
+                # does not depend on scheduling.
+                if sat_candidate is None or index < sat_candidate:
+                    sat_candidate = index
+                cancel(
+                    i for i in range(1, len(procs))
+                    if i not in outcomes and not reports[i].error
+                )
+    finally:
+        cancel(range(len(procs)))
+        for proc in procs:
+            proc.join(timeout=1.0)
+        out.close()
+        out.cancel_join_thread()
+
+    if winner_index is None and sat_candidate is not None:
+        # The primary died or timed out after another member proved SAT.
+        winner_index = sat_candidate
+    for i in range(len(procs)):
+        if i != winner_index and i not in outcomes and not reports[i].error:
+            reports[i].error = reports[i].error or (
+                "timeout" if timed_out else "cancelled"
+            )
+
+    if winner_index is None:
+        if timed_out:
+            stats = PortfolioStats(
+                winner=None, winner_name="", verdict=SolveResult.UNKNOWN,
+                wall_time_s=time.perf_counter() - start,
+                processes=processes, serial_fallback=False, workers=reports,
+            )
+            return PortfolioResult(verdict=SolveResult.UNKNOWN, stats=stats)
+        # Every worker crashed: the answer must still be produced — fall
+        # back to solving in this process with the primary member's
+        # configuration (default factory: a custom one may be what crashed).
+        fallback_member = PortfolioMember(
+            f"{members[0].name}-fallback", members[0].config,
+            presimplify=members[0].presimplify,
+        )
+        try:
+            result = _serial_result(
+                fallback_member, num_vars, clauses, assumptions, with_proof,
+                start, processes, fallback=True,
+            )
+        except Exception as exc:
+            raise PortfolioError(
+                "all portfolio workers failed and the serial fallback "
+                f"raised: {exc}"
+            ) from exc
+        result.stats.workers = reports + result.stats.workers
+        return result
+
+    outcome = outcomes[winner_index]
+    verdict = SolveResult(outcome["verdict"])
+    stats = PortfolioStats(
+        winner=winner_index,
+        winner_name=members[winner_index].name,
+        verdict=verdict,
+        wall_time_s=time.perf_counter() - start,
+        processes=processes,
+        serial_fallback=False,
+        workers=reports,
+    )
+    return PortfolioResult(
+        verdict=verdict,
+        model=outcome["model"],
+        unsat_core=outcome["core"],
+        proof_steps=outcome["proof"],
+        stats=stats,
+    )

@@ -556,7 +556,23 @@ class Solver:
     # ------------------------------------------------------------------
 
     def _pick_branch_var(self) -> int:
-        """Pop the most active unassigned variable from the order heap."""
+        """Pop the most active unassigned variable from the order heap.
+
+        With ``config.random_var_freq > 0`` an occasional decision picks a
+        uniformly random unassigned variable instead (MiniSat's classic
+        diversification knob, used by the portfolio to decorrelate member
+        searches).  All randomness flows through the per-solver seeded RNG,
+        so equal seeds give identical decision sequences.
+        """
+        if (
+            self.config.random_var_freq > 0.0
+            and self.num_vars > 0
+            and self._rng.random() < self.config.random_var_freq
+        ):
+            var = self._rng.randint(1, self.num_vars)
+            if self._assigns[var] == 0:
+                self.stats.random_decisions += 1
+                return var
         if self.config.use_vsids:
             heap = self._order_heap
             while heap:

@@ -36,6 +36,7 @@ class SolverStats:
     """Counters accumulated over the lifetime of a solver instance."""
 
     decisions: int = 0
+    random_decisions: int = 0
     propagations: int = 0
     conflicts: int = 0
     restarts: int = 0
@@ -50,6 +51,7 @@ class SolverStats:
         """Return the statistics as a plain dictionary (for reporting)."""
         return {
             "decisions": self.decisions,
+            "random_decisions": self.random_decisions,
             "propagations": self.propagations,
             "conflicts": self.conflicts,
             "restarts": self.restarts,
@@ -83,5 +85,6 @@ class SolverConfig:
     learned_clause_min_limit: int = 1000
     default_phase: bool = False
     random_seed: int = 91648253
+    random_var_freq: float = 0.0
     conflict_limit: int | None = None
     extra_checks: bool = field(default=False, repr=False)

@@ -10,6 +10,15 @@ All three return a :class:`TaskResult` carrying the Table I columns
 (variables, satisfiable, TTD/VSS section count, time steps, runtime).
 """
 
+from repro.tasks.batch import (
+    BatchJob,
+    BatchJobResult,
+    BatchReport,
+    run_batch,
+    run_case_task,
+    run_table1,
+    table1_jobs,
+)
 from repro.tasks.capacity import (
     CapacityPoint,
     best_makespan_with_budget,
@@ -36,4 +45,11 @@ __all__ = [
     "diagnose_infeasibility",
     "delay_tolerance",
     "robustness_report",
+    "BatchJob",
+    "BatchJobResult",
+    "BatchReport",
+    "run_batch",
+    "run_case_task",
+    "run_table1",
+    "table1_jobs",
 ]

@@ -1,0 +1,265 @@
+"""Batch task execution over a process pool.
+
+Many workloads in this repository are *batches of independent task
+invocations*: the twelve Table I rows, a resolution-sensitivity sweep, a
+robustness screen over delay scenarios.  :func:`run_batch` runs such a batch
+over a process pool with
+
+* **deterministic per-job seeds** — every job gets a seed that is a pure
+  function of the batch seed, the job index, and the job name, so a batch
+  is reproducible regardless of how its jobs were scheduled;
+* **structured per-job results** — each job yields a
+  :class:`BatchJobResult` carrying the returned value *or* the captured
+  error, never an exception that kills the batch;
+* **graceful degradation** — ``processes=1``, a single-job batch, or a
+  platform without ``fork`` runs the jobs serially in-process, with
+  identical results.
+
+Job functions must be importable (module-level) callables when running with
+processes — the pool ships them by pickling.  The serial path has no such
+restriction.
+
+The module also packages the paper's Table I as a ready-made batch
+(:func:`table1_jobs` / :func:`run_table1`), which is what ``python -m repro
+table1 --jobs N`` executes.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable
+
+from repro.sat.portfolio import default_processes, fork_available
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of a batch: a callable plus its arguments.
+
+    ``seed_kwarg`` names a keyword argument through which the job wants to
+    receive its deterministic per-job seed (omitted when None).
+    """
+
+    name: str
+    func: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    seed_kwarg: str | None = None
+
+
+@dataclass
+class BatchJobResult:
+    """Outcome of one batch job (value or captured error, never both)."""
+
+    name: str
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    runtime_s: float = 0.0
+    seed: int = 0
+
+
+@dataclass
+class BatchReport:
+    """Outcome of a whole batch."""
+
+    results: list[BatchJobResult]
+    wall_time_s: float
+    processes: int
+    serial_fallback: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when every job succeeded."""
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> list[BatchJobResult]:
+        """The jobs that raised, in batch order."""
+        return [result for result in self.results if not result.ok]
+
+    def values(self) -> list[Any]:
+        """The returned values of the successful jobs, in batch order."""
+        return [result.value for result in self.results if result.ok]
+
+    def value_of(self, name: str) -> Any:
+        """The value returned by the job called ``name``."""
+        for result in self.results:
+            if result.name == name:
+                if not result.ok:
+                    raise RuntimeError(
+                        f"batch job {name!r} failed: {result.error}"
+                    )
+                return result.value
+        raise KeyError(f"no batch job named {name!r}")
+
+
+def job_seed(batch_seed: int, index: int, name: str) -> int:
+    """Deterministic per-job seed: a pure function of batch seed/index/name."""
+    return zlib.crc32(f"{batch_seed}:{index}:{name}".encode()) & 0x7FFFFFFF
+
+
+def _execute(job: BatchJob, index: int, seed: int) -> BatchJobResult:
+    """Run one job in the current process, capturing any exception."""
+    start = time.perf_counter()
+    kwargs = dict(job.kwargs)
+    if job.seed_kwarg is not None:
+        kwargs[job.seed_kwarg] = seed
+    try:
+        value = job.func(*job.args, **kwargs)
+    except Exception as exc:  # captured, reported, never re-raised
+        return BatchJobResult(
+            name=job.name, index=index, ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            runtime_s=time.perf_counter() - start, seed=seed,
+        )
+    return BatchJobResult(
+        name=job.name, index=index, ok=True, value=value,
+        runtime_s=time.perf_counter() - start, seed=seed,
+    )
+
+
+def run_batch(
+    jobs: list[BatchJob],
+    processes: int | None = None,
+    seed: int = 0,
+) -> BatchReport:
+    """Run ``jobs`` concurrently over a process pool.
+
+    ``processes`` defaults to :func:`repro.sat.portfolio.default_processes`.
+    With ``processes <= 1``, a single job, or no ``fork`` support the batch
+    runs serially in-process (bit-identical results, no pickling
+    requirement on the job functions).
+
+    A worker process that dies abruptly (beyond a captured Python
+    exception) does not sink the batch: its pending jobs are re-executed
+    serially in the parent.
+    """
+    start = time.perf_counter()
+    if processes is None:
+        processes = default_processes()
+    seeds = [job_seed(seed, i, job.name) for i, job in enumerate(jobs)]
+
+    serial = processes <= 1 or len(jobs) <= 1 or not fork_available()
+    results: list[BatchJobResult | None] = [None] * len(jobs)
+    if serial:
+        for i, job in enumerate(jobs):
+            results[i] = _execute(job, i, seeds[i])
+    else:
+        pending: dict = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=processes, mp_context=get_context("fork")
+            ) as pool:
+                pending = {
+                    pool.submit(_execute, job, i, seeds[i]): i
+                    for i, job in enumerate(jobs)
+                }
+                not_done = set(pending)
+                while not_done:
+                    done, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        i = pending[future]
+                        exc = future.exception()
+                        if exc is None:
+                            results[i] = future.result()
+                        # else: pool breakage — handled by the fallback below
+        except Exception:
+            pass  # BrokenProcessPool and friends: fall through to recovery
+        for i, job in enumerate(jobs):
+            if results[i] is None:
+                # The worker (or the whole pool) died before reporting:
+                # recover by running the job serially in the parent.
+                results[i] = _execute(job, i, seeds[i])
+
+    return BatchReport(
+        results=[result for result in results if result is not None],
+        wall_time_s=time.perf_counter() - start,
+        processes=processes,
+        serial_fallback=serial,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ready-made batches
+# ----------------------------------------------------------------------
+
+
+def _case_key(name: str) -> str:
+    return name.lower().replace(" ", "-")
+
+
+def run_case_task(case: str, task: str, parallel: int = 1, **kwargs):
+    """Run one design task on one named case study (a batchable unit).
+
+    ``case`` is the case-study key (e.g. ``"running-example"``), ``task``
+    one of ``"verification"``, ``"generation"``, ``"optimization"``.
+    Remaining keyword arguments are forwarded to the task function.
+    """
+    from repro.casestudies import all_case_studies
+    from repro.tasks.generation import generate_layout
+    from repro.tasks.optimization import optimize_schedule
+    from repro.tasks.verification import verify_schedule
+
+    study = next(
+        (s for s in all_case_studies() if _case_key(s.name) == case), None
+    )
+    if study is None:
+        raise ValueError(f"unknown case study {case!r}")
+    net = study.discretize()
+    if task == "verification":
+        return verify_schedule(
+            net, study.schedule, study.r_t_min, parallel=parallel, **kwargs
+        )
+    if task == "generation":
+        return generate_layout(
+            net, study.schedule, study.r_t_min, parallel=parallel, **kwargs
+        )
+    if task == "optimization":
+        return optimize_schedule(
+            net, study.schedule, study.r_t_min, parallel=parallel, **kwargs
+        )
+    raise ValueError(f"unknown task {task!r}")
+
+
+def table1_jobs(
+    skip_slow: bool = False, parallel: int = 1
+) -> list[BatchJob]:
+    """The paper's Table I (all case studies × all three tasks) as a batch."""
+    from repro.casestudies import all_case_studies
+
+    studies = all_case_studies()
+    if skip_slow:
+        studies = studies[:2]
+    jobs = []
+    for study in studies:
+        key = _case_key(study.name)
+        for task, kwargs in (
+            ("verification", {}),
+            ("generation", {}),
+            ("optimization", {"minimize_borders_secondary": True}),
+        ):
+            jobs.append(
+                BatchJob(
+                    name=f"{key}/{task}",
+                    func=run_case_task,
+                    args=(key, task),
+                    kwargs={"parallel": parallel, **kwargs},
+                )
+            )
+    return jobs
+
+
+def run_table1(
+    skip_slow: bool = False,
+    processes: int | None = None,
+    parallel: int = 1,
+) -> BatchReport:
+    """Regenerate Table I as a batch: one job per row, ``processes`` wide."""
+    return run_batch(table1_jobs(skip_slow, parallel), processes=processes)

@@ -27,6 +27,7 @@ def generate_layout(
     strategy: str = "linear",
     options: EncodingOptions | None = None,
     border_costs: dict[int, int] | None = None,
+    parallel: int = 1,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -36,6 +37,10 @@ def generate_layout(
     ``border_costs`` optionally maps free border vertices to positive
     integer installation costs; the objective then becomes the weighted sum
     (paper: unweighted ``min Σ border_v``).  Unlisted vertices cost 1.
+
+    ``parallel > 1`` races every solve of the linear/binary descent through
+    the process portfolio (:mod:`repro.sat.portfolio`).  The core-guided
+    engine is inherently incremental and stays serial.
     """
     start = time.perf_counter()
     encoding = build_encoding(net, schedule, r_t_min, options)
@@ -50,11 +55,14 @@ def generate_layout(
         result = minimize_weighted_sum(
             encoding.cnf, weighted,
             strategy=strategy if strategy != "core" else "linear",
+            parallel=parallel,
         )
     elif strategy == "core":
         result = minimize_sum_core_guided(encoding.cnf, objective)
     else:
-        result = minimize_sum(encoding.cnf, objective, strategy=strategy)
+        result = minimize_sum(
+            encoding.cnf, objective, strategy=strategy, parallel=parallel
+        )
 
     solution = None
     if result.feasible:
@@ -75,4 +83,5 @@ def generate_layout(
         objective_value=result.cost if result.feasible else None,
         proven_optimal=result.proven_optimal,
         solve_calls=result.solve_calls,
+        portfolio=result.portfolio,
     )

@@ -30,6 +30,7 @@ def optimize_schedule(
     options: EncodingOptions | None = None,
     objective: str = "makespan",
     refine_arrivals: bool = False,
+    parallel: int = 1,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -47,6 +48,11 @@ def optimize_schedule(
 
     Set ``minimize_borders_secondary`` to additionally minimise VSS borders
     among objective-optimal solutions (applied last).
+
+    ``parallel > 1`` races every solve of the linear/binary descents
+    (including the refinement and secondary passes) through the process
+    portfolio (:mod:`repro.sat.portfolio`); the core-guided engine stays
+    serial.
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -61,8 +67,12 @@ def optimize_schedule(
     if strategy == "core":
         result = minimize_sum_core_guided(encoding.cnf, objective_lits)
     else:
-        result = minimize_sum(encoding.cnf, objective_lits, strategy=strategy)
+        result = minimize_sum(
+            encoding.cnf, objective_lits, strategy=strategy,
+            parallel=parallel,
+        )
     solve_calls = result.solve_calls
+    portfolio_summary = result.portfolio
 
     if result.feasible and refine_arrivals and objective == "makespan":
         # Freeze the makespan, then minimise summed arrivals among optima.
@@ -71,7 +81,7 @@ def optimize_schedule(
             totalizer.assert_at_most(result.cost)
         arrival_lits = encoding.total_arrival_objective()
         refined = minimize_sum(
-            encoding.cnf, arrival_lits, strategy=strategy
+            encoding.cnf, arrival_lits, strategy=strategy, parallel=parallel
         )
         solve_calls += refined.solve_calls
         if refined.feasible:
@@ -96,7 +106,8 @@ def optimize_schedule(
             totalizer = Totalizer(encoding.cnf, objective_lits)
             totalizer.assert_at_most(result.cost)
         secondary = minimize_sum(
-            encoding.cnf, encoding.border_objective(), strategy=strategy
+            encoding.cnf, encoding.border_objective(), strategy=strategy,
+            parallel=parallel,
         )
         solve_calls += secondary.solve_calls
         if secondary.feasible:
@@ -134,4 +145,5 @@ def optimize_schedule(
         objective_value=result.cost if result.feasible else None,
         proven_optimal=result.proven_optimal,
         solve_calls=solve_calls,
+        portfolio=portfolio_summary,
     )

@@ -29,6 +29,9 @@ class TaskResult:
         proven_optimal: whether the optimisation loop certified optimality.
         solve_calls: SAT invocations used.
         solver_stats: cumulative solver counters.
+        portfolio: portfolio-race summary when the task ran with
+            ``parallel > 1`` (winner members, processes, wall time); None on
+            the serial path.
     """
 
     task: str
@@ -45,6 +48,7 @@ class TaskResult:
     solve_calls: int = 1
     solver_stats: dict = field(default_factory=dict)
     proof_checked: bool | None = None  # UNSAT verdicts: DRAT proof validated
+    portfolio: dict | None = None
 
     def table_row(self) -> tuple:
         """(task, vars, sat, sections, steps, runtime) — a Table I row."""

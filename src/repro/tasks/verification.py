@@ -11,7 +11,14 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
-from repro.sat import ProofLogger, Solver, check_rup_proof, simplify_clauses
+from repro.sat import (
+    ProofLogger,
+    Solver,
+    check_rup_proof,
+    diversified_members,
+    simplify_clauses,
+    solve_portfolio,
+)
 from repro.network.discretize import DiscreteNetwork
 from repro.network.sections import VSSLayout
 from repro.tasks.common import build_encoding, checked_decode
@@ -28,6 +35,7 @@ def verify_schedule(
     waypoints: list[tuple[str, str, int]] | None = None,
     with_proof: bool = False,
     presimplify: bool = False,
+    parallel: int = 1,
 ) -> TaskResult:
     """Verify ``schedule`` on ``layout`` (default: the pure TTD layout).
 
@@ -42,6 +50,11 @@ def verify_schedule(
     ``presimplify`` runs the clause preprocessor (unit propagation,
     subsumption, strengthening — :mod:`repro.sat.simplify`) before solving;
     the verdict is unaffected, the solver's workload shrinks.
+
+    ``parallel > 1`` races the solve through a process portfolio of that
+    many diversified solver configurations (:mod:`repro.sat.portfolio`);
+    the verdict is provably unchanged and the witness stays deterministic.
+    ``parallel=1`` is exactly the serial path.
     """
     start = time.perf_counter()
     if layout is None:
@@ -51,31 +64,52 @@ def verify_schedule(
     if waypoints:
         encoding.pin_waypoints(waypoints)
 
-    logger = None
-    solver = Solver()
-    if with_proof:
-        logger = ProofLogger()
-        solver.attach_proof(logger)
     clauses = encoding.cnf.clauses
     if presimplify and not with_proof:
         # (Proof logging needs the original clauses to remain the proof's
         # premises, so the two options are mutually exclusive by design.)
         clauses, __ = simplify_clauses(clauses)
-    solver.ensure_var(max(encoding.cnf.num_vars, 1))
-    for clause in clauses:
-        solver.add_clause(clause)
-    verdict = solver.solve()
-    satisfiable = bool(verdict)
-    solution = None
-    proof_checked = None
-    if satisfiable:
-        solution = checked_decode(
-            encoding, {lit for lit in solver.model() if lit > 0}
+
+    portfolio_summary = None
+    if parallel > 1:
+        race = solve_portfolio(
+            encoding.cnf.num_vars, clauses,
+            members=diversified_members(parallel),
+            processes=parallel, with_proof=with_proof,
         )
-    elif logger is not None:
-        proof_checked = check_rup_proof(
-            encoding.cnf.num_vars, encoding.cnf.clauses, logger.steps
-        )
+        satisfiable = bool(race)
+        solution = None
+        proof_checked = None
+        if satisfiable:
+            solution = checked_decode(encoding, race.true_set())
+        elif with_proof and race.proof_steps is not None:
+            proof_checked = check_rup_proof(
+                encoding.cnf.num_vars, clauses, race.proof_steps
+            )
+        solver_stats = race.stats.merged_counters() if race.stats else {}
+        portfolio_summary = race.stats.as_dict() if race.stats else None
+    else:
+        logger = None
+        solver = Solver()
+        if with_proof:
+            logger = ProofLogger()
+            solver.attach_proof(logger)
+        solver.ensure_var(max(encoding.cnf.num_vars, 1))
+        for clause in clauses:
+            solver.add_clause(clause)
+        verdict = solver.solve()
+        satisfiable = bool(verdict)
+        solution = None
+        proof_checked = None
+        if satisfiable:
+            solution = checked_decode(
+                encoding, {lit for lit in solver.model() if lit > 0}
+            )
+        elif logger is not None:
+            proof_checked = check_rup_proof(
+                encoding.cnf.num_vars, encoding.cnf.clauses, logger.steps
+            )
+        solver_stats = solver.stats.as_dict()
     runtime = time.perf_counter() - start
     return TaskResult(
         task="verification",
@@ -90,6 +124,7 @@ def verify_schedule(
         clauses=encoding.cnf.num_clauses,
         solution=solution,
         solve_calls=1,
-        solver_stats=solver.stats.as_dict(),
+        solver_stats=solver_stats,
         proof_checked=proof_checked,
+        portfolio=portfolio_summary,
     )
