@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: tier1 test smoke bench bench-portfolio
+.PHONY: tier1 test smoke lint check bench bench-portfolio
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -13,6 +13,19 @@ smoke:
 	PYTHONPATH=src $(PYTHON) -m repro generate --case running-example -j 2
 	PYTHONPATH=src $(PYTHON) -m repro verify --case running-example -j 2; \
 		test $$? -eq 1  # running example verification is UNSAT by design
+
+# Lint with ruff when it is installed (CLI or module); skip gracefully on
+# machines without it, so `make check` works in minimal containers too.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+
+check: lint tier1
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

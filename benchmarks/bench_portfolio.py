@@ -23,6 +23,10 @@ the *fastest* diversified member decides for everyone.  Consequently:
 
 ``speedup = serial_s / portfolio_s`` (> 1 means the portfolio won) is
 recorded for each case so the claim is checkable on any machine.
+
+The numbers are funnelled through the same :class:`MetricsRegistry` as the
+pipeline's ``--metrics`` output, under stable ``bench.*`` keys, so BENCH
+JSON and task metrics share one vocabulary.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.obs.metrics import MetricsRegistry
 from repro.tasks import generate_layout, verify_schedule
 
 PROCESSES = 2
@@ -48,13 +53,16 @@ def _best_of(fn, repeat=3):
 
 
 def _record(benchmark, serial, serial_s, portfolio, portfolio_s):
+    reg = MetricsRegistry()
+    reg.set("bench.processes", PROCESSES)
+    reg.set("bench.host_cpus", os.cpu_count())
+    reg.set("bench.serial_s", round(serial_s, 4))
+    reg.set("bench.portfolio_s", round(portfolio_s, 4))
+    reg.set("bench.speedup", round(serial_s / portfolio_s, 3))
+    reg.merge_dict(portfolio.metrics)
     benchmark.extra_info.update(
         {
-            "processes": PROCESSES,
-            "host_cpus": os.cpu_count(),
-            "serial_s": round(serial_s, 4),
-            "portfolio_s": round(portfolio_s, 4),
-            "speedup": round(serial_s / portfolio_s, 3),
+            **reg.as_dict(),
             "verdict": serial.satisfiable,
             "winner": (portfolio.portfolio or {}).get("winner_name")
             or (portfolio.portfolio or {}).get("winners"),

@@ -23,6 +23,8 @@ import sys
 from repro.casestudies import CaseStudy, all_case_studies
 from repro.network.discretize import DiscreteNetwork
 from repro.network.io import load_network
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.tasks import generate_layout, optimize_schedule, verify_schedule
 from repro.trains.schedule import Schedule, ScheduleError, TrainRun
 from repro.trains.train import Train
@@ -130,6 +132,30 @@ def _add_jobs_arg(parser: argparse.ArgumentParser, help_text: str) -> None:
                         metavar="N", help=help_text)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record a span trace (.jsonl = JSON Lines, "
+                             ".json = Chrome trace for Perfetto)")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write the run's metrics registry as JSON")
+
+
+def _write_trace(tracer: trace.Tracer, path: str) -> None:
+    records = tracer.export()
+    if path.endswith(".jsonl"):
+        trace.write_jsonl(records, path)
+    else:
+        trace.write_chrome_trace(records, path)
+    print(f"trace: {len(records)} spans -> {path}", file=sys.stderr)
+
+
+def _write_metrics(metrics: dict, path: str) -> None:
+    reg = MetricsRegistry()
+    reg.merge_dict(metrics)
+    reg.write_json(path)
+    print(f"metrics: {len(metrics)} keys -> {path}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="etcs-l3",
@@ -143,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="verify a schedule on pure TTDs")
     _add_scenario_args(verify)
     _add_jobs_arg(verify, "race the solve over N portfolio processes")
+    _add_obs_args(verify)
     verify.add_argument("--proof", action="store_true",
                         help="back UNSAT verdicts with a checked DRAT proof")
     verify.add_argument("--explain", action="store_true",
@@ -155,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes (linear/binary strategies)")
     generate.add_argument("--strategy", default="linear",
                           choices=["linear", "binary", "core"])
+    _add_obs_args(generate)
 
     optimize = sub.add_parser("optimize", help="optimize the schedule makespan")
     _add_scenario_args(optimize)
@@ -167,11 +195,25 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--objective", default="makespan",
                           choices=["makespan", "total-arrival"],
                           help="efficiency reading (paper §III-C)")
+    _add_obs_args(optimize)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument("--skip-slow", action="store_true",
                         help="only the Running Example and Simple Layout")
     _add_jobs_arg(table1, "run the table rows as a batch over N processes")
+    _add_obs_args(table1)
+
+    report = sub.add_parser(
+        "report", help="render a human-readable run report from "
+                       "--trace/--metrics files"
+    )
+    report.add_argument("--trace", metavar="FILE",
+                        help="span trace (JSONL) written by --trace")
+    report.add_argument("--metrics", metavar="FILE",
+                        help="metrics JSON written by --metrics")
+    report.add_argument("--export-chrome", metavar="FILE",
+                        help="additionally convert the trace to Chrome "
+                             "trace JSON (open in Perfetto)")
 
     export = sub.add_parser(
         "export", help="export a scenario's CNF encoding as DIMACS"
@@ -183,9 +225,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.report import RunReport
+
+    if not args.trace and not args.metrics:
+        raise SystemExit("report needs --trace and/or --metrics")
+    report = RunReport.from_files(args.trace, args.metrics)
+    print(report.render())
+    if args.export_chrome:
+        if not args.trace:
+            raise SystemExit("--export-chrome needs --trace")
+        trace.write_chrome_trace(
+            trace.read_jsonl(args.trace), args.export_chrome
+        )
+        print(f"chrome trace -> {args.export_chrome}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.command == "report":
+        return _cmd_report(args)
+
+    tracer = None
+    if getattr(args, "trace", None):
+        tracer = trace.install(trace.Tracer())
+    try:
+        return _run_command(args)
+    finally:
+        if tracer is not None:
+            _write_trace(tracer, args.trace)
+            trace.reset()
+
+
+def _run_command(args) -> int:
     if args.command == "list":
         for study in all_case_studies():
             net = study.discretize()
@@ -231,6 +305,14 @@ def main(argv: list[str] | None = None) -> int:
             )
             groups.append((caption, results))
         print(format_table1(groups))
+        if getattr(args, "metrics", None):
+            reg = MetricsRegistry()
+            for results in grouped:
+                for result in results:
+                    reg.merge_dict(result.metrics)
+            reg.set("batch.rows", sum(len(g) for g in grouped))
+            reg.write_json(args.metrics)
+            print(f"metrics -> {args.metrics}", file=sys.stderr)
         return 0
 
     net, schedule, r_t = _scenario(args)
@@ -287,6 +369,8 @@ def main(argv: list[str] | None = None) -> int:
             objective=args.objective,
             parallel=args.jobs,
         )
+    if getattr(args, "metrics", None):
+        _write_metrics(result.metrics, args.metrics)
     _report(result, net, args.diagram, args.timetable, r_t)
     return 0 if result.satisfiable else 1
 

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.encoding.cone import Cone, multi_source_distances
 from repro.encoding.decode import Solution, decode_solution
 from repro.encoding.variables import VariableRegistry
+from repro.obs import trace
 from repro.logic.cardinality import exactly_one
 from repro.logic.cnf import CNF
 from repro.network.discretize import DiscreteNetwork
@@ -87,6 +89,9 @@ class EtcsEncoding:
         self.reg = VariableRegistry()
         self.cnf = CNF(self.reg.pool)
         self._built = False
+        # Per-constraint-family encoding sizes (vars/clauses/literals added
+        # by each family of build()) — the paper's §III families, measured.
+        self.family_stats: dict[str, dict[str, int]] = {}
         # Earliest possible arrival step per train (departure + travel time).
         self._earliest_arrival: list[int] = []
         for run in self.runs:
@@ -145,22 +150,44 @@ class EtcsEncoding:
     # ------------------------------------------------------------------
 
     def build(self) -> "EtcsEncoding":
-        """Emit all base constraints.  Returns self for chaining."""
+        """Emit all base constraints.  Returns self for chaining.
+
+        Each constraint family is traced (``encode.<family>`` spans) and
+        its contribution to the encoding size recorded in
+        :attr:`family_stats`.
+        """
         if self._built:
             raise RuntimeError("encoding already built")
         self._built = True
-        self._create_borders()
-        self._placement_constraints()
-        self._departure_constraints()
-        self._movement_constraints()
-        self._separation_constraints()
+        families: list[tuple[str, Callable[[], None]]] = [
+            ("borders", self._create_borders),
+            ("placement", self._placement_constraints),
+            ("departure", self._departure_constraints),
+            ("movement", self._movement_constraints),
+            ("separation", self._separation_constraints),
+        ]
         if self.options.add_collision_clauses:
-            self._collision_constraints()
+            families.append(("collision", self._collision_constraints))
         if self.options.add_swap_clauses:
-            self._swap_constraints()
-        self._goal_and_stop_constraints()
-        self._done_constraints()
+            families.append(("swap", self._swap_constraints))
+        families.append(("schedule", self._goal_and_stop_constraints))
+        families.append(("done", self._done_constraints))
+        for name, emit in families:
+            self._emit_family(name, emit)
         return self
+
+    def _emit_family(self, name: str, emit: Callable[[], None]) -> None:
+        """Run one constraint family, measuring its encoding footprint."""
+        vars_before = self.cnf.num_vars
+        clauses_before = self.cnf.num_clauses
+        with trace.span(f"encode.{name}"):
+            emit()
+        added = self.cnf.clauses[clauses_before:]
+        self.family_stats[name] = {
+            "vars": self.cnf.num_vars - vars_before,
+            "clauses": len(added),
+            "literals": sum(len(clause) for clause in added),
+        }
 
     def _create_borders(self) -> None:
         """border_v for every vertex; forced borders pinned true."""
@@ -546,6 +573,9 @@ class EtcsEncoding:
         census["literals"] = self.cnf.literals_size()
         census["paper_equivalent_vars"] = self.paper_equivalent_vars()
         census["t_max"] = self.t_max
+        for family, sizes in self.family_stats.items():
+            for key, value in sizes.items():
+                census[f"family.{family}.{key}"] = value
         return census
 
     def decode(self, true_vars: set[int]) -> Solution:

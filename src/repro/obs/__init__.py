@@ -1,0 +1,40 @@
+"""Observability: span tracing, a metrics registry, and run reports.
+
+Three cooperating pieces, all dependency-free and off by default:
+
+* :mod:`repro.obs.trace` — hierarchical span tracing (``trace.span("solve")``,
+  nestable, ~zero overhead when disabled) with JSONL and Chrome-trace/
+  Perfetto export; worker-process spans survive ``fork`` and merge back
+  into the parent trace.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms under stable dotted
+  names, absorbing solver statistics, encoder constraint-family sizes,
+  preprocessing effects, and portfolio race telemetry.
+* :mod:`repro.obs.report` — :class:`RunReport`, a human-readable
+  timing/metrics breakdown (the ``repro report`` subcommand).
+
+The CLI exposes the layer as ``--trace FILE`` / ``--metrics FILE`` on the
+task subcommands; library users install a tracer with
+``trace.install(trace.Tracer())`` and read ``TaskResult.metrics``.
+"""
+
+from repro.obs import trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    read_json,
+)
+from repro.obs.report import RunReport
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "trace",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "read_json",
+    "RunReport",
+]

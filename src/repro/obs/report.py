@@ -1,0 +1,138 @@
+"""Human-readable run reports from a trace + a metrics payload.
+
+:class:`RunReport` aggregates the spans of one run into a timing tree
+(total time and share of wall clock per span path, across all processes)
+and appends the metrics registry content — the terminal-friendly
+counterpart of opening the Chrome trace in Perfetto.  The ``repro report``
+CLI subcommand is a thin wrapper over this module.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class RunReport:
+    """Aggregated timing/metrics breakdown of one run."""
+
+    def __init__(
+        self,
+        spans: list[dict] | None = None,
+        metrics: dict | None = None,
+    ):
+        self.spans = [
+            span for span in (spans or [])
+            if span.get("kind", "span") == "span"
+        ]
+        self.events = [
+            span for span in (spans or [])
+            if span.get("kind") == "event"
+        ]
+        self.metrics = metrics or {}
+
+    @classmethod
+    def from_files(
+        cls,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+    ) -> "RunReport":
+        spans = trace_mod.read_jsonl(trace_path) if trace_path else []
+        metrics = metrics_mod.read_json(metrics_path) if metrics_path else {}
+        return cls(spans, metrics)
+
+    # -- aggregation ---------------------------------------------------
+
+    def wall_time_s(self) -> float:
+        """End-to-end wall clock covered by the trace."""
+        if not self.spans:
+            return 0.0
+        return max(s["t1"] for s in self.spans) - min(
+            s["t0"] for s in self.spans
+        )
+
+    def timing_rows(self) -> list[tuple[str, int, float]]:
+        """``(path, count, total_seconds)`` rows, in first-seen order."""
+        totals: dict[str, list] = {}
+        for span in sorted(self.spans, key=lambda s: s["t0"]):
+            path = span.get("path", span["name"])
+            entry = totals.get(path)
+            if entry is None:
+                totals[path] = [1, span["t1"] - span["t0"]]
+            else:
+                entry[0] += 1
+                entry[1] += span["t1"] - span["t0"]
+        return [
+            (path, count, total) for path, (count, total) in totals.items()
+        ]
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        lines: list[str] = []
+        wall = self.wall_time_s()
+        if self.spans:
+            pids = {span.get("pid", 0) for span in self.spans}
+            tracks = {
+                (span.get("pid", 0), span.get("tid", "main"))
+                for span in self.spans
+            }
+            lines.append(
+                f"Trace: {len(self.spans)} spans, {len(pids)} process(es), "
+                f"{len(tracks)} track(s), wall {wall:.3f}s"
+            )
+            lines.append("")
+            header = f"{'span':<44}{'count':>7}{'total':>11}{'% wall':>9}"
+            lines.append(header)
+            lines.append("-" * len(header))
+            for path, count, total in self.timing_rows():
+                depth = path.count("/")
+                name = "  " * depth + path.rsplit("/", 1)[-1]
+                share = (100.0 * total / wall) if wall > 0 else 0.0
+                lines.append(
+                    f"{name:<44}{count:>7}{_format_seconds(total):>11}"
+                    f"{share:>8.1f}%"
+                )
+            if self.events:
+                lines.append("")
+                lines.append(f"Events: {len(self.events)}")
+                for event in self.events[:20]:
+                    args = ", ".join(
+                        f"{k}={_format_value(v)}"
+                        for k, v in event.get("args", {}).items()
+                    )
+                    lines.append(f"  {event['name']}  {args}")
+                if len(self.events) > 20:
+                    lines.append(f"  ... {len(self.events) - 20} more")
+        if self.metrics:
+            if lines:
+                lines.append("")
+            lines.append(f"Metrics: {len(self.metrics)} keys")
+            lines.append("")
+            for name, value in sorted(self.metrics.items()):
+                if isinstance(value, dict):  # histogram summary
+                    mean = value.get("mean")
+                    detail = (
+                        f"n={value.get('count', 0)}"
+                        f" mean={_format_value(mean) if mean is not None else '-'}"
+                        f" min={_format_value(value.get('min'))}"
+                        f" max={_format_value(value.get('max'))}"
+                    )
+                    lines.append(f"  {name:<44}{detail}")
+                else:
+                    lines.append(f"  {name:<44}{_format_value(value)}")
+        if not lines:
+            lines.append("(empty report: no spans and no metrics)")
+        return "\n".join(lines)

@@ -19,6 +19,7 @@ from typing import Callable
 
 from repro.logic.cnf import CNF
 from repro.logic.totalizer import Totalizer
+from repro.obs import trace
 from repro.opt.result import MinimizeResult
 from repro.sat.portfolio import (
     PortfolioMember,
@@ -63,13 +64,21 @@ def minimize_sum(
             parallel, portfolio_members, descent_timeout_s,
         )
     solver = cnf.to_solver(solver)
+    if trace.enabled():
+        solver.on_progress(
+            lambda snap: trace.counter("solver.progress", **snap)
+        )
     calls = 1
-    verdict = solver.solve()
+    with trace.span("descent.probe", call=calls, strategy=strategy):
+        verdict = solver.solve()
     if verdict is not SolveResult.SAT:
-        return MinimizeResult(feasible=False, solve_calls=calls, strategy=strategy)
+        return MinimizeResult(feasible=False, solve_calls=calls,
+                              strategy=strategy,
+                              solver_stats=solver.stats.as_dict())
 
     best_model = solver.model()
     best_cost = _cost_of(solver, objective_lits)
+    trace.event("descent.improved", cost=best_cost)
     if on_improvement:
         on_improvement(best_cost)
     if best_cost == 0 or not objective_lits:
@@ -80,6 +89,7 @@ def minimize_sum(
             proven_optimal=True,
             solve_calls=calls,
             strategy=strategy,
+            solver_stats=solver.stats.as_dict(),
         )
 
     # Build the totalizer *into the same solver* so bounds are assumptions.
@@ -92,10 +102,16 @@ def minimize_sum(
         proven = False
         while best_cost > 0:
             calls += 1
-            verdict = solver.solve([totalizer.bound_literal(best_cost - 1)])
+            with trace.span("descent.probe", call=calls,
+                            bound=best_cost - 1) as probe_span:
+                verdict = solver.solve(
+                    [totalizer.bound_literal(best_cost - 1)]
+                )
+                probe_span.add(verdict=verdict.name)
             if verdict is SolveResult.SAT:
                 best_model = solver.model()
                 best_cost = _cost_of(solver, objective_lits)
+                trace.event("descent.improved", cost=best_cost)
                 if on_improvement:
                     on_improvement(best_cost)
             elif verdict is SolveResult.UNSAT:
@@ -112,11 +128,15 @@ def minimize_sum(
         while low < high:
             mid = (low + high) // 2
             calls += 1
-            verdict = solver.solve([totalizer.bound_literal(mid)])
+            with trace.span("descent.probe", call=calls,
+                            bound=mid) as probe_span:
+                verdict = solver.solve([totalizer.bound_literal(mid)])
+                probe_span.add(verdict=verdict.name)
             if verdict is SolveResult.SAT:
                 best_model = solver.model()
                 high = _cost_of(solver, objective_lits)
                 best_cost = high
+                trace.event("descent.improved", cost=best_cost)
                 if on_improvement:
                     on_improvement(best_cost)
             elif verdict is SolveResult.UNSAT:
@@ -132,6 +152,7 @@ def minimize_sum(
         proven_optimal=proven,
         solve_calls=calls,
         strategy=strategy,
+        solver_stats=solver.stats.as_dict(),
     )
 
 
@@ -161,19 +182,24 @@ def _minimize_sum_portfolio(
     members = members or diversified_members(parallel)
     winners: dict[str, int] = {}
     wall = 0.0
+    merged: dict[str, int | float] = {}
 
-    def race(assumptions=(), timeout_s=None):
+    def race(assumptions=(), timeout_s=None, bound=None):
         nonlocal wall
-        result = solve_portfolio(
-            cnf.num_vars, cnf.clauses, assumptions=assumptions,
-            members=members, processes=parallel, timeout_s=timeout_s,
-        )
+        with trace.span("descent.race", bound=bound) as race_span:
+            result = solve_portfolio(
+                cnf.num_vars, cnf.clauses, assumptions=assumptions,
+                members=members, processes=parallel, timeout_s=timeout_s,
+            )
+            race_span.add(verdict=result.verdict.name)
         if result.stats is not None:
             wall += result.stats.wall_time_s
             if result.stats.winner_name:
                 winners[result.stats.winner_name] = (
                     winners.get(result.stats.winner_name, 0) + 1
                 )
+            for key, value in result.stats.merged_counters().items():
+                merged[key] = merged.get(key, 0) + value
         return result
 
     def summary(calls: int) -> dict:
@@ -189,17 +215,18 @@ def _minimize_sum_portfolio(
     if first.verdict is not SolveResult.SAT:
         return MinimizeResult(
             feasible=False, solve_calls=calls, strategy=strategy,
-            portfolio=summary(calls),
+            solver_stats=dict(merged), portfolio=summary(calls),
         )
     best_model = first.model or []
     best_cost = _model_cost(best_model, objective_lits)
+    trace.event("descent.improved", cost=best_cost)
     if on_improvement:
         on_improvement(best_cost)
     if best_cost == 0 or not objective_lits:
         return MinimizeResult(
             feasible=True, cost=best_cost, model=best_model,
             proven_optimal=True, solve_calls=calls, strategy=strategy,
-            portfolio=summary(calls),
+            solver_stats=dict(merged), portfolio=summary(calls),
         )
 
     totalizer = Totalizer(cnf, objective_lits)
@@ -211,10 +238,12 @@ def _minimize_sum_portfolio(
             probe = race(
                 assumptions=[totalizer.bound_literal(best_cost - 1)],
                 timeout_s=descent_timeout_s,
+                bound=best_cost - 1,
             )
             if probe.verdict is SolveResult.SAT:
                 best_model = probe.model or []
                 best_cost = _model_cost(best_model, objective_lits)
+                trace.event("descent.improved", cost=best_cost)
                 if on_improvement:
                     on_improvement(best_cost)
             elif probe.verdict is SolveResult.UNSAT:
@@ -234,11 +263,13 @@ def _minimize_sum_portfolio(
             probe = race(
                 assumptions=[totalizer.bound_literal(mid)],
                 timeout_s=descent_timeout_s,
+                bound=mid,
             )
             if probe.verdict is SolveResult.SAT:
                 best_model = probe.model or []
                 high = _model_cost(best_model, objective_lits)
                 best_cost = high
+                trace.event("descent.improved", cost=best_cost)
                 if on_improvement:
                     on_improvement(best_cost)
             elif probe.verdict is SolveResult.UNSAT:
@@ -254,5 +285,6 @@ def _minimize_sum_portfolio(
         proven_optimal=proven,
         solve_calls=calls,
         strategy=strategy,
+        solver_stats=dict(merged),
         portfolio=summary(calls),
     )

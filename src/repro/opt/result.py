@@ -17,6 +17,8 @@ class MinimizeResult:
         proven_optimal: True when a final UNSAT step certified optimality.
         solve_calls: number of SAT solver invocations used.
         strategy: which engine produced the result.
+        solver_stats: cumulative solver counters over the whole descent
+            (merged across portfolio members when ``parallel > 1``).
         portfolio: summary of the portfolio races when the descent ran with
             ``parallel > 1`` (processes, calls, per-member win counts,
             cumulative wall time); None on the serial path.
@@ -28,6 +30,7 @@ class MinimizeResult:
     proven_optimal: bool = False
     solve_calls: int = 0
     strategy: str = ""
+    solver_stats: dict = field(default_factory=dict)
     portfolio: dict | None = None
 
     def true_set(self) -> set[int]:

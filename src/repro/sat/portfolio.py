@@ -36,9 +36,11 @@ import multiprocessing
 import os
 import queue as queue_module
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import trace
 from repro.sat.simplify import simplify_clauses
 from repro.sat.solver import Solver
 from repro.sat.proof import ProofLogger
@@ -135,8 +137,10 @@ class WorkerReport:
     verdict: str = ""  # "sat" / "unsat" / "" (cancelled / still running)
     finished: bool = False
     error: str = ""
+    traceback: str = ""  # full worker traceback when the member crashed
     solve_time_s: float = 0.0
     stats: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)  # the member's SolverConfig
 
 
 @dataclass
@@ -150,6 +154,11 @@ class PortfolioStats:
     processes: int
     serial_fallback: bool
     workers: list[WorkerReport] = field(default_factory=list)
+    #: Fastest *other* finisher's solve time minus the winner's — how much
+    #: the winner beat the field by (negative when the deterministic SAT
+    #: rule picked the primary over a faster member); None without a
+    #: second finisher.
+    win_margin_s: float | None = None
 
     def merged_counters(self) -> dict:
         """Sum the solver counters over every member that reported stats."""
@@ -167,6 +176,7 @@ class PortfolioStats:
             "wall_time_s": self.wall_time_s,
             "processes": self.processes,
             "serial_fallback": self.serial_fallback,
+            "win_margin_s": self.win_margin_s,
             "workers": [dataclasses.asdict(w) for w in self.workers],
         }
 
@@ -207,28 +217,47 @@ def default_processes() -> int:
     return min(4, os.cpu_count() or 1)
 
 
+def member_config_dict(member: PortfolioMember) -> dict:
+    """The member's solver configuration as a plain dict (telemetry)."""
+    return dataclasses.asdict(member.config)
+
+
 def _run_member(
     member: PortfolioMember,
     num_vars: int,
     clauses: list[list[int]],
     assumptions: tuple[int, ...],
     with_proof: bool,
+    child_trace: bool = False,
 ) -> dict:
-    """Solve one member in the current process; returns a plain dict."""
+    """Solve one member in the current process; returns a plain dict.
+
+    With ``child_trace`` (set by forked workers) a fresh tracer is
+    installed for this process so the member's spans can be shipped back
+    through the result queue and merged into the parent trace; without it
+    (the serial path) spans land directly on the caller's tracer.
+    """
+    if child_trace and trace.enabled():
+        trace.install(trace.fork_child(tid=member.name))
     start = time.perf_counter()
-    factory = member.solver_factory or Solver
-    solver = factory(member.config)
-    logger = None
-    if with_proof:
-        logger = ProofLogger()
-        solver.attach_proof(logger)
-    work = clauses
-    if member.presimplify and not with_proof:
-        work, __ = simplify_clauses(clauses)
-    solver.ensure_var(max(num_vars, 1))
-    for clause in work:
-        solver.add_clause(clause)
-    verdict = solver.solve(list(assumptions))
+    with trace.span("portfolio.member", member=member.name) as span:
+        factory = member.solver_factory or Solver
+        solver = factory(member.config)
+        logger = None
+        if with_proof:
+            logger = ProofLogger()
+            solver.attach_proof(logger)
+        work = clauses
+        if member.presimplify and not with_proof:
+            with trace.span("presimplify"):
+                work, __ = simplify_clauses(clauses)
+        solver.ensure_var(max(num_vars, 1))
+        with trace.span("load", clauses=len(work)):
+            for clause in work:
+                solver.add_clause(clause)
+        with trace.span("solve"):
+            verdict = solver.solve(list(assumptions))
+        span.add(verdict=verdict.value)
     outcome = {
         "verdict": verdict.value,
         "model": solver.model() if verdict is SolveResult.SAT else None,
@@ -241,22 +270,107 @@ def _run_member(
         "stats": solver.stats.as_dict(),
         "time": time.perf_counter() - start,
     }
+    if child_trace and trace.enabled():
+        outcome["spans"] = trace.export_spans()
     return outcome
 
 
-def _worker(index, member, num_vars, clauses, assumptions, with_proof, out):
-    """Process entry point: solve and ship the outcome (or the error)."""
+def _worker(index, member, num_vars, clauses, assumptions, with_proof, out,
+            reported=None):
+    """Process entry point: solve and ship the outcome (or the error).
+
+    ``reported`` (an Event) is set immediately before the message is
+    queued: it tells the parent "a report is in flight, don't terminate
+    me yet", which makes crash telemetry deterministic instead of racing
+    the winner's answer against this worker's queue flush.
+    """
     try:
         outcome = _run_member(member, num_vars, clauses, assumptions,
-                              with_proof)
+                              with_proof, child_trace=True)
         outcome["index"] = index
+        if reported is not None:
+            reported.set()
         out.put(outcome)
     except BaseException as exc:  # noqa: BLE001 — must never hang the parent
         try:
+            if reported is not None:
+                reported.set()
             out.put({"index": index,
-                     "error": f"{type(exc).__name__}: {exc}"})
+                     "error": f"{type(exc).__name__}: {exc}",
+                     "traceback": traceback_module.format_exc()})
         except Exception:
             pass
+
+
+def _record_message(msg, reports, outcomes) -> None:
+    """Fold one worker message into the shared report/outcome state."""
+    index = msg["index"]
+    if "error" in msg:
+        if not reports[index].error:
+            reports[index].error = msg["error"]
+            reports[index].traceback = msg.get("traceback", "")
+    elif index not in outcomes:
+        outcomes[index] = msg
+        reports[index].verdict = msg["verdict"]
+        reports[index].finished = True
+        reports[index].solve_time_s = msg["time"]
+        reports[index].stats = msg["stats"]
+        trace.merge(msg.get("spans"))
+
+
+def _await_flagged_reports(out, reports, outcomes, flags) -> None:
+    """Collect reports whose workers flagged them as in flight.
+
+    A worker sets its flag immediately before queueing its message, so a
+    set flag with no recorded report means the message is mid-flush.
+    Waiting for it (bounded, in case the worker died mid-``put``) makes
+    crash telemetry deterministic: without this, a crash report racing
+    the winner's answer would be lost to ``terminate()`` and the member
+    mislabelled as merely "cancelled".  Workers that never flagged are
+    still solving and are not waited for.
+    """
+    deadline = time.perf_counter() + 1.0
+
+    def pending():
+        return [
+            i for i, flag in enumerate(flags)
+            if flag.is_set() and i not in outcomes and not reports[i].error
+        ]
+
+    while pending() and time.perf_counter() < deadline:
+        try:
+            msg = out.get(timeout=0.05)
+        except queue_module.Empty:
+            continue
+        _record_message(msg, reports, outcomes)
+
+
+def _drain_late_messages(out, reports, outcomes) -> None:
+    """Record messages still queued when the race ended.
+
+    Catches late finishes that were already flushed but not yet read —
+    their stats and spans are real work worth keeping.
+    """
+    while True:
+        try:
+            msg = out.get_nowait()
+        except Exception:  # Empty, or a queue torn down by terminate()
+            return
+        _record_message(msg, reports, outcomes)
+
+
+def _win_margin(
+    reports: list[WorkerReport], winner_index: int
+) -> float | None:
+    """Fastest other finisher's solve time minus the winner's, or None."""
+    others = [
+        report.solve_time_s
+        for i, report in enumerate(reports)
+        if i != winner_index and report.finished
+    ]
+    if not others:
+        return None
+    return min(others) - reports[winner_index].solve_time_s
 
 
 def _serial_result(member, num_vars, clauses, assumptions, with_proof,
@@ -268,6 +382,7 @@ def _serial_result(member, num_vars, clauses, assumptions, with_proof,
     report = WorkerReport(
         name=member.name, verdict=outcome["verdict"], finished=True,
         solve_time_s=outcome["time"], stats=outcome["stats"],
+        config=member_config_dict(member),
     )
     stats = PortfolioStats(
         winner=0, winner_name=member.name, verdict=verdict,
@@ -330,11 +445,12 @@ def solve_portfolio(
 
     ctx = multiprocessing.get_context("fork")
     out: multiprocessing.Queue = ctx.Queue()
+    flags = [ctx.Event() for __ in members]
     procs = [
         ctx.Process(
             target=_worker,
             args=(i, members[i], num_vars, clauses, tuple(assumptions),
-                  with_proof, out),
+                  with_proof, out, flags[i]),
             daemon=True,
         )
         for i in range(len(members))
@@ -342,7 +458,10 @@ def solve_portfolio(
     for proc in procs:
         proc.start()
 
-    reports = [WorkerReport(name=member.name) for member in members]
+    reports = [
+        WorkerReport(name=member.name, config=member_config_dict(member))
+        for member in members
+    ]
     outcomes: dict[int, dict] = {}
     deadline = start + timeout_s if timeout_s is not None else None
     winner_index: int | None = None
@@ -383,6 +502,7 @@ def solve_portfolio(
             index = msg["index"]
             if "error" in msg:
                 reports[index].error = msg["error"]
+                reports[index].traceback = msg.get("traceback", "")
                 if all(
                     i in outcomes or reports[i].error
                     for i in range(len(procs))
@@ -395,6 +515,7 @@ def solve_portfolio(
             reports[index].finished = True
             reports[index].solve_time_s = msg["time"]
             reports[index].stats = msg["stats"]
+            trace.merge(msg.get("spans"))
             verdicts_seen[index] = msg["verdict"]
             definitive = {
                 v for v in verdicts_seen.values()
@@ -427,9 +548,11 @@ def solve_portfolio(
                     if i not in outcomes and not reports[i].error
                 )
     finally:
+        _await_flagged_reports(out, reports, outcomes, flags)
         cancel(range(len(procs)))
         for proc in procs:
             proc.join(timeout=1.0)
+        _drain_late_messages(out, reports, outcomes)
         out.close()
         out.cancel_join_thread()
 
@@ -480,6 +603,7 @@ def solve_portfolio(
         processes=processes,
         serial_fallback=False,
         workers=reports,
+        win_margin_s=_win_margin(reports, winner_index),
     )
     return PortfolioResult(
         verdict=verdict,

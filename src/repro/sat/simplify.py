@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import trace
+
 
 @dataclass
 class SimplifyStats:
@@ -63,7 +65,7 @@ def simplify_clauses(
             return None
         return fixed[var] == (lit > 0)
 
-    for _ in range(max_rounds):
+    for round_index in range(max_rounds):
         changed = False
 
         # --- unit propagation to fixpoint -----------------------------
@@ -162,6 +164,12 @@ def simplify_clauses(
             strengthened.append(tuple(x for x in clause if x in current))
         working = strengthened
 
+        trace.event(
+            "simplify.round",
+            round=round_index,
+            clauses=len(working),
+            changed=changed,
+        )
         if not changed:
             break
 

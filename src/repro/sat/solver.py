@@ -54,7 +54,12 @@ class Solver:
     def __init__(self, config: SolverConfig | None = None):
         self.config = config or SolverConfig()
         self.stats = SolverStats()
+        #: Counters of the most recent :meth:`solve` call only (the
+        #: lifetime counters in :attr:`stats` keep accumulating).
+        self.last_stats = SolverStats()
         self._rng = random.Random(self.config.random_seed)
+        self._progress_cb = None  # optional periodic progress hook
+        self._progress_interval = 0
 
         # Variable state, indexed by variable number (index 0 unused).
         self._assigns: list[int] = [0]  # 1 = true, -1 = false, 0 = unassigned
@@ -203,6 +208,7 @@ class Solver:
         UNSAT under assumptions, :meth:`unsat_core` lists the failed subset.
         """
         start = time.perf_counter()
+        before = self.stats.snapshot()
         self.stats.solve_calls += 1
         self._model = None
         self._conflict_core = []
@@ -211,6 +217,7 @@ class Solver:
 
         if not self._ok:
             self.stats.solve_time += time.perf_counter() - start
+            self.last_stats = self.stats.delta(before)
             return SolveResult.UNSAT
 
         self._backtrack(0)
@@ -218,6 +225,7 @@ class Solver:
         result = self._search(list(assumptions))
         self._backtrack(0)
         self.stats.solve_time += time.perf_counter() - start
+        self.last_stats = self.stats.delta(before)
         return result
 
     def model_value(self, lit: int) -> bool | None:
@@ -243,6 +251,34 @@ class Solver:
     def unsat_core(self) -> list[int]:
         """Subset of the assumptions responsible for the last UNSAT answer."""
         return list(self._conflict_core)
+
+    def on_progress(self, callback, interval_conflicts: int = 2000) -> None:
+        """Invoke ``callback(snapshot)`` every ``interval_conflicts``
+        conflicts during search — a periodic progress feed for long solves.
+
+        ``snapshot`` is the dict of :meth:`progress_snapshot`.  Pass
+        ``callback=None`` to detach.  The hook costs one attribute check
+        per conflict when detached.
+        """
+        if callback is not None and interval_conflicts < 1:
+            raise ValueError(
+                f"interval_conflicts must be >= 1, got {interval_conflicts}"
+            )
+        self._progress_cb = callback
+        self._progress_interval = interval_conflicts
+
+    def progress_snapshot(self) -> dict:
+        """A cheap point-in-time view of the search state."""
+        return {
+            "conflicts": self.stats.conflicts,
+            "propagations": self.stats.propagations,
+            "decisions": self.stats.decisions,
+            "restarts": self.stats.restarts,
+            "learned": len(self._learned),
+            "decision_level": self._decision_level(),
+            "trail": len(self._trail),
+            "vars": self.num_vars,
+        }
 
     def simplify(self) -> bool:
         """Remove clauses satisfied at level 0; False if already UNSAT."""
@@ -624,6 +660,11 @@ class Solver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
+                if (
+                    self._progress_cb is not None
+                    and self.stats.conflicts % self._progress_interval == 0
+                ):
+                    self._progress_cb(self.progress_snapshot())
                 if self._decision_level() == 0:
                     self._ok = False
                     if self._proof is not None:
@@ -649,6 +690,10 @@ class Solver:
                     self._bump_clause(clause)
                     self._enqueue(learned[0], clause)
                 self.stats.learned_clauses += 1
+                self.stats.learned_literals += len(learned)
+                self.stats.sum_lbd += lbd
+                if lbd > self.stats.max_lbd:
+                    self.stats.max_lbd = lbd
                 self._var_inc /= config.var_decay
                 self._cla_inc /= config.clause_decay
                 if total_conflict_budget is not None:
@@ -663,6 +708,9 @@ class Solver:
                 and conflicts_since_restart >= restart_limit
             ):
                 self.stats.restarts += 1
+                self.stats.restart_conflict_deltas.append(
+                    conflicts_since_restart
+                )
                 conflicts_since_restart = 0
                 restart_limit = luby_gen.next_limit()
                 self._backtrack(self._n_assumptions_assigned())

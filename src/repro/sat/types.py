@@ -31,9 +31,35 @@ class InvalidLiteralError(SatError):
     """A clause contained literal 0 or a non-integer literal."""
 
 
+#: Additive SolverStats fields (snapshot deltas subtract these).
+_ADDITIVE_FIELDS = (
+    "decisions",
+    "random_decisions",
+    "propagations",
+    "conflicts",
+    "restarts",
+    "learned_clauses",
+    "learned_literals",
+    "sum_lbd",
+    "deleted_clauses",
+    "minimized_literals",
+    "solve_calls",
+    "solve_time",
+)
+
+#: High-water-mark fields (deltas report the current value).
+_MAX_FIELDS = ("max_decision_level", "max_lbd")
+
+
 @dataclass
 class SolverStats:
-    """Counters accumulated over the lifetime of a solver instance."""
+    """Counters accumulated over the lifetime of a solver instance.
+
+    The counters keep accumulating across repeated :meth:`Solver.solve`
+    calls on one instance; per-solve figures are obtained with
+    :meth:`snapshot` before the call and :meth:`delta` after (the solver
+    does this itself and publishes the result as ``Solver.last_stats``).
+    """
 
     decisions: int = 0
     random_decisions: int = 0
@@ -41,14 +67,19 @@ class SolverStats:
     conflicts: int = 0
     restarts: int = 0
     learned_clauses: int = 0
+    learned_literals: int = 0  # summed length of learned clauses
+    sum_lbd: int = 0  # summed LBD of learned clauses
+    max_lbd: int = 0
     deleted_clauses: int = 0
     minimized_literals: int = 0
     max_decision_level: int = 0
     solve_calls: int = 0
     solve_time: float = 0.0
+    #: Conflicts between consecutive restarts (appended at each restart).
+    restart_conflict_deltas: list[int] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, float]:
-        """Return the statistics as a plain dictionary (for reporting)."""
+        """Return the scalar statistics as a plain dictionary."""
         return {
             "decisions": self.decisions,
             "random_decisions": self.random_decisions,
@@ -56,12 +87,46 @@ class SolverStats:
             "conflicts": self.conflicts,
             "restarts": self.restarts,
             "learned_clauses": self.learned_clauses,
+            "learned_literals": self.learned_literals,
+            "sum_lbd": self.sum_lbd,
+            "max_lbd": self.max_lbd,
             "deleted_clauses": self.deleted_clauses,
             "minimized_literals": self.minimized_literals,
             "max_decision_level": self.max_decision_level,
             "solve_calls": self.solve_calls,
             "solve_time": self.solve_time,
         }
+
+    def snapshot(self) -> "SolverStats":
+        """An independent copy of the current counter values."""
+        clone = SolverStats(
+            **{name: getattr(self, name) for name in _ADDITIVE_FIELDS},
+        )
+        for name in _MAX_FIELDS:
+            setattr(clone, name, getattr(self, name))
+        clone.restart_conflict_deltas = list(self.restart_conflict_deltas)
+        return clone
+
+    def delta(self, before: "SolverStats") -> "SolverStats":
+        """Counters accumulated since ``before`` (a prior snapshot).
+
+        Additive counters are subtracted; high-water marks
+        (``max_decision_level``, ``max_lbd``) keep their current value,
+        which is an upper bound for the window.
+        """
+        diff = SolverStats(
+            **{
+                name: getattr(self, name) - getattr(before, name)
+                for name in _ADDITIVE_FIELDS
+            },
+        )
+        for name in _MAX_FIELDS:
+            setattr(diff, name, getattr(self, name))
+        skip = len(before.restart_conflict_deltas)
+        diff.restart_conflict_deltas = list(
+            self.restart_conflict_deltas[skip:]
+        )
+        return diff
 
 
 @dataclass

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Callable
 
+from repro.obs import trace
 from repro.sat.portfolio import default_processes, fork_available
 
 
@@ -53,7 +54,11 @@ class BatchJob:
 
 @dataclass
 class BatchJobResult:
-    """Outcome of one batch job (value or captured error, never both)."""
+    """Outcome of one batch job (value or captured error, never both).
+
+    ``spans`` carries the trace spans recorded in the worker process when
+    tracing is on; :func:`run_batch` merges them into the parent's trace.
+    """
 
     name: str
     index: int
@@ -62,6 +67,7 @@ class BatchJobResult:
     error: str = ""
     runtime_s: float = 0.0
     seed: int = 0
+    spans: list = field(default_factory=list)
 
 
 @dataclass
@@ -103,23 +109,36 @@ def job_seed(batch_seed: int, index: int, name: str) -> int:
     return zlib.crc32(f"{batch_seed}:{index}:{name}".encode()) & 0x7FFFFFFF
 
 
-def _execute(job: BatchJob, index: int, seed: int) -> BatchJobResult:
-    """Run one job in the current process, capturing any exception."""
+def _execute(
+    job: BatchJob, index: int, seed: int, child_trace: bool = False
+) -> BatchJobResult:
+    """Run one job in the current process, capturing any exception.
+
+    With ``child_trace`` (the process-pool path) the job runs under a fresh
+    per-worker tracer whose spans are shipped back in the result; the
+    fork-inherited parent tracer tells the worker whether tracing is on.
+    """
     start = time.perf_counter()
+    child_trace = child_trace and trace.enabled()
+    if child_trace:
+        trace.install(trace.fork_child(tid=f"batch:{job.name}"))
     kwargs = dict(job.kwargs)
     if job.seed_kwarg is not None:
         kwargs[job.seed_kwarg] = seed
     try:
-        value = job.func(*job.args, **kwargs)
+        with trace.span("batch.job", job=job.name, seed=seed):
+            value = job.func(*job.args, **kwargs)
     except Exception as exc:  # captured, reported, never re-raised
         return BatchJobResult(
             name=job.name, index=index, ok=False,
             error=f"{type(exc).__name__}: {exc}",
             runtime_s=time.perf_counter() - start, seed=seed,
+            spans=trace.export_spans() if child_trace else [],
         )
     return BatchJobResult(
         name=job.name, index=index, ok=True, value=value,
         runtime_s=time.perf_counter() - start, seed=seed,
+        spans=trace.export_spans() if child_trace else [],
     )
 
 
@@ -146,37 +165,44 @@ def run_batch(
 
     serial = processes <= 1 or len(jobs) <= 1 or not fork_available()
     results: list[BatchJobResult | None] = [None] * len(jobs)
-    if serial:
-        for i, job in enumerate(jobs):
-            results[i] = _execute(job, i, seeds[i])
-    else:
-        pending: dict = {}
-        try:
-            with ProcessPoolExecutor(
-                max_workers=processes, mp_context=get_context("fork")
-            ) as pool:
-                pending = {
-                    pool.submit(_execute, job, i, seeds[i]): i
-                    for i, job in enumerate(jobs)
-                }
-                not_done = set(pending)
-                while not_done:
-                    done, not_done = wait(
-                        not_done, return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        i = pending[future]
-                        exc = future.exception()
-                        if exc is None:
-                            results[i] = future.result()
-                        # else: pool breakage — handled by the fallback below
-        except Exception:
-            pass  # BrokenProcessPool and friends: fall through to recovery
-        for i, job in enumerate(jobs):
-            if results[i] is None:
-                # The worker (or the whole pool) died before reporting:
-                # recover by running the job serially in the parent.
+    with trace.span(
+        "batch", jobs=len(jobs), processes=processes, serial=serial
+    ):
+        if serial:
+            for i, job in enumerate(jobs):
                 results[i] = _execute(job, i, seeds[i])
+        else:
+            pending: dict = {}
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=processes, mp_context=get_context("fork")
+                ) as pool:
+                    pending = {
+                        pool.submit(
+                            _execute, job, i, seeds[i], True
+                        ): i
+                        for i, job in enumerate(jobs)
+                    }
+                    not_done = set(pending)
+                    while not_done:
+                        done, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            i = pending[future]
+                            exc = future.exception()
+                            if exc is None:
+                                results[i] = future.result()
+                            # else: pool breakage — fallback below
+            except Exception:
+                pass  # BrokenProcessPool and friends: recovery below
+            for i, job in enumerate(jobs):
+                if results[i] is None:
+                    # The worker (or the whole pool) died before
+                    # reporting: recover serially in the parent.
+                    results[i] = _execute(job, i, seeds[i])
+                else:
+                    trace.merge(results[i].spans)
 
     return BatchReport(
         results=[result for result in results if result is not None],

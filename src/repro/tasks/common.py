@@ -6,6 +6,9 @@ from repro.encoding.decode import Solution
 from repro.encoding.encoder import EncodingOptions, EtcsEncoding
 from repro.encoding.validate import validate_solution
 from repro.network.discretize import DiscreteNetwork
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
+from repro.sat.solver import Solver
 from repro.trains.schedule import Schedule
 
 
@@ -30,10 +33,50 @@ def build_encoding(
 def checked_decode(encoding: EtcsEncoding, true_vars: set[int]) -> Solution:
     """Decode a model and cross-check it with the independent validator."""
     solution = encoding.decode(true_vars)
-    problems = validate_solution(encoding, solution)
+    with trace.span("validate"):
+        problems = validate_solution(encoding, solution)
     if problems:
         details = "\n  ".join(problems[:20])
         raise SolutionInvalidError(
             f"decoded solution violates {len(problems)} rule(s):\n  {details}"
         )
     return solution
+
+
+def record_encoding(reg: MetricsRegistry, encoding: EtcsEncoding) -> None:
+    """Absorb the encoding's size metrics (per constraint family + totals)."""
+    reg.absorb_encoder(encoding.family_stats)
+    reg.set("encoder.vars", encoding.cnf.num_vars)
+    reg.set("encoder.clauses", encoding.cnf.num_clauses)
+    reg.set("encoder.t_max", encoding.t_max)
+    reg.set("encoder.trains", len(encoding.runs))
+
+
+def record_solver(reg: MetricsRegistry, solver: Solver) -> None:
+    """Absorb a serial solver's counters and restart cadence."""
+    reg.absorb_solver_stats(solver.stats.as_dict())
+    for delta in solver.stats.restart_conflict_deltas:
+        reg.observe("solver.restart_conflicts", delta)
+
+
+def record_descent(reg: MetricsRegistry, result) -> None:
+    """Absorb a :class:`MinimizeResult`'s counters and race summary."""
+    reg.absorb_solver_stats(result.solver_stats)
+    reg.inc("descent.solve_calls", result.solve_calls)
+    if result.portfolio:
+        reg.set("portfolio.processes", result.portfolio.get("processes", 0))
+        reg.inc("portfolio.races", result.portfolio.get("calls", 0))
+        reg.observe(
+            "portfolio.wall_time_s", result.portfolio.get("wall_time_s", 0.0)
+        )
+        for member, count in result.portfolio.get("winners", {}).items():
+            reg.inc(f"portfolio.wins.{member}", count)
+
+
+def attach_progress(solver: Solver, interval_conflicts: int = 2000) -> None:
+    """Feed periodic solver progress snapshots into the trace (when on)."""
+    if trace.enabled():
+        solver.on_progress(
+            lambda snap: trace.counter("solver.progress", **snap),
+            interval_conflicts=interval_conflicts,
+        )

@@ -12,10 +12,17 @@ import time
 
 from repro.encoding.encoder import EncodingOptions
 from repro.network.discretize import DiscreteNetwork
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.opt.maxsat import minimize_sum_core_guided
 from repro.opt.minimize import minimize_sum
 from repro.opt.weighted import minimize_weighted_sum
-from repro.tasks.common import build_encoding, checked_decode
+from repro.tasks.common import (
+    build_encoding,
+    checked_decode,
+    record_descent,
+    record_encoding,
+)
 from repro.tasks.result import TaskResult
 from repro.trains.schedule import Schedule
 
@@ -43,31 +50,43 @@ def generate_layout(
     engine is inherently incremental and stays serial.
     """
     start = time.perf_counter()
-    encoding = build_encoding(net, schedule, r_t_min, options)
-    objective = encoding.border_objective()
+    reg = MetricsRegistry()
+    with trace.span(
+        "generate", strategy=strategy, parallel=parallel
+    ) as task_span:
+        with trace.span("encode"):
+            encoding = build_encoding(net, schedule, r_t_min, options)
+            objective = encoding.border_objective()
+        record_encoding(reg, encoding)
 
-    if border_costs is not None:
-        free = net.free_border_candidates()
-        weighted = [
-            (var, border_costs.get(vertex, 1))
-            for var, vertex in zip(objective, free)
-        ]
-        result = minimize_weighted_sum(
-            encoding.cnf, weighted,
-            strategy=strategy if strategy != "core" else "linear",
-            parallel=parallel,
-        )
-    elif strategy == "core":
-        result = minimize_sum_core_guided(encoding.cnf, objective)
-    else:
-        result = minimize_sum(
-            encoding.cnf, objective, strategy=strategy, parallel=parallel
-        )
+        with trace.span("solve", strategy=strategy):
+            if border_costs is not None:
+                free = net.free_border_candidates()
+                weighted = [
+                    (var, border_costs.get(vertex, 1))
+                    for var, vertex in zip(objective, free)
+                ]
+                result = minimize_weighted_sum(
+                    encoding.cnf, weighted,
+                    strategy=strategy if strategy != "core" else "linear",
+                    parallel=parallel,
+                )
+            elif strategy == "core":
+                result = minimize_sum_core_guided(encoding.cnf, objective)
+            else:
+                result = minimize_sum(
+                    encoding.cnf, objective, strategy=strategy,
+                    parallel=parallel,
+                )
+        record_descent(reg, result)
 
-    solution = None
-    if result.feasible:
-        solution = checked_decode(encoding, result.true_set())
+        solution = None
+        with trace.span("decode", satisfiable=result.feasible):
+            if result.feasible:
+                solution = checked_decode(encoding, result.true_set())
+        task_span.add(satisfiable=result.feasible, cost=result.cost)
     runtime = time.perf_counter() - start
+    reg.set("task.runtime_s", runtime)
     return TaskResult(
         task="generation",
         variables=encoding.paper_equivalent_vars(),
@@ -83,5 +102,7 @@ def generate_layout(
         objective_value=result.cost if result.feasible else None,
         proven_optimal=result.proven_optimal,
         solve_calls=result.solve_calls,
+        solver_stats=result.solver_stats,
         portfolio=result.portfolio,
+        metrics=reg.as_dict(),
     )

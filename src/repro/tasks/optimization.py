@@ -14,9 +14,16 @@ import time
 from repro.encoding.encoder import EncodingOptions
 from repro.logic.totalizer import Totalizer
 from repro.network.discretize import DiscreteNetwork
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.opt.maxsat import minimize_sum_core_guided
 from repro.opt.minimize import minimize_sum
-from repro.tasks.common import build_encoding, checked_decode
+from repro.tasks.common import (
+    build_encoding,
+    checked_decode,
+    record_descent,
+    record_encoding,
+)
 from repro.tasks.result import TaskResult
 from repro.trains.schedule import Schedule
 
@@ -57,74 +64,99 @@ def optimize_schedule(
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
     start = time.perf_counter()
-    free_schedule = schedule.without_deadlines()
-    encoding = build_encoding(net, free_schedule, r_t_min, options)
-    if objective == "makespan":
-        objective_lits = encoding.makespan_objective()
-    else:
-        objective_lits = encoding.total_arrival_objective()
+    reg = MetricsRegistry()
+    with trace.span(
+        "optimize", objective=objective, strategy=strategy, parallel=parallel
+    ) as task_span:
+        free_schedule = schedule.without_deadlines()
+        with trace.span("encode"):
+            encoding = build_encoding(net, free_schedule, r_t_min, options)
+            if objective == "makespan":
+                objective_lits = encoding.makespan_objective()
+            else:
+                objective_lits = encoding.total_arrival_objective()
+        record_encoding(reg, encoding)
 
-    if strategy == "core":
-        result = minimize_sum_core_guided(encoding.cnf, objective_lits)
-    else:
-        result = minimize_sum(
-            encoding.cnf, objective_lits, strategy=strategy,
-            parallel=parallel,
-        )
-    solve_calls = result.solve_calls
-    portfolio_summary = result.portfolio
+        with trace.span("solve", phase="primary"):
+            if strategy == "core":
+                result = minimize_sum_core_guided(
+                    encoding.cnf, objective_lits
+                )
+            else:
+                result = minimize_sum(
+                    encoding.cnf, objective_lits, strategy=strategy,
+                    parallel=parallel,
+                )
+        record_descent(reg, result)
+        solve_calls = result.solve_calls
+        portfolio_summary = result.portfolio
+        stats_total = dict(result.solver_stats)
 
-    if result.feasible and refine_arrivals and objective == "makespan":
-        # Freeze the makespan, then minimise summed arrivals among optima.
-        if result.cost < len(objective_lits):
-            totalizer = Totalizer(encoding.cnf, objective_lits)
-            totalizer.assert_at_most(result.cost)
-        arrival_lits = encoding.total_arrival_objective()
-        refined = minimize_sum(
-            encoding.cnf, arrival_lits, strategy=strategy, parallel=parallel
-        )
-        solve_calls += refined.solve_calls
-        if refined.feasible:
-            # Freeze the arrival optimum so that a subsequent border pass
-            # cannot trade it away.
-            if refined.cost < len(arrival_lits):
-                arrival_totalizer = Totalizer(encoding.cnf, arrival_lits)
-                arrival_totalizer.assert_at_most(refined.cost)
-            result = type(result)(
-                feasible=True,
-                cost=result.cost,
-                model=refined.model,
-                proven_optimal=result.proven_optimal
-                and refined.proven_optimal,
-                solve_calls=solve_calls,
-                strategy=result.strategy,
-            )
+        if result.feasible and refine_arrivals and objective == "makespan":
+            # Freeze the makespan, then minimise summed arrivals among
+            # optima.
+            if result.cost < len(objective_lits):
+                totalizer = Totalizer(encoding.cnf, objective_lits)
+                totalizer.assert_at_most(result.cost)
+            arrival_lits = encoding.total_arrival_objective()
+            with trace.span("solve", phase="refine-arrivals"):
+                refined = minimize_sum(
+                    encoding.cnf, arrival_lits, strategy=strategy,
+                    parallel=parallel,
+                )
+            record_descent(reg, refined)
+            _merge_counts(stats_total, refined.solver_stats)
+            solve_calls += refined.solve_calls
+            if refined.feasible:
+                # Freeze the arrival optimum so that a subsequent border
+                # pass cannot trade it away.
+                if refined.cost < len(arrival_lits):
+                    arrival_totalizer = Totalizer(
+                        encoding.cnf, arrival_lits
+                    )
+                    arrival_totalizer.assert_at_most(refined.cost)
+                result = type(result)(
+                    feasible=True,
+                    cost=result.cost,
+                    model=refined.model,
+                    proven_optimal=result.proven_optimal
+                    and refined.proven_optimal,
+                    solve_calls=solve_calls,
+                    strategy=result.strategy,
+                )
 
-    if result.feasible and minimize_borders_secondary:
-        # Freeze the primary optimum, then minimise borders among optima.
-        if result.cost < len(objective_lits):
-            totalizer = Totalizer(encoding.cnf, objective_lits)
-            totalizer.assert_at_most(result.cost)
-        secondary = minimize_sum(
-            encoding.cnf, encoding.border_objective(), strategy=strategy,
-            parallel=parallel,
-        )
-        solve_calls += secondary.solve_calls
-        if secondary.feasible:
-            result = type(result)(
-                feasible=True,
-                cost=result.cost,
-                model=secondary.model,
-                proven_optimal=result.proven_optimal
-                and secondary.proven_optimal,
-                solve_calls=solve_calls,
-                strategy=result.strategy,
-            )
+        if result.feasible and minimize_borders_secondary:
+            # Freeze the primary optimum, then minimise borders among
+            # optima.
+            if result.cost < len(objective_lits):
+                totalizer = Totalizer(encoding.cnf, objective_lits)
+                totalizer.assert_at_most(result.cost)
+            with trace.span("solve", phase="minimize-borders"):
+                secondary = minimize_sum(
+                    encoding.cnf, encoding.border_objective(),
+                    strategy=strategy, parallel=parallel,
+                )
+            record_descent(reg, secondary)
+            _merge_counts(stats_total, secondary.solver_stats)
+            solve_calls += secondary.solve_calls
+            if secondary.feasible:
+                result = type(result)(
+                    feasible=True,
+                    cost=result.cost,
+                    model=secondary.model,
+                    proven_optimal=result.proven_optimal
+                    and secondary.proven_optimal,
+                    solve_calls=solve_calls,
+                    strategy=result.strategy,
+                )
 
-    solution = None
-    if result.feasible:
-        solution = checked_decode(encoding, result.true_set())
+        solution = None
+        with trace.span("decode", satisfiable=result.feasible):
+            if result.feasible:
+                solution = checked_decode(encoding, result.true_set())
+        task_span.add(satisfiable=result.feasible, cost=result.cost)
     runtime = time.perf_counter() - start
+    reg.set("task.runtime_s", runtime)
     reported_steps = None
     if result.feasible:
         reported_steps = (
@@ -145,5 +177,18 @@ def optimize_schedule(
         objective_value=result.cost if result.feasible else None,
         proven_optimal=result.proven_optimal,
         solve_calls=solve_calls,
+        solver_stats=stats_total,
         portfolio=portfolio_summary,
+        metrics=reg.as_dict(),
     )
+
+
+def _merge_counts(total: dict, extra: dict) -> None:
+    """Accumulate numeric counters from ``extra`` into ``total`` in place."""
+    for key, value in extra.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if key.startswith("max_"):
+            total[key] = max(total.get(key, 0), value)
+        else:
+            total[key] = total.get(key, 0) + value

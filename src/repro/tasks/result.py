@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.encoding.decode import Solution
@@ -29,6 +30,8 @@ class TaskResult:
         proven_optimal: whether the optimisation loop certified optimality.
         solve_calls: SAT invocations used.
         solver_stats: cumulative solver counters.
+        metrics: the run's metrics-registry payload (stable dotted keys:
+            ``solver.*``, ``encoder.<family>.*``, ``portfolio.*``, ...).
         portfolio: portfolio-race summary when the task ran with
             ``parallel > 1`` (winner members, processes, wall time); None on
             the serial path.
@@ -49,6 +52,23 @@ class TaskResult:
     solver_stats: dict = field(default_factory=dict)
     proof_checked: bool | None = None  # UNSAT verdicts: DRAT proof validated
     portfolio: dict | None = None
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def stats(self) -> dict:
+        """Deprecated alias for :attr:`solver_stats`.
+
+        Kept so external callers reading ``result.stats`` keep working
+        after the metrics-registry refactor; prefer :attr:`solver_stats`
+        for the raw counters or :attr:`metrics` for the full registry.
+        """
+        warnings.warn(
+            "TaskResult.stats is deprecated; use TaskResult.solver_stats "
+            "or TaskResult.metrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.solver_stats
 
     def table_row(self) -> tuple:
         """(task, vars, sat, sections, steps, runtime) — a Table I row."""

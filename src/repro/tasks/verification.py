@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.sat import (
     ProofLogger,
     Solver,
@@ -21,7 +23,13 @@ from repro.sat import (
 )
 from repro.network.discretize import DiscreteNetwork
 from repro.network.sections import VSSLayout
-from repro.tasks.common import build_encoding, checked_decode
+from repro.tasks.common import (
+    attach_progress,
+    build_encoding,
+    checked_decode,
+    record_encoding,
+    record_solver,
+)
 from repro.tasks.result import TaskResult
 from repro.trains.schedule import Schedule
 
@@ -57,60 +65,91 @@ def verify_schedule(
     ``parallel=1`` is exactly the serial path.
     """
     start = time.perf_counter()
-    if layout is None:
-        layout = VSSLayout.pure_ttd(net)
-    encoding = build_encoding(net, schedule, r_t_min, options)
-    encoding.pin_layout(layout)
-    if waypoints:
-        encoding.pin_waypoints(waypoints)
+    reg = MetricsRegistry()
+    with trace.span("verify", parallel=parallel) as task_span:
+        if layout is None:
+            layout = VSSLayout.pure_ttd(net)
+        with trace.span("encode"):
+            encoding = build_encoding(net, schedule, r_t_min, options)
+            encoding.pin_layout(layout)
+            if waypoints:
+                encoding.pin_waypoints(waypoints)
+        record_encoding(reg, encoding)
 
-    clauses = encoding.cnf.clauses
-    if presimplify and not with_proof:
-        # (Proof logging needs the original clauses to remain the proof's
-        # premises, so the two options are mutually exclusive by design.)
-        clauses, __ = simplify_clauses(clauses)
+        clauses = encoding.cnf.clauses
+        enabled = presimplify and not with_proof
+        with trace.span("simplify", enabled=enabled):
+            if enabled:
+                # (Proof logging needs the original clauses to remain the
+                # proof's premises, so the two options are mutually
+                # exclusive by design.)
+                clauses, simplify_stats = simplify_clauses(clauses)
+                reg.absorb_simplify(simplify_stats)
 
-    portfolio_summary = None
-    if parallel > 1:
-        race = solve_portfolio(
-            encoding.cnf.num_vars, clauses,
-            members=diversified_members(parallel),
-            processes=parallel, with_proof=with_proof,
-        )
-        satisfiable = bool(race)
-        solution = None
-        proof_checked = None
-        if satisfiable:
-            solution = checked_decode(encoding, race.true_set())
-        elif with_proof and race.proof_steps is not None:
-            proof_checked = check_rup_proof(
-                encoding.cnf.num_vars, clauses, race.proof_steps
-            )
-        solver_stats = race.stats.merged_counters() if race.stats else {}
-        portfolio_summary = race.stats.as_dict() if race.stats else None
-    else:
-        logger = None
-        solver = Solver()
-        if with_proof:
-            logger = ProofLogger()
-            solver.attach_proof(logger)
-        solver.ensure_var(max(encoding.cnf.num_vars, 1))
-        for clause in clauses:
-            solver.add_clause(clause)
-        verdict = solver.solve()
-        satisfiable = bool(verdict)
-        solution = None
-        proof_checked = None
-        if satisfiable:
-            solution = checked_decode(
-                encoding, {lit for lit in solver.model() if lit > 0}
-            )
-        elif logger is not None:
-            proof_checked = check_rup_proof(
-                encoding.cnf.num_vars, encoding.cnf.clauses, logger.steps
-            )
-        solver_stats = solver.stats.as_dict()
+        portfolio_summary = None
+        if parallel > 1:
+            with trace.span("solve", processes=parallel):
+                race = solve_portfolio(
+                    encoding.cnf.num_vars, clauses,
+                    members=diversified_members(parallel),
+                    processes=parallel, with_proof=with_proof,
+                )
+            satisfiable = bool(race)
+            proof_checked = None
+            with trace.span("decode", satisfiable=satisfiable):
+                solution = (
+                    checked_decode(encoding, race.true_set())
+                    if satisfiable
+                    else None
+                )
+            if (
+                not satisfiable
+                and with_proof
+                and race.proof_steps is not None
+            ):
+                with trace.span("check-proof"):
+                    proof_checked = check_rup_proof(
+                        encoding.cnf.num_vars, clauses, race.proof_steps
+                    )
+            solver_stats = race.stats.merged_counters() if race.stats else {}
+            if race.stats:
+                portfolio_summary = race.stats.as_dict()
+                reg.absorb_portfolio(race.stats)
+            reg.absorb_solver_stats(solver_stats)
+        else:
+            logger = None
+            solver = Solver()
+            if with_proof:
+                logger = ProofLogger()
+                solver.attach_proof(logger)
+            attach_progress(solver)
+            with trace.span("solve"):
+                solver.ensure_var(max(encoding.cnf.num_vars, 1))
+                for clause in clauses:
+                    solver.add_clause(clause)
+                verdict = solver.solve()
+            satisfiable = bool(verdict)
+            proof_checked = None
+            with trace.span("decode", satisfiable=satisfiable):
+                solution = (
+                    checked_decode(
+                        encoding,
+                        {lit for lit in solver.model() if lit > 0},
+                    )
+                    if satisfiable
+                    else None
+                )
+            if not satisfiable and logger is not None:
+                with trace.span("check-proof"):
+                    proof_checked = check_rup_proof(
+                        encoding.cnf.num_vars, encoding.cnf.clauses,
+                        logger.steps,
+                    )
+            record_solver(reg, solver)
+            solver_stats = solver.stats.as_dict()
+        task_span.add(satisfiable=satisfiable)
     runtime = time.perf_counter() - start
+    reg.set("task.runtime_s", runtime)
     return TaskResult(
         task="verification",
         variables=encoding.paper_equivalent_vars(),
@@ -127,4 +166,5 @@ def verify_schedule(
         solver_stats=solver_stats,
         proof_checked=proof_checked,
         portfolio=portfolio_summary,
+        metrics=reg.as_dict(),
     )

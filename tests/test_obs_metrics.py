@@ -1,0 +1,143 @@
+"""Unit tests for the metrics registry and run report (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, read_json
+from repro.obs.report import RunReport
+from repro.sat.types import SolverStats
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    trace.reset()
+    yield
+    trace.reset()
+
+
+class TestInstruments:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 4)
+        reg.set("g", 1.5)
+        reg.set("g", 2.5)
+        for value in (1.0, 3.0, 2.0):
+            reg.observe("h", value)
+        out = reg.as_dict()
+        assert out["c"] == 5
+        assert out["g"] == 2.5
+        assert out["h"] == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_as_dict_keys_are_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        reg.set("m", 1)
+        assert list(reg.as_dict()) == ["a", "m", "z"]
+
+    def test_absorb_counters_skips_non_numerics(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters(
+            {"n": 3, "flag": True, "name": "base", "f": 0.5}, "p."
+        )
+        out = reg.as_dict()
+        assert out == {"p.n": 3, "p.f": 0.5}
+
+    def test_absorb_solver_stats_uses_solver_prefix(self):
+        stats = SolverStats(conflicts=7, propagations=100)
+        reg = MetricsRegistry()
+        reg.absorb_solver_stats(stats.as_dict())
+        out = reg.as_dict()
+        assert out["solver.conflicts"] == 7
+        assert out["solver.propagations"] == 100
+
+    def test_absorb_encoder_families(self):
+        reg = MetricsRegistry()
+        reg.absorb_encoder({"placement": {"vars": 10, "clauses": 20}})
+        out = reg.as_dict()
+        assert out["encoder.placement.vars"] == 10
+        assert out["encoder.placement.clauses"] == 20
+
+
+class TestMergeAndIO:
+    def test_merge_dict_adds_counters_and_merges_histograms(self):
+        first = MetricsRegistry()
+        first.inc("races", 2)
+        first.observe("t", 1.0)
+        first.observe("t", 5.0)
+        second = MetricsRegistry()
+        second.inc("races", 3)
+        second.observe("t", 3.0)
+        merged = MetricsRegistry()
+        merged.merge_dict(first.as_dict())
+        merged.merge_dict(second.as_dict())
+        out = merged.as_dict()
+        assert out["races"] == 5
+        assert out["t"]["count"] == 3
+        assert out["t"]["sum"] == 9.0
+        assert out["t"]["min"] == 1.0
+        assert out["t"]["max"] == 5.0
+
+    def test_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("solver.conflicts", 12)
+        reg.observe("portfolio.wall_time_s", 0.25)
+        path = str(tmp_path / "metrics.json")
+        reg.write_json(path)
+        assert read_json(path) == reg.as_dict()
+
+
+class TestRunReport:
+    def _spans(self):
+        tracer = trace.install(trace.Tracer())
+        with trace.span("verify"):
+            with trace.span("encode"):
+                pass
+            with trace.span("solve"):
+                trace.event("restart", number=1)
+        return tracer.export()
+
+    def test_report_renders_tree_and_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("solver.conflicts", 42)
+        reg.observe("portfolio.wall_time_s", 0.5)
+        report = RunReport(self._spans(), reg.as_dict())
+        text = report.render()
+        assert "verify" in text
+        assert "encode" in text
+        assert "solver.conflicts" in text
+        assert "42" in text
+        assert "restart" in text
+
+    def test_timing_rows_aggregate_by_path(self):
+        tracer = trace.install(trace.Tracer())
+        for _ in range(3):
+            with trace.span("probe"):
+                pass
+        report = RunReport(tracer.export(), {})
+        (row,) = report.timing_rows()
+        path, count, total = row
+        assert path == "probe"
+        assert count == 3
+        assert total >= 0
+
+    def test_from_files(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        metrics_path = str(tmp_path / "m.json")
+        trace.write_jsonl(self._spans(), trace_path)
+        reg = MetricsRegistry()
+        reg.inc("solver.conflicts", 1)
+        reg.write_json(metrics_path)
+        report = RunReport.from_files(trace_path, metrics_path)
+        assert report.wall_time_s() > 0
+        assert "solver.conflicts" in report.render()
+
+    def test_report_without_trace(self):
+        report = RunReport([], {"solver.conflicts": 3})
+        text = report.render()
+        assert "solver.conflicts" in text

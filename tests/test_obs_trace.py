@@ -1,0 +1,160 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    trace.reset()
+    yield
+    trace.reset()
+
+
+class TestSpanRecording:
+    def test_nesting_depth_and_paths(self):
+        tracer = trace.install(trace.Tracer())
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+            with trace.span("sibling"):
+                pass
+        names = [s.name for s in tracer.spans]
+        # Children close before their parent, so they are appended first.
+        assert names == ["inner", "sibling", "outer"]
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].path == "outer/inner"
+        assert by_name["sibling"].path == "outer/sibling"
+
+    def test_timing_is_monotone_and_contained(self):
+        tracer = trace.install(trace.Tracer())
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.t0 <= inner.t1
+        assert outer.t0 <= inner.t0
+        assert inner.t1 <= outer.t1
+        assert outer.duration() >= inner.duration()
+
+    def test_span_attributes_and_add(self):
+        tracer = trace.install(trace.Tracer())
+        with trace.span("solve", processes=2) as handle:
+            handle.add(verdict="UNSAT")
+        (span,) = tracer.spans
+        assert span.args == {"processes": 2, "verdict": "UNSAT"}
+
+    def test_exception_records_error_and_propagates(self):
+        tracer = trace.install(trace.Tracer())
+        with pytest.raises(ValueError):
+            with trace.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.args["error"] == "ValueError"
+
+    def test_events_and_counters(self):
+        tracer = trace.install(trace.Tracer())
+        with trace.span("descent"):
+            trace.event("improved", cost=3)
+            trace.counter("progress", conflicts=10)
+        kinds = {s.name: s.kind for s in tracer.spans}
+        assert kinds == {
+            "improved": "event",
+            "progress": "counter",
+            "descent": "span",
+        }
+        event = next(s for s in tracer.spans if s.kind == "event")
+        assert event.t0 == event.t1
+        assert event.path == "descent/improved"
+
+
+class TestDisabledMode:
+    def test_span_is_the_shared_noop(self):
+        assert not trace.enabled()
+        handle = trace.span("anything", attr=1)
+        assert handle is trace.NOOP_SPAN
+        with handle as h:
+            h.add(more=2)  # must not raise
+
+    def test_event_counter_merge_export_are_noops(self):
+        trace.event("x")
+        trace.counter("y", v=1)
+        trace.merge([{"name": "z", "t0": 0, "t1": 1}])
+        assert trace.export_spans() == []
+
+    def test_install_and_reset_toggle(self):
+        trace.install(trace.Tracer())
+        assert trace.enabled()
+        trace.reset()
+        assert not trace.enabled()
+        assert trace.get_tracer() is None
+
+
+class TestSerialization:
+    def _sample(self):
+        tracer = trace.install(trace.Tracer())
+        with trace.span("outer", n=1):
+            with trace.span("inner"):
+                pass
+            trace.event("mark", note="hi")
+        trace.counter("gauge", v=2.5)
+        return tracer.export()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = self._sample()
+        path = str(tmp_path / "trace.jsonl")
+        trace.write_jsonl(records, path)
+        assert trace.read_jsonl(path) == records
+
+    def test_span_dict_round_trip(self):
+        for record in self._sample():
+            assert trace.Span.from_dict(record).as_dict() == record
+
+    def test_chrome_trace_conversion(self):
+        records = self._sample()
+        chrome = trace.to_chrome_trace(records)
+        events = chrome["traceEvents"]
+        assert len(events) == len(records)
+        phases = sorted({e["ph"] for e in events})
+        assert phases == ["C", "X", "i"]
+        # Timestamps are normalised against the earliest span.
+        assert min(e["ts"] for e in events) == 0.0
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in complete)
+
+    def test_chrome_trace_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        trace.write_chrome_trace(self._sample(), path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert "traceEvents" in data
+
+    def test_chrome_trace_empty(self):
+        assert trace.to_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+
+class TestMerge:
+    def test_child_spans_merge_with_own_track(self):
+        parent = trace.install(trace.Tracer())
+        with trace.span("parent-work"):
+            pass
+        child = trace.fork_child(tid="worker-1")
+        with child.span("child-work"):
+            pass
+        trace.merge(child.export())
+        tids = {s.tid for s in parent.spans}
+        assert tids == {"main", "worker-1"}
+        # Shared monotonic clock: merged spans live on one timeline.
+        records = parent.export()
+        chrome = trace.to_chrome_trace(records)
+        assert all(e["ts"] >= 0 for e in chrome["traceEvents"])
