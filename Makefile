@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: tier1 test smoke lint check bench bench-portfolio
+.PHONY: tier1 test smoke lint check bench bench-portfolio bench-descent
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -33,3 +33,9 @@ bench:
 bench-portfolio:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_portfolio.py \
 		--benchmark-only -q
+
+# One-shot vs persistent-incremental descent on the running example;
+# writes the perf-trajectory data point BENCH_descent.json.
+bench-descent:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_descent.py \
+		--out BENCH_descent.json

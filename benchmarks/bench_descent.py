@@ -1,0 +1,123 @@
+"""One-shot vs persistent-incremental parallel descent (perf trajectory).
+
+Runs the running example's generation and optimization descents at
+``parallel=4`` twice — once on the one-shot portfolio (fresh fork +
+full clause reload per bound probe) and once on the resident incremental
+solver service (CNF shipped once, probes send assumptions + clause
+deltas, learned clauses kept and shared) — and records wall time,
+probes/s, and the clauses-shipped economics under stable ``bench.*``
+keys.
+
+Why the service wins even on a single core: the one-shot path pays
+``processes × (fork + clause load + cold search)`` on *every* probe,
+while the service pays the fork/load once per descent and every warm
+probe resumes a solver that already holds the learned clauses, VSIDS
+activities, and saved phases of the previous bounds — the same
+incremental advantage the serial descent enjoys, plus the race.
+
+Run via ``make bench-descent`` (writes ``BENCH_descent.json``, the perf
+trajectory's first data point) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_descent.py --out out.json
+
+The verdict/objective agreement between the engines is asserted, so the
+benchmark doubles as an end-to-end differential check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.casestudies.running_example import running_example
+from repro.obs.metrics import MetricsRegistry
+from repro.tasks import generate_layout, optimize_schedule
+
+PROCESSES = 4
+REPEAT = 3
+TASKS = ("generation", "optimization")
+
+
+def _run_task(task: str, persistent: bool):
+    study = running_example()
+    net = study.discretize()
+    if task == "generation":
+        return generate_layout(
+            net, study.schedule, study.r_t_min,
+            parallel=PROCESSES, persistent=persistent,
+        )
+    return optimize_schedule(
+        net, study.schedule, study.r_t_min,
+        parallel=PROCESSES, persistent=persistent,
+    )
+
+
+def _best_of(fn, repeat: int = REPEAT):
+    """Run ``fn`` a few times; return (last value, best wall time)."""
+    best = None
+    value = None
+    for __ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    return value, best
+
+
+def bench_task(reg: MetricsRegistry, task: str) -> bool:
+    """Benchmark one task; returns whether persistent beat one-shot."""
+    oneshot, oneshot_s = _best_of(lambda: _run_task(task, False))
+    resident, resident_s = _best_of(lambda: _run_task(task, True))
+
+    assert resident.satisfiable == oneshot.satisfiable
+    assert resident.objective_value == oneshot.objective_value
+    assert resident.proven_optimal == oneshot.proven_optimal
+
+    probes = resident.solve_calls
+    prefix = f"bench.{task}."
+    reg.set(f"{prefix}oneshot_s", round(oneshot_s, 4))
+    reg.set(f"{prefix}persistent_s", round(resident_s, 4))
+    reg.set(f"{prefix}speedup", round(oneshot_s / resident_s, 3))
+    reg.set(f"{prefix}probes", probes)
+    reg.set(f"{prefix}oneshot_probes_per_s",
+            round(oneshot.solve_calls / oneshot_s, 2))
+    reg.set(f"{prefix}persistent_probes_per_s",
+            round(probes / resident_s, 2))
+    # Delta-shipping economics of the service session (last run).
+    for key in ("service.clauses_loaded", "service.clauses_shipped",
+                "service.clauses_skipped", "share.broadcast",
+                "share.imported"):
+        value = resident.metrics.get(key)
+        if value is not None:
+            reg.set(f"{prefix}{key}", value)
+    won = resident_s < oneshot_s
+    reg.set(f"{prefix}persistent_beats_oneshot", won)
+    return won
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_descent.json",
+                        help="output JSON path (MetricsRegistry format)")
+    args = parser.parse_args(argv)
+
+    reg = MetricsRegistry()
+    reg.set("bench.processes", PROCESSES)
+    reg.set("bench.host_cpus", os.cpu_count())
+    all_won = True
+    for task in TASKS:
+        won = bench_task(reg, task)
+        all_won = all_won and won
+        summary = reg.as_dict()
+        print(f"{task}: one-shot {summary[f'bench.{task}.oneshot_s']}s, "
+              f"persistent {summary[f'bench.{task}.persistent_s']}s "
+              f"(speedup {summary[f'bench.{task}.speedup']}x, "
+              f"{'win' if won else 'LOSS'})")
+    reg.write_json(args.out)
+    print(f"wrote {args.out}")
+    return 0 if all_won else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -182,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes (linear/binary strategies)")
     generate.add_argument("--strategy", default="linear",
                           choices=["linear", "binary", "core"])
+    generate.add_argument("--no-persist", dest="persist",
+                          action="store_false",
+                          help="fork fresh portfolio workers per probe "
+                               "instead of reusing the resident "
+                               "incremental solver service")
     _add_obs_args(generate)
 
     optimize = sub.add_parser("optimize", help="optimize the schedule makespan")
@@ -190,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes (linear/binary strategies)")
     optimize.add_argument("--strategy", default="linear",
                           choices=["linear", "binary", "core"])
+    optimize.add_argument("--no-persist", dest="persist",
+                          action="store_false",
+                          help="fork fresh portfolio workers per probe "
+                               "instead of reusing the resident "
+                               "incremental solver service")
     optimize.add_argument("--min-borders", action="store_true",
                           help="secondarily minimise VSS borders")
     optimize.add_argument("--objective", default="makespan",
@@ -360,7 +370,8 @@ def _run_command(args) -> int:
                       f"train(s) {trains}")
     elif args.command == "generate":
         result = generate_layout(net, schedule, r_t, strategy=args.strategy,
-                                 parallel=args.jobs)
+                                 parallel=args.jobs,
+                                 persistent=args.persist)
     else:
         result = optimize_schedule(
             net, schedule, r_t,
@@ -368,6 +379,7 @@ def _run_command(args) -> int:
             minimize_borders_secondary=args.min_borders,
             objective=args.objective,
             parallel=args.jobs,
+            persistent=args.persist,
         )
     if getattr(args, "metrics", None):
         _write_metrics(result.metrics, args.metrics)

@@ -4,13 +4,21 @@ Both strategies build one incremental totalizer over the objective literals
 and then tighten its bound with unit *assumptions* — the solver keeps all its
 learned clauses across iterations, which is what makes the loop cheap.
 
-With ``parallel > 1`` every solve of the descent is instead raced through
-the process portfolio (:mod:`repro.sat.portfolio`): each bound probe ships
-the current clause set (hard constraints + totalizer) to diversified worker
-configurations and takes the first definitive answer.  Each probe is then a
-from-scratch solve — incremental clause learning across probes is traded for
-racing the bound proofs, which is the profitable trade on multi-core
-hardware for the hard UNSAT "prove optimality" steps.
+With ``parallel > 1`` every solve of the descent is raced over diversified
+solver configurations.  Two parallel engines exist:
+
+* ``persistent=True`` (the default on the task layer) keeps a resident
+  portfolio of *incremental* workers for the whole descent
+  (:class:`repro.sat.service.SolverService`): the CNF is shipped once at
+  session start, each probe sends only the assumptions plus the clause
+  delta, and workers keep learned clauses, activities, and phases across
+  probes — racing *and* incrementality.  Low-LBD clauses harvested from
+  each probe are shared between members for a warm start.
+* ``persistent=False`` forks fresh workers per probe via
+  :func:`repro.sat.portfolio.solve_portfolio` — every probe is a
+  from-scratch solve.  This path also serves as the graceful fallback
+  whenever the service cannot start (no ``fork``) or loses all its
+  workers mid-descent.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.sat.portfolio import (
     diversified_members,
     solve_portfolio,
 )
+from repro.sat.service import ServiceError, SolverService
 from repro.sat.solver import Solver
 from repro.sat.types import SolveResult
 
@@ -39,6 +48,7 @@ def minimize_sum(
     parallel: int = 1,
     portfolio_members: list[PortfolioMember] | None = None,
     descent_timeout_s: float | None = None,
+    persistent: bool = False,
 ) -> MinimizeResult:
     """Minimise the number of true literals among ``objective_lits``.
 
@@ -49,25 +59,28 @@ def minimize_sum(
     ``on_improvement`` (if given) is called with each strictly better cost as
     it is discovered — useful for logging long optimisations.
 
-    ``parallel > 1`` races every solve through a process portfolio of that
-    many diversified configurations (``portfolio_members`` overrides them).
-    ``descent_timeout_s`` bounds each *bound-probing* call; a probe that
-    times out ends the descent gracefully at the best bound known so far
-    (``proven_optimal=False``).  ``parallel=1`` is exactly the serial
-    incremental path.
+    ``parallel > 1`` races every solve over that many diversified
+    configurations (``portfolio_members`` overrides them); with
+    ``persistent=True`` the race runs on a resident incremental solver
+    service that is started once per descent and falls back to the
+    one-shot portfolio when unavailable.  ``descent_timeout_s`` bounds
+    each *bound-probing* call; a probe that times out ends the descent
+    gracefully at the best bound known so far (``proven_optimal=False``).
+    ``parallel=1`` is exactly the serial incremental path.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
     if parallel > 1:
         return _minimize_sum_portfolio(
             cnf, objective_lits, strategy, on_improvement,
-            parallel, portfolio_members, descent_timeout_s,
+            parallel, portfolio_members, descent_timeout_s, persistent,
         )
     solver = cnf.to_solver(solver)
     if trace.enabled():
         solver.on_progress(
             lambda snap: trace.counter("solver.progress", **snap)
         )
+    model_cost = _cost_counter(objective_lits)
     calls = 1
     with trace.span("descent.probe", call=calls, strategy=strategy):
         verdict = solver.solve()
@@ -77,7 +90,7 @@ def minimize_sum(
                               solver_stats=solver.stats.as_dict())
 
     best_model = solver.model()
-    best_cost = _cost_of(solver, objective_lits)
+    best_cost = model_cost(best_model)
     trace.event("descent.improved", cost=best_cost)
     if on_improvement:
         on_improvement(best_cost)
@@ -110,7 +123,7 @@ def minimize_sum(
                 probe_span.add(verdict=verdict.name)
             if verdict is SolveResult.SAT:
                 best_model = solver.model()
-                best_cost = _cost_of(solver, objective_lits)
+                best_cost = model_cost(best_model)
                 trace.event("descent.improved", cost=best_cost)
                 if on_improvement:
                     on_improvement(best_cost)
@@ -134,7 +147,7 @@ def minimize_sum(
                 probe_span.add(verdict=verdict.name)
             if verdict is SolveResult.SAT:
                 best_model = solver.model()
-                high = _cost_of(solver, objective_lits)
+                high = model_cost(best_model)
                 best_cost = high
                 trace.event("descent.improved", cost=best_cost)
                 if on_improvement:
@@ -156,15 +169,24 @@ def minimize_sum(
     )
 
 
-def _cost_of(solver: Solver, objective_lits: list[int]) -> int:
-    """Number of objective literals true in the solver's current model."""
-    return sum(1 for lit in objective_lits if solver.model_value(lit))
+def _cost_counter(objective_lits: list[int]) -> Callable[[list[int]], int]:
+    """Build the model→cost function for one descent.
 
-
-def _model_cost(model: list[int], objective_lits: list[int]) -> int:
-    """Number of objective literals true in a model given as literal list."""
-    true_lits = set(model)
-    return sum(1 for lit in objective_lits if lit in true_lits)
+    Precomputes the objective-literal set once (plus per-literal
+    multiplicities for the weighted duplication path, where a literal
+    occurs ``weight`` times), so each improvement costs one set
+    intersection instead of rebuilding ``set(model)`` and re-scanning
+    the objective.
+    """
+    objective_set = set(objective_lits)
+    if len(objective_set) == len(objective_lits):
+        return lambda model: len(objective_set.intersection(model))
+    counts: dict[int, int] = {}
+    for lit in objective_lits:
+        counts[lit] = counts.get(lit, 0) + 1
+    return lambda model: sum(
+        counts[lit] for lit in objective_set.intersection(model)
+    )
 
 
 def _minimize_sum_portfolio(
@@ -175,20 +197,73 @@ def _minimize_sum_portfolio(
     parallel: int,
     members: list[PortfolioMember] | None,
     descent_timeout_s: float | None,
+    persistent: bool,
 ) -> MinimizeResult:
     """Portfolio-routed descent: every solve is a race over diversified
     configurations; the deterministic portfolio keeps the result a pure
-    function of the problem (see :mod:`repro.sat.portfolio`)."""
+    function of the problem (see :mod:`repro.sat.portfolio`).
+
+    With ``persistent`` the probes run on a resident
+    :class:`~repro.sat.service.SolverService`; any :class:`ServiceError`
+    (fork unavailable, every worker dead) downgrades the remaining
+    probes to the one-shot portfolio and is recorded in the result's
+    ``portfolio["service"]`` summary.
+    """
     members = members or diversified_members(parallel)
+    model_cost = _cost_counter(objective_lits)
     winners: dict[str, int] = {}
     wall = 0.0
     merged: dict[str, int | float] = {}
+    service: SolverService | None = None
+    service_info: dict = {}
+    # Hoisted clause snapshot for the one-shot path: refreshed exactly
+    # once (after the totalizer is built) instead of re-reading the
+    # growing ``cnf.clauses`` list on every race call.
+    clause_snapshot = list(cnf.clauses)
+
+    if persistent:
+        try:
+            service = SolverService(
+                cnf.num_vars, cnf.clauses, members=members,
+                processes=parallel,
+            ).start()
+        except ServiceError as exc:
+            service = None
+            service_info["fallback"] = str(exc)
+            trace.event("service.fallback", error=str(exc))
+
+    def downgrade(exc: ServiceError) -> None:
+        """Retire the service and continue one-shot from here on."""
+        nonlocal service
+        assert service is not None
+        service_info.update(service.summary())
+        service_info["fallback"] = str(exc)
+        trace.event("service.fallback", error=str(exc))
+        service.close()
+        service = None
+
+    def absorb(stats: dict) -> None:
+        for key, value in stats.items():
+            merged[key] = merged.get(key, 0) + value
 
     def race(assumptions=(), timeout_s=None, bound=None):
         nonlocal wall
+        if service is not None:
+            try:
+                outcome = service.probe(assumptions, timeout_s=timeout_s)
+            except ServiceError as exc:
+                downgrade(exc)
+            else:
+                wall += outcome.wall_time_s
+                if outcome.winner_name:
+                    winners[outcome.winner_name] = (
+                        winners.get(outcome.winner_name, 0) + 1
+                    )
+                absorb(outcome.stats)
+                return outcome
         with trace.span("descent.race", bound=bound) as race_span:
             result = solve_portfolio(
-                cnf.num_vars, cnf.clauses, assumptions=assumptions,
+                cnf.num_vars, clause_snapshot, assumptions=assumptions,
                 members=members, processes=parallel, timeout_s=timeout_s,
             )
             race_span.add(verdict=result.verdict.name)
@@ -198,93 +273,107 @@ def _minimize_sum_portfolio(
                 winners[result.stats.winner_name] = (
                     winners.get(result.stats.winner_name, 0) + 1
                 )
-            for key, value in result.stats.merged_counters().items():
-                merged[key] = merged.get(key, 0) + value
+            absorb(result.stats.merged_counters())
         return result
 
     def summary(calls: int) -> dict:
-        return {
+        out = {
             "processes": parallel,
             "calls": calls,
             "winners": dict(winners),
             "wall_time_s": wall,
+            "persistent": persistent,
         }
+        info = dict(service_info)
+        if service is not None:
+            info.update(service.summary())
+        if info:
+            out["service"] = info
+        return out
 
-    calls = 1
-    first = race()
-    if first.verdict is not SolveResult.SAT:
-        return MinimizeResult(
-            feasible=False, solve_calls=calls, strategy=strategy,
-            solver_stats=dict(merged), portfolio=summary(calls),
-        )
-    best_model = first.model or []
-    best_cost = _model_cost(best_model, objective_lits)
-    trace.event("descent.improved", cost=best_cost)
-    if on_improvement:
-        on_improvement(best_cost)
-    if best_cost == 0 or not objective_lits:
-        return MinimizeResult(
-            feasible=True, cost=best_cost, model=best_model,
-            proven_optimal=True, solve_calls=calls, strategy=strategy,
-            solver_stats=dict(merged), portfolio=summary(calls),
-        )
-
-    totalizer = Totalizer(cnf, objective_lits)
-
-    if strategy == "linear":
-        proven = False
-        while best_cost > 0:
-            calls += 1
-            probe = race(
-                assumptions=[totalizer.bound_literal(best_cost - 1)],
-                timeout_s=descent_timeout_s,
-                bound=best_cost - 1,
+    try:
+        calls = 1
+        first = race()
+        if first.verdict is not SolveResult.SAT:
+            return MinimizeResult(
+                feasible=False, solve_calls=calls, strategy=strategy,
+                solver_stats=dict(merged), portfolio=summary(calls),
             )
-            if probe.verdict is SolveResult.SAT:
-                best_model = probe.model or []
-                best_cost = _model_cost(best_model, objective_lits)
-                trace.event("descent.improved", cost=best_cost)
-                if on_improvement:
-                    on_improvement(best_cost)
-            elif probe.verdict is SolveResult.UNSAT:
+        best_model = first.model or []
+        best_cost = model_cost(best_model)
+        trace.event("descent.improved", cost=best_cost)
+        if on_improvement:
+            on_improvement(best_cost)
+        if best_cost == 0 or not objective_lits:
+            return MinimizeResult(
+                feasible=True, cost=best_cost, model=best_model,
+                proven_optimal=True, solve_calls=calls, strategy=strategy,
+                solver_stats=dict(merged), portfolio=summary(calls),
+            )
+
+        totalizer = Totalizer(cnf, objective_lits)
+        # The service ships the totalizer layers as the next probe's
+        # delta automatically (it holds ``cnf.clauses`` by reference);
+        # the one-shot path re-hoists its snapshot here, once.
+        clause_snapshot = list(cnf.clauses)
+
+        if strategy == "linear":
+            proven = False
+            while best_cost > 0:
+                calls += 1
+                probe = race(
+                    assumptions=[totalizer.bound_literal(best_cost - 1)],
+                    timeout_s=descent_timeout_s,
+                    bound=best_cost - 1,
+                )
+                if probe.verdict is SolveResult.SAT:
+                    best_model = probe.model or []
+                    best_cost = model_cost(best_model)
+                    trace.event("descent.improved", cost=best_cost)
+                    if on_improvement:
+                        on_improvement(best_cost)
+                elif probe.verdict is SolveResult.UNSAT:
+                    proven = True
+                    break
+                else:  # timeout: keep the best-known bound
+                    break
+            if best_cost == 0:
                 proven = True
-                break
-            else:  # timeout: keep the best-known bound
-                break
-        if best_cost == 0:
+        else:  # binary search on the bound
+            low = 0
+            high = best_cost
             proven = True
-    else:  # binary search on the bound
-        low = 0
-        high = best_cost
-        proven = True
-        while low < high:
-            mid = (low + high) // 2
-            calls += 1
-            probe = race(
-                assumptions=[totalizer.bound_literal(mid)],
-                timeout_s=descent_timeout_s,
-                bound=mid,
-            )
-            if probe.verdict is SolveResult.SAT:
-                best_model = probe.model or []
-                high = _model_cost(best_model, objective_lits)
-                best_cost = high
-                trace.event("descent.improved", cost=best_cost)
-                if on_improvement:
-                    on_improvement(best_cost)
-            elif probe.verdict is SolveResult.UNSAT:
-                low = mid + 1
-            else:
-                proven = False
-                break
+            while low < high:
+                mid = (low + high) // 2
+                calls += 1
+                probe = race(
+                    assumptions=[totalizer.bound_literal(mid)],
+                    timeout_s=descent_timeout_s,
+                    bound=mid,
+                )
+                if probe.verdict is SolveResult.SAT:
+                    best_model = probe.model or []
+                    high = model_cost(best_model)
+                    best_cost = high
+                    trace.event("descent.improved", cost=best_cost)
+                    if on_improvement:
+                        on_improvement(best_cost)
+                elif probe.verdict is SolveResult.UNSAT:
+                    low = mid + 1
+                else:
+                    proven = False
+                    break
 
-    return MinimizeResult(
-        feasible=True,
-        cost=best_cost,
-        model=best_model,
-        proven_optimal=proven,
-        solve_calls=calls,
-        strategy=strategy,
-        solver_stats=dict(merged),
-        portfolio=summary(calls),
-    )
+        return MinimizeResult(
+            feasible=True,
+            cost=best_cost,
+            model=best_model,
+            proven_optimal=proven,
+            solve_calls=calls,
+            strategy=strategy,
+            solver_stats=dict(merged),
+            portfolio=summary(calls),
+        )
+    finally:
+        if service is not None:
+            service.close()

@@ -30,13 +30,15 @@ def minimize_weighted_sum(
     weighted_lits: list[tuple[int, int]],
     strategy: str = "linear",
     parallel: int = 1,
+    persistent: bool = False,
 ) -> MinimizeResult:
     """Minimise ``Σ weight * [lit is true]``.
 
     ``weighted_lits`` is a list of ``(literal, weight)`` pairs with positive
     integer weights.  Returns a :class:`MinimizeResult` whose ``cost`` is the
-    weighted optimum.  ``parallel`` is forwarded to the underlying
-    :func:`minimize_sum` descents (portfolio-raced when ``> 1``).
+    weighted optimum.  ``parallel`` and ``persistent`` are forwarded to the
+    underlying :func:`minimize_sum` descents (portfolio-raced when
+    ``parallel > 1``, on the resident solver service when ``persistent``).
     """
     for lit, weight in weighted_lits:
         if weight <= 0 or not isinstance(weight, int):
@@ -50,7 +52,8 @@ def minimize_weighted_sum(
             lit for lit, weight in weighted_lits for __ in range(weight)
         ]
         result = minimize_sum(
-            cnf, duplicated, strategy=strategy, parallel=parallel
+            cnf, duplicated, strategy=strategy, parallel=parallel,
+            persistent=persistent,
         )
         return result
 
@@ -74,7 +77,8 @@ def minimize_weighted_sum(
     for weight in ordered:
         lits = strata[weight]
         result = minimize_sum(
-            cnf, lits, strategy=strategy, parallel=parallel
+            cnf, lits, strategy=strategy, parallel=parallel,
+            persistent=persistent,
         )
         calls += result.solve_calls
         if not result.feasible:

@@ -10,6 +10,8 @@ Public entry points:
 * :class:`Solver` — the CDCL solver (add clauses, solve under assumptions,
   read back models and unsat cores).
 * :class:`SolveResult` — SAT / UNSAT / UNKNOWN verdicts.
+* :func:`solve_portfolio` / :class:`SolverService` — one-shot and
+  resident-incremental parallel portfolios over diversified configs.
 * :func:`parse_dimacs` / :func:`write_dimacs` — DIMACS CNF interchange.
 """
 
@@ -24,6 +26,13 @@ from repro.sat.portfolio import (
     solve_portfolio,
 )
 from repro.sat.proof import ProofLogger, check_rup_proof, parse_drat
+from repro.sat.service import (
+    ProbeOutcome,
+    ServiceDeadError,
+    ServiceError,
+    ShareConfig,
+    SolverService,
+)
 from repro.sat.simplify import SimplifyStats, simplify_clauses
 from repro.sat.solver import Solver
 from repro.sat.types import SolverConfig, SolverStats, SolveResult
@@ -40,6 +49,11 @@ __all__ = [
     "PortfolioDisagreementError",
     "diversified_members",
     "solve_portfolio",
+    "SolverService",
+    "ServiceError",
+    "ServiceDeadError",
+    "ShareConfig",
+    "ProbeOutcome",
     "ProofLogger",
     "SimplifyStats",
     "simplify_clauses",

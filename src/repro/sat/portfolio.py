@@ -196,15 +196,24 @@ class PortfolioResult:
     unsat_core: list[int] = field(default_factory=list)
     proof_steps: list | None = None
     stats: PortfolioStats | None = None
+    _true_set: set[int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __bool__(self) -> bool:
         return self.verdict is SolveResult.SAT
 
     def true_set(self) -> set[int]:
-        """The model's true variables as a set (for decoding)."""
+        """The model's true variables as a set (for decoding).
+
+        Memoized: decode/validate/report paths may each ask for the set,
+        and the model never changes after the race ends.
+        """
         if self.model is None:
             raise RuntimeError("no model: portfolio verdict was not SAT")
-        return {lit for lit in self.model if lit > 0}
+        if self._true_set is None:
+            self._true_set = {lit for lit in self.model if lit > 0}
+        return self._true_set
 
 
 def fork_available() -> bool:

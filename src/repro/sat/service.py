@@ -1,0 +1,645 @@
+"""Persistent incremental portfolio solving for bound-probing descents.
+
+The optimisation descents in :mod:`repro.opt` solve one formula many times
+under tightening assumptions.  The one-shot portfolio
+(:mod:`repro.sat.portfolio`) re-forks fresh worker processes for every
+probe and re-loads the *entire* clause set into each of them, throwing
+away all learned clauses, VSIDS activities, and saved phases between
+probes — exactly the incremental state that makes the serial descent
+cheap (cf. Engels & Wille, who show incremental extension dominating
+from-scratch re-solving on this problem family).
+
+This module keeps the portfolio *resident* instead:
+
+* :class:`SolverService` forks one long-lived worker per
+  :class:`~repro.sat.portfolio.PortfolioMember` **once per descent**.
+  The initial CNF travels to the workers for free via ``fork`` and each
+  probe ships only the assumption literals plus the clause *delta* (for
+  example newly built totalizer layers) over a pipe — O(delta) traffic
+  instead of O(|CNF|) per probe (``service.clauses_shipped`` vs
+  ``service.clauses_skipped``).
+* Every worker holds one incremental :class:`~repro.sat.Solver`, so
+  learned clauses, activities, and phases persist across probes.
+* Between probes the parent harvests low-LBD clauses from the probe's
+  finishers (winner first) via :meth:`Solver.export_learned`, dedups
+  them by sorted-literal key, and broadcasts them — bounded by a
+  per-probe budget — to the other members via
+  :meth:`Solver.import_clauses`, giving every member a warm start
+  (``share.*`` counters).
+
+Determinism mirrors the one-shot portfolio: an UNSAT answer is accepted
+from whichever member proves it first, while SAT *models* are only taken
+from the primary (lowest-index live) member, which also never imports
+foreign clauses — its search is exactly the serial incremental descent,
+so the linear descent's reported models stay a pure function of the
+formula.  Losing members are cancelled *cooperatively*: a progress hook
+raises inside the search, the worker answers "cancelled", and its solver
+(state intact) is ready for the next probe.
+
+Workers that crash or stop responding are terminated and recorded
+(``service.worker_crashes``); the survivors keep the session alive.  A
+session with no live workers raises :class:`ServiceDeadError`, which the
+descent layer (:func:`repro.opt.minimize.minimize_sum`) answers by
+falling back to the one-shot portfolio for the remaining probes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
+from repro.sat.portfolio import (
+    PortfolioDisagreementError,
+    PortfolioMember,
+    WorkerReport,
+    diversified_members,
+    fork_available,
+    member_config_dict,
+)
+from repro.sat.solver import Solver
+from repro.sat.types import SolveResult
+
+#: Poll interval while waiting for worker replies (seconds).
+_POLL_S = 0.05
+
+#: Conflicts between cancellation checks inside a worker's search.  Small
+#: enough that a cancelled worker answers within milliseconds on these
+#: encodings, large enough to be invisible in the solve profile.
+_CANCEL_CHECK_CONFLICTS = 128
+
+#: How long a cancelled worker may take to flush its reply before it is
+#: presumed wedged and terminated (seconds).
+_CANCEL_GRACE_S = 10.0
+
+
+class ServiceError(RuntimeError):
+    """The solver service could not be started or used."""
+
+
+class ServiceDeadError(ServiceError):
+    """Every worker of the service has died; the session is unusable."""
+
+
+@dataclass(frozen=True)
+class ShareConfig:
+    """Knobs of the learned-clause exchange between probes.
+
+    Attributes:
+        max_lbd: only clauses with LBD at or below this are exported.
+        max_len: only clauses at most this long are exported.
+        budget_per_probe: cap on clauses broadcast after one probe.
+    """
+
+    max_lbd: int = 4
+    max_len: int = 8
+    budget_per_probe: int = 128
+
+
+@dataclass
+class ProbeOutcome:
+    """Answer of one :meth:`SolverService.probe` call."""
+
+    verdict: SolveResult
+    model: list[int] | None = None
+    unsat_core: list[int] = field(default_factory=list)
+    winner: int | None = None
+    winner_name: str = ""
+    wall_time_s: float = 0.0
+    cold: bool = False
+    timed_out: bool = False
+    #: Per-probe solver counters summed over every member that replied.
+    stats: dict = field(default_factory=dict)
+
+
+class _ProbeCancelled(Exception):
+    """Raised inside a worker's search when the parent cancels the probe."""
+
+
+def _service_worker(index, member, num_vars, clauses, conn, cancel,
+                    child_trace):
+    """Worker entry point: build one incremental solver, serve probes.
+
+    The CNF snapshot arrives through ``fork`` (no pickling); afterwards
+    the pipe carries only probe commands (assumptions + clause deltas +
+    shared clauses) and one reply per probe.  The solver persists for
+    the whole session, keeping its learned clauses across probes.
+    """
+    if child_trace:
+        trace.install(trace.fork_child(tid=f"service:{member.name}"))
+    try:
+        factory = member.solver_factory or Solver
+        solver = factory(member.config)
+        solver.ensure_var(max(num_vars, 1))
+        with trace.span("service.load", member=member.name,
+                        clauses=len(clauses)):
+            for clause in clauses:
+                solver.add_clause(clause)
+    except BaseException as exc:  # noqa: BLE001 — report, never hang parent
+        try:
+            conn.send({"index": index, "probe": 0,
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "traceback": traceback_module.format_exc()})
+        except Exception:
+            pass
+        return
+
+    exported_keys: set[tuple[int, ...]] = set()
+
+    def check_cancel(_snapshot) -> None:
+        if cancel.is_set():
+            raise _ProbeCancelled
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "quit":
+            return
+        __, probe_id, assumptions, delta, imports, share_spec = msg
+        start = time.perf_counter()
+        reply: dict = {"index": index, "probe": probe_id}
+        try:
+            before = solver.stats.snapshot()
+            for clause in delta:
+                solver.add_clause(clause)
+            imported = solver.import_clauses(imports)
+            solver.on_progress(check_cancel, _CANCEL_CHECK_CONFLICTS)
+            cancelled = False
+            with trace.span("service.probe", member=member.name,
+                            probe=probe_id, delta=len(delta)) as span:
+                try:
+                    verdict = solver.solve(list(assumptions))
+                except _ProbeCancelled:
+                    cancelled = True
+                    verdict = SolveResult.UNKNOWN
+                span.add(verdict=verdict.value, cancelled=cancelled)
+            solver.on_progress(None)
+            max_lbd, max_len, budget = share_spec
+            learned: list[list[int]] = []
+            if budget > 0:
+                learned = solver.export_learned(
+                    max_lbd, max_len, limit=budget, skip_keys=exported_keys
+                )
+            reply.update(
+                verdict=verdict.value,
+                cancelled=cancelled,
+                model=(solver.model()
+                       if verdict is SolveResult.SAT else None),
+                core=(solver.unsat_core()
+                      if verdict is SolveResult.UNSAT else []),
+                stats=solver.stats.delta(before).as_dict(),
+                time=time.perf_counter() - start,
+                imported=imported,
+                learned=learned,
+            )
+        except BaseException as exc:  # noqa: BLE001
+            reply.update(error=f"{type(exc).__name__}: {exc}",
+                         traceback=traceback_module.format_exc())
+        if child_trace:
+            tracer = trace.get_tracer()
+            if tracer is not None:
+                reply["spans"] = tracer.export()
+                tracer.spans.clear()
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class SolverService:
+    """A resident portfolio of incremental solvers for one clause set.
+
+    ``clauses`` is held *by reference*: clauses appended by the caller
+    after :meth:`start` (e.g. totalizer layers built between probes) are
+    shipped automatically as the next probe's delta.
+
+    Typical usage::
+
+        service = SolverService(cnf.num_vars, cnf.clauses, processes=4)
+        service.start()
+        try:
+            first = service.probe()                  # cold probe
+            ...build totalizer into cnf...
+            probe = service.probe([bound_lit])       # ships only the delta
+        finally:
+            service.close()
+    """
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: list[list[int]],
+        members: list[PortfolioMember] | None = None,
+        processes: int | None = None,
+        deterministic: bool = True,
+        share: ShareConfig | None = None,
+    ):
+        if processes is None:
+            processes = len(members) if members else 2
+        if members is None:
+            members = diversified_members(max(processes, 1))
+        if not members:
+            raise ValueError("empty portfolio")
+        self._members = list(members[: max(processes, 1)])
+        self._num_vars = num_vars
+        self._clauses = clauses
+        self._deterministic = deterministic
+        self._share = share or ShareConfig()
+        self.metrics = MetricsRegistry()
+        self.reports = [
+            WorkerReport(name=m.name, config=member_config_dict(m))
+            for m in self._members
+        ]
+        self._procs: list = []
+        self._conns: list = []
+        self._cancels: list = []
+        self._alive: list[bool] = []
+        self._pending_imports: list[list[list[int]]] = []
+        self._seen_shared: set[tuple[int, ...]] = set()
+        self._shipped = 0
+        self._probe_id = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "SolverService":
+        """Fork the resident workers; the current clauses travel free."""
+        if self._started:
+            raise ServiceError("service already started")
+        if not fork_available():
+            raise ServiceError("platform lacks the fork start method")
+        ctx = multiprocessing.get_context("fork")
+        self._shipped = len(self._clauses)
+        child_trace = trace.enabled()
+        for i, member in enumerate(self._members):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            cancel = ctx.Event()
+            proc = ctx.Process(
+                target=_service_worker,
+                args=(i, member, self._num_vars, self._clauses,
+                      child_conn, cancel, child_trace),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._cancels.append(cancel)
+            self._alive.append(True)
+            self._pending_imports.append([])
+        self._started = True
+        self.metrics.inc("service.sessions")
+        self.metrics.set("service.workers", len(self._members))
+        self.metrics.inc("service.clauses_loaded", self._shipped)
+        self.metrics.counter("service.worker_crashes")  # stable key
+        trace.event("service.start", workers=len(self._members),
+                    clauses=self._shipped)
+        return self
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if not self._started:
+            return
+        for i, conn in enumerate(self._conns):
+            if self._alive[i]:
+                try:
+                    conn.send(("quit",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._alive = [False] * len(self._alive)
+        self._started = False
+
+    def __enter__(self) -> "SolverService":
+        return self.start() if not self._started else self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def alive_count(self) -> int:
+        """Number of workers still serving probes."""
+        return sum(self._alive)
+
+    def worker_pids(self) -> list[int | None]:
+        """PIDs of the worker processes (None for dead workers)."""
+        return [proc.pid if alive else None
+                for proc, alive in zip(self._procs, self._alive)]
+
+    def summary(self) -> dict:
+        """Session counters plus per-worker reports (for telemetry)."""
+        return {
+            "counters": self.metrics.as_dict(),
+            "workers": [
+                {"name": r.name, "error": r.error, "alive": alive}
+                for r, alive in zip(self.reports, self._alive)
+            ],
+        }
+
+    # -- probing -------------------------------------------------------
+
+    def probe(
+        self,
+        assumptions: list[int] | tuple[int, ...] = (),
+        timeout_s: float | None = None,
+    ) -> ProbeOutcome:
+        """Race one incremental solve over the resident workers.
+
+        Ships only the clauses appended since the last probe plus the
+        assumption literals.  Raises :class:`ServiceDeadError` when no
+        worker is left to ask, and
+        :class:`PortfolioDisagreementError` when two members contradict
+        each other.
+        """
+        if not self._started:
+            raise ServiceError("service not started")
+        alive = [i for i, ok in enumerate(self._alive) if ok]
+        if not alive:
+            raise ServiceDeadError("all service workers have died")
+        start = time.perf_counter()
+        self._probe_id += 1
+        probe_id = self._probe_id
+        cold = probe_id == 1
+
+        prev = self._shipped
+        delta = self._clauses[prev:]
+        self._shipped = len(self._clauses)
+        met = self.metrics
+        met.inc("service.probes")
+        met.inc("service.clauses_shipped", len(delta))
+        met.inc("service.clauses_skipped", prev)
+        trace.counter("service.clauses_shipped",
+                      shipped=len(delta), skipped=prev)
+
+        share_spec = (self._share.max_lbd, self._share.max_len,
+                      self._share.budget_per_probe)
+        sent: set[int] = set()
+        for i in alive:
+            imports = self._pending_imports[i]
+            self._pending_imports[i] = []
+            try:
+                self._conns[i].send(
+                    ("probe", probe_id, tuple(assumptions), delta,
+                     imports, share_spec)
+                )
+                sent.add(i)
+            except (BrokenPipeError, OSError):
+                self._mark_dead(i, "worker pipe closed before the probe")
+        if not sent:
+            raise ServiceDeadError("no live worker accepted the probe")
+
+        with trace.span("service.race", probe=probe_id,
+                        workers=len(sent)) as race_span:
+            outcome = self._collect(probe_id, sent, timeout_s, start,
+                                    cold)
+            race_span.add(verdict=outcome.verdict.name,
+                          winner=outcome.winner_name)
+        met.observe("service.probe_wall_s", outcome.wall_time_s)
+        met.observe(
+            "service.cold_probe_wall_s" if cold
+            else "service.warm_probe_wall_s",
+            outcome.wall_time_s,
+        )
+        if outcome.winner_name:
+            met.inc(f"service.wins.{outcome.winner_name}")
+        if outcome.timed_out:
+            met.inc("service.probe_timeouts")
+        return outcome
+
+    # -- internals -----------------------------------------------------
+
+    def _mark_dead(self, index: int, error: str, tb: str = "") -> None:
+        if not self._alive[index]:
+            return
+        self._alive[index] = False
+        report = self.reports[index]
+        report.error = report.error or error
+        report.traceback = report.traceback or tb
+        self.metrics.inc("service.worker_crashes")
+        trace.event("service.worker_crash",
+                    member=self._members[index].name, error=error)
+        proc = self._procs[index]
+        if proc.is_alive():
+            proc.terminate()
+        try:
+            self._conns[index].close()
+        except OSError:
+            pass
+
+    def _collect(self, probe_id, pending, timeout_s, start, cold):
+        """Gather one reply per probed worker and pick the winner."""
+        primary = min(pending)
+        replies: dict[int, dict] = {}
+        winner: int | None = None
+        sat_candidate: int | None = None
+        timed_out = False
+        cancelled: set[int] = set()
+        deadline = start + timeout_s if timeout_s is not None else None
+        grace_deadline: float | None = None
+
+        def cancel(indices) -> None:
+            nonlocal grace_deadline
+            requested = False
+            for i in indices:
+                if i in pending and i not in cancelled:
+                    self._cancels[i].set()
+                    cancelled.add(i)
+                    requested = True
+            if requested:
+                grace_deadline = time.perf_counter() + _CANCEL_GRACE_S
+
+        def handle_reply(i, msg) -> None:
+            nonlocal winner, sat_candidate
+            replies[i] = msg
+            pending.discard(i)
+            trace.merge(msg.get("spans"))
+            report = self.reports[i]
+            report.finished = True
+            report.verdict = msg["verdict"]
+            report.solve_time_s += msg.get("time", 0.0)
+            report.stats = msg.get("stats", {})
+            if msg.get("cancelled"):
+                return
+            definitive = {
+                m["verdict"] for m in replies.values()
+                if not m.get("cancelled")
+                and m["verdict"] != SolveResult.UNKNOWN.value
+            }
+            if len(definitive) > 1:
+                raise PortfolioDisagreementError(
+                    "service members disagree on the verdict: "
+                    + ", ".join(
+                        f"{self._members[j].name}={m['verdict']}"
+                        for j, m in sorted(replies.items())
+                        if not m.get("cancelled")
+                    )
+                )
+            if msg["verdict"] == SolveResult.UNSAT.value:
+                if winner is None:
+                    winner = i
+                cancel(set(pending))
+            elif msg["verdict"] == SolveResult.SAT.value:
+                if not self._deterministic or i == primary:
+                    if winner is None:
+                        winner = i
+                    cancel(set(pending))
+                else:
+                    # Deterministic: remember the witness, free the
+                    # other helpers, let the primary finish so the
+                    # model does not depend on scheduling.
+                    if sat_candidate is None or i < sat_candidate:
+                        sat_candidate = i
+                    cancel({j for j in pending if j != primary})
+
+        while pending:
+            conns = {self._conns[i]: i for i in pending}
+            sentinels = {self._procs[i].sentinel: i for i in pending}
+            ready = connection_wait(
+                list(conns) + list(sentinels), timeout=_POLL_S
+            )
+            # Replies first: a worker that died right after flushing its
+            # answer must not be mislabelled as crashed.
+            for obj in ready:
+                i = conns.get(obj)
+                if i is None or i not in pending:
+                    continue
+                try:
+                    msg = obj.recv()
+                except (EOFError, OSError):
+                    self._mark_dead(i, "worker connection closed")
+                    pending.discard(i)
+                    continue
+                if msg.get("probe") != probe_id:
+                    continue  # stale flush from an earlier probe
+                if "error" in msg:
+                    self._mark_dead(i, msg["error"],
+                                    msg.get("traceback", ""))
+                    pending.discard(i)
+                    continue
+                handle_reply(i, msg)
+            for obj in ready:
+                i = sentinels.get(obj)
+                if i is None or i not in pending:
+                    continue
+                try:
+                    if self._conns[i].poll(0):
+                        continue  # a reply is queued; read it next round
+                except OSError:
+                    pass
+                self._mark_dead(
+                    i,
+                    f"worker died with exit code {self._procs[i].exitcode}",
+                )
+                pending.discard(i)
+
+            now = time.perf_counter()
+            if deadline is not None and now > deadline and not timed_out:
+                timed_out = True
+                cancel(set(pending))
+            if grace_deadline is not None and now > grace_deadline:
+                for i in list(pending):
+                    if i in cancelled:
+                        self._mark_dead(
+                            i, "cancelled worker stopped responding"
+                        )
+                        pending.discard(i)
+
+        for event in self._cancels:
+            event.clear()
+
+        if winner is None and sat_candidate is not None:
+            # The primary died or timed out after a helper proved SAT.
+            winner = sat_candidate
+
+        wall = time.perf_counter() - start
+        merged: dict = {}
+        imported = 0
+        for msg in replies.values():
+            imported += msg.get("imported", 0)
+            for key, value in (msg.get("stats") or {}).items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+        if imported:
+            self.metrics.inc("share.imported", imported)
+
+        self._broadcast(replies, winner)
+
+        if winner is None:
+            if not replies and not self._alive.count(True):
+                raise ServiceDeadError(
+                    "every service worker died during the probe"
+                )
+            return ProbeOutcome(
+                verdict=SolveResult.UNKNOWN, wall_time_s=wall, cold=cold,
+                timed_out=timed_out, stats=merged,
+            )
+        msg = replies[winner]
+        return ProbeOutcome(
+            verdict=SolveResult(msg["verdict"]),
+            model=msg.get("model"),
+            unsat_core=list(msg.get("core") or []),
+            winner=winner,
+            winner_name=self._members[winner].name,
+            wall_time_s=wall,
+            cold=cold,
+            timed_out=timed_out,
+            stats=merged,
+        )
+
+    def _broadcast(self, replies, winner) -> None:
+        """Queue the probe's harvested clauses for the next probe.
+
+        The winner's export is taken first (it decided the probe, its
+        clauses are the proven-useful ones), then the other finishers',
+        all deduped against everything shared before and capped by the
+        per-probe budget.  In deterministic mode the primary member
+        never imports, so its search stays the exact serial descent.
+        """
+        met = self.metrics
+        budget = self._share.budget_per_probe
+        order = ([winner] if winner in replies else []) + [
+            i for i in sorted(replies) if i != winner
+        ]
+        harvest: list[tuple[int, list[int]]] = []
+        for i in order:
+            for lits in replies[i].get("learned") or []:
+                met.inc("share.exported")
+                key = tuple(sorted(lits))
+                if key in self._seen_shared:
+                    met.inc("share.deduped")
+                    continue
+                if len(harvest) >= budget:
+                    met.inc("share.over_budget")
+                    continue
+                self._seen_shared.add(key)
+                harvest.append((i, lits))
+        if not harvest:
+            return
+        alive = [i for i, ok in enumerate(self._alive) if ok]
+        primary = min(alive, default=-1)
+        for j in alive:
+            if self._deterministic and j == primary:
+                continue
+            queued = [lits for origin, lits in harvest if origin != j]
+            if queued:
+                self._pending_imports[j].extend(queued)
+                met.inc("share.broadcast", len(queued))

@@ -280,6 +280,69 @@ class Solver:
             "vars": self.num_vars,
         }
 
+    def export_learned(
+        self,
+        max_lbd: int = 4,
+        max_len: int = 8,
+        limit: int | None = None,
+        skip_keys: set[tuple[int, ...]] | None = None,
+    ) -> list[list[int]]:
+        """Harvest high-quality implied clauses for sharing.
+
+        Returns the solver's level-0 facts (as unit clauses) followed by
+        learned clauses with LBD <= ``max_lbd`` and length <= ``max_len``
+        — all consequences of the problem clauses alone, so they can be
+        soundly added to any solver working on the same formula
+        (assumptions never leak into learned clauses: they enter the
+        search as decisions and appear negated in the learned clause
+        instead of being resolved away).
+
+        ``skip_keys`` (a set of sorted-literal tuples) is consulted *and
+        updated*, so repeated calls on the same set only return clauses
+        not exported before.  ``limit`` bounds the number returned.
+        """
+        out: list[list[int]] = []
+
+        def take(lits) -> None:
+            if skip_keys is not None:
+                key = tuple(sorted(lits))
+                if key in skip_keys:
+                    return
+                skip_keys.add(key)
+            out.append(list(lits))
+
+        # Level-0 facts first: the strongest shareable knowledge.
+        boundary = (
+            self._trail_lim[0] if self._trail_lim else len(self._trail)
+        )
+        for lit in self._trail[:boundary]:
+            if limit is not None and len(out) >= limit:
+                return out
+            take([lit])
+        for clause in self._learned:
+            if limit is not None and len(out) >= limit:
+                break
+            if clause.lbd <= max_lbd and len(clause.lits) <= max_len:
+                take(clause.lits)
+        return out
+
+    def import_clauses(self, clauses) -> int:
+        """Add clauses learned elsewhere on the same formula.
+
+        The clauses must be logical consequences of the problem clauses
+        (e.g. another solver's :meth:`export_learned` output), which makes
+        adding them permanently sound.  Returns the number of clauses
+        processed; stops early if the formula becomes unconditionally
+        UNSAT.
+        """
+        count = 0
+        for lits in clauses:
+            self.add_clause(lits)
+            count += 1
+            if not self._ok:
+                break
+        return count
+
     def simplify(self) -> bool:
         """Remove clauses satisfied at level 0; False if already UNSAT."""
         if not self._ok:

@@ -71,6 +71,13 @@ def record_descent(reg: MetricsRegistry, result) -> None:
         )
         for member, count in result.portfolio.get("winners", {}).items():
             reg.inc(f"portfolio.wins.{member}", count)
+        service = result.portfolio.get("service")
+        if service:
+            # ``service.*`` / ``share.*`` session counters, including
+            # ``service.worker_crashes`` for mid-descent deaths.
+            reg.merge_dict(service.get("counters", {}))
+            if service.get("fallback"):
+                reg.inc("service.fallbacks")
 
 
 def attach_progress(solver: Solver, interval_conflicts: int = 2000) -> None:

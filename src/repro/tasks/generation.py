@@ -35,6 +35,7 @@ def generate_layout(
     options: EncodingOptions | None = None,
     border_costs: dict[int, int] | None = None,
     parallel: int = 1,
+    persistent: bool = True,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -48,6 +49,11 @@ def generate_layout(
     ``parallel > 1`` races every solve of the linear/binary descent through
     the process portfolio (:mod:`repro.sat.portfolio`).  The core-guided
     engine is inherently incremental and stays serial.
+
+    ``persistent`` (default) runs the parallel descent on the resident
+    incremental solver service (:mod:`repro.sat.service`), which keeps
+    learned clauses across probes and ships only clause deltas; it falls
+    back to the one-shot portfolio automatically when unavailable.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -69,14 +75,14 @@ def generate_layout(
                 result = minimize_weighted_sum(
                     encoding.cnf, weighted,
                     strategy=strategy if strategy != "core" else "linear",
-                    parallel=parallel,
+                    parallel=parallel, persistent=persistent,
                 )
             elif strategy == "core":
                 result = minimize_sum_core_guided(encoding.cnf, objective)
             else:
                 result = minimize_sum(
                     encoding.cnf, objective, strategy=strategy,
-                    parallel=parallel,
+                    parallel=parallel, persistent=persistent,
                 )
         record_descent(reg, result)
 

@@ -38,6 +38,7 @@ def optimize_schedule(
     objective: str = "makespan",
     refine_arrivals: bool = False,
     parallel: int = 1,
+    persistent: bool = True,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -60,6 +61,11 @@ def optimize_schedule(
     (including the refinement and secondary passes) through the process
     portfolio (:mod:`repro.sat.portfolio`); the core-guided engine stays
     serial.
+
+    ``persistent`` (default) runs each parallel descent on the resident
+    incremental solver service (:mod:`repro.sat.service`) — one session
+    per descent pass — falling back to the one-shot portfolio when
+    unavailable.
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -85,7 +91,7 @@ def optimize_schedule(
             else:
                 result = minimize_sum(
                     encoding.cnf, objective_lits, strategy=strategy,
-                    parallel=parallel,
+                    parallel=parallel, persistent=persistent,
                 )
         record_descent(reg, result)
         solve_calls = result.solve_calls
@@ -102,7 +108,7 @@ def optimize_schedule(
             with trace.span("solve", phase="refine-arrivals"):
                 refined = minimize_sum(
                     encoding.cnf, arrival_lits, strategy=strategy,
-                    parallel=parallel,
+                    parallel=parallel, persistent=persistent,
                 )
             record_descent(reg, refined)
             _merge_counts(stats_total, refined.solver_stats)
@@ -135,6 +141,7 @@ def optimize_schedule(
                 secondary = minimize_sum(
                     encoding.cnf, encoding.border_objective(),
                     strategy=strategy, parallel=parallel,
+                    persistent=persistent,
                 )
             record_descent(reg, secondary)
             _merge_counts(stats_total, secondary.solver_stats)
