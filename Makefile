@@ -1,6 +1,7 @@
 PYTHON ?= python
 
-.PHONY: tier1 test smoke lint check bench bench-portfolio bench-descent
+.PHONY: tier1 test test-faults smoke lint check bench bench-portfolio \
+	bench-descent
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -8,6 +9,11 @@ tier1: test smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Deterministic fault-injection suite: worker kills, hangs, slow starts,
+# checkpoint write failures (REPRO_FAULTS plans; see repro.testing.faults).
+test-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m faults
 
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro generate --case running-example -j 2
@@ -25,7 +31,7 @@ lint:
 		echo "lint: ruff not installed, skipping"; \
 	fi
 
-check: lint tier1
+check: lint tier1 test-faults
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -132,6 +132,19 @@ def _add_jobs_arg(parser: argparse.ArgumentParser, help_text: str) -> None:
                         metavar="N", help=help_text)
 
 
+def _add_anytime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, metavar="S", default=None,
+                        help="wall-clock budget in seconds; on expiry the "
+                             "best solution found so far is reported "
+                             "(status: timeout)")
+    parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="append the descent's proven facts to a JSONL "
+                             "checkpoint as they are found")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed run from --checkpoint "
+                             "instead of starting over")
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE",
                         help="record a span trace (.jsonl = JSON Lines, "
@@ -187,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fork fresh portfolio workers per probe "
                                "instead of reusing the resident "
                                "incremental solver service")
+    _add_anytime_args(generate)
     _add_obs_args(generate)
 
     optimize = sub.add_parser("optimize", help="optimize the schedule makespan")
@@ -205,12 +219,19 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--objective", default="makespan",
                           choices=["makespan", "total-arrival"],
                           help="efficiency reading (paper §III-C)")
+    _add_anytime_args(optimize)
     _add_obs_args(optimize)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument("--skip-slow", action="store_true",
                         help="only the Running Example and Simple Layout")
     _add_jobs_arg(table1, "run the table rows as a batch over N processes")
+    table1.add_argument("--manifest", metavar="FILE", default=None,
+                        help="record finished rows to a JSONL manifest; "
+                             "re-running with the same file skips them")
+    table1.add_argument("--job-timeout", type=float, metavar="S",
+                        default=None,
+                        help="wall-clock budget per table row")
     _add_obs_args(table1)
 
     report = sub.add_parser(
@@ -284,11 +305,27 @@ def _run_command(args) -> int:
         studies = all_case_studies()
         if args.skip_slow:
             studies = studies[:2]
-        if args.jobs > 1:
+        batch_report = None
+        # The manifest and the per-job timeout live in the batch runner;
+        # route through it even serially when either was requested.
+        if args.jobs > 1 or args.manifest or args.job_timeout:
             from repro.tasks.batch import run_table1
 
             report = run_table1(skip_slow=args.skip_slow,
-                                processes=args.jobs)
+                                processes=args.jobs,
+                                job_timeout_s=args.job_timeout,
+                                manifest_path=args.manifest)
+            batch_report = report
+            for names, label in (
+                (report.resumed_jobs, "restored from manifest"),
+                (report.retried_jobs, "retried after a worker death"),
+                (report.recovered_jobs, "recovered serially in the parent"),
+            ):
+                if names:
+                    print(f"{label}: {', '.join(names)}", file=sys.stderr)
+            if report.pool_error:
+                print(f"worker pool error: {report.pool_error}",
+                      file=sys.stderr)
             failures = report.failures()
             if failures:
                 for failure in failures:
@@ -319,7 +356,9 @@ def _run_command(args) -> int:
             reg = MetricsRegistry()
             for results in grouped:
                 for result in results:
-                    reg.merge_dict(result.metrics)
+                    reg.merge_dict(getattr(result, "metrics", {}) or {})
+            if batch_report is not None:
+                reg.merge_dict(batch_report.metrics)
             reg.set("batch.rows", sum(len(g) for g in grouped))
             reg.write_json(args.metrics)
             print(f"metrics -> {args.metrics}", file=sys.stderr)
@@ -369,10 +408,17 @@ def _run_command(args) -> int:
                 print(f"diagnosis: conflicting timetable commitments of "
                       f"train(s) {trains}")
     elif args.command == "generate":
+        if args.resume and not args.checkpoint:
+            raise SystemExit("--resume requires --checkpoint")
         result = generate_layout(net, schedule, r_t, strategy=args.strategy,
                                  parallel=args.jobs,
-                                 persistent=args.persist)
+                                 persistent=args.persist,
+                                 timeout_s=args.timeout,
+                                 checkpoint_path=args.checkpoint,
+                                 resume=args.resume)
     else:
+        if args.resume and not args.checkpoint:
+            raise SystemExit("--resume requires --checkpoint")
         result = optimize_schedule(
             net, schedule, r_t,
             strategy=args.strategy,
@@ -380,9 +426,20 @@ def _run_command(args) -> int:
             objective=args.objective,
             parallel=args.jobs,
             persistent=args.persist,
+            timeout_s=args.timeout,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
         )
     if getattr(args, "metrics", None):
         _write_metrics(result.metrics, args.metrics)
+    if getattr(result, "resumed", False):
+        print("resumed from checkpoint", file=sys.stderr)
+    if getattr(result, "status", None) == "timeout":
+        bounds = f"proven bounds [{result.lower_bound}, "
+        bounds += ("∞" if result.upper_bound is None
+                   else str(result.upper_bound)) + "]"
+        print(f"deadline hit: best-so-far result, {bounds}",
+              file=sys.stderr)
     _report(result, net, args.diagram, args.timetable, r_t)
     return 0 if result.satisfiable else 1
 

@@ -12,14 +12,29 @@ capability on top of :mod:`repro.sat` with three interchangeable strategies
 * ``core``    — OLL-style core-guided search from below (UNSAT–SAT).
 """
 
+from repro.opt.checkpoint import CheckpointError, load_checkpoint
 from repro.opt.lexicographic import minimize_lexicographic
 from repro.opt.maxsat import minimize_sum_core_guided
 from repro.opt.minimize import minimize_sum
 from repro.opt.weighted import minimize_weighted_sum
-from repro.opt.result import MinimizeResult
+from repro.opt.result import (
+    STATUS_FEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_RESUMED,
+    STATUS_TIMEOUT,
+    DescentResult,
+    MinimizeResult,
+)
 
 __all__ = [
+    "CheckpointError",
+    "DescentResult",
     "MinimizeResult",
+    "STATUS_FEASIBLE",
+    "STATUS_OPTIMAL",
+    "STATUS_RESUMED",
+    "STATUS_TIMEOUT",
+    "load_checkpoint",
     "minimize_sum",
     "minimize_weighted_sum",
     "minimize_sum_core_guided",

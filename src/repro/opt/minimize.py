@@ -19,16 +19,37 @@ solver configurations.  Two parallel engines exist:
   from-scratch solve.  This path also serves as the graceful fallback
   whenever the service cannot start (no ``fork``) or loses all its
   workers mid-descent.
+
+The descent is *anytime*: ``wall_deadline_s`` bounds the whole descent
+(each probe gets the remaining budget, shipped all the way into the
+solvers' cooperative wall-deadline checks) and an expired budget ends it
+at the best model and bounds proven so far (``status="timeout"``), never
+with an exception.  With ``checkpoint_path`` every proven fact is
+appended to a JSONL checkpoint (:mod:`repro.opt.checkpoint`), and
+``resume=True`` restarts a killed descent from its last proven bound.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.logic.cnf import CNF
 from repro.logic.totalizer import Totalizer
 from repro.obs import trace
-from repro.opt.result import MinimizeResult
+from repro.opt.checkpoint import (
+    CheckpointState,
+    DescentCheckpoint,
+    descent_fingerprint,
+    load_checkpoint,
+)
+from repro.opt.result import (
+    STATUS_FEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_RESUMED,
+    STATUS_TIMEOUT,
+    DescentResult,
+)
 from repro.sat.portfolio import (
     PortfolioMember,
     diversified_members,
@@ -37,6 +58,85 @@ from repro.sat.portfolio import (
 from repro.sat.service import ServiceError, SolverService
 from repro.sat.solver import Solver
 from repro.sat.types import SolveResult
+
+
+class _DescentBudget:
+    """Wall-clock budget of one descent; probes get the remainder."""
+
+    def __init__(self, wall_deadline_s: float | None):
+        self.total = wall_deadline_s
+        self._deadline = (
+            time.perf_counter() + wall_deadline_s
+            if wall_deadline_s is not None else None
+        )
+
+    def remaining(self) -> float | None:
+        """Seconds left, or None when the descent is unbounded."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.perf_counter()
+
+    def exhausted(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def probe_budget(self, per_probe_s: float | None) -> float | None:
+        """min(per-probe timeout, remaining wall budget); None = unbounded."""
+        remaining = self.remaining()
+        if remaining is None:
+            return per_probe_s
+        remaining = max(remaining, 0.0)
+        if per_probe_s is None:
+            return remaining
+        return min(per_probe_s, remaining)
+
+
+def _descent_status(
+    proven: bool, timed_out: bool, resumed: bool, improved: bool
+) -> str:
+    if proven:
+        return STATUS_OPTIMAL
+    if timed_out:
+        return STATUS_TIMEOUT
+    if resumed and not improved:
+        return STATUS_RESUMED
+    return STATUS_FEASIBLE
+
+
+def _checkpoint_summary(
+    ckpt: DescentCheckpoint | None, state: CheckpointState | None
+) -> dict | None:
+    if ckpt is None:
+        return None
+    out = ckpt.summary()
+    if state is not None:
+        out["restored_cost"] = state.best_cost
+        out["restored_lower"] = state.lower_bound
+    return out
+
+
+def _replayed_result(
+    state: CheckpointState, strategy: str, checkpoint_path: str
+) -> DescentResult:
+    """A finished checkpoint resumes to its result without any probe."""
+    feasible = state.best_cost is not None
+    trace.event("checkpoint.replayed", cost=state.best_cost)
+    return DescentResult(
+        feasible=feasible,
+        cost=state.best_cost or 0,
+        model=list(state.best_model),
+        proven_optimal=feasible,
+        solve_calls=0,
+        strategy=strategy,
+        status=STATUS_OPTIMAL,
+        lower_bound=state.lower_bound,
+        resumed=True,
+        checkpoint={
+            "path": checkpoint_path, "writes": 0, "write_failures": 0,
+            "restored_cost": state.best_cost,
+            "restored_lower": state.lower_bound,
+        },
+    )
 
 
 def minimize_sum(
@@ -49,11 +149,14 @@ def minimize_sum(
     portfolio_members: list[PortfolioMember] | None = None,
     descent_timeout_s: float | None = None,
     persistent: bool = False,
-) -> MinimizeResult:
+    wall_deadline_s: float | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> DescentResult:
     """Minimise the number of true literals among ``objective_lits``.
 
     The hard constraints are the clauses of ``cnf``.  Returns a
-    :class:`MinimizeResult`; when ``feasible`` and ``proven_optimal`` are both
+    :class:`DescentResult`; when ``feasible`` and ``proven_optimal`` are both
     True the reported cost is the exact minimum.
 
     ``on_improvement`` (if given) is called with each strictly better cost as
@@ -64,109 +167,259 @@ def minimize_sum(
     ``persistent=True`` the race runs on a resident incremental solver
     service that is started once per descent and falls back to the
     one-shot portfolio when unavailable.  ``descent_timeout_s`` bounds
-    each *bound-probing* call; a probe that times out ends the descent
-    gracefully at the best bound known so far (``proven_optimal=False``).
-    ``parallel=1`` is exactly the serial incremental path.
+    each *bound-probing* call; ``wall_deadline_s`` bounds the whole
+    descent — on expiry the result carries the best model and bounds
+    found so far with ``status="timeout"``.  ``parallel=1`` is exactly
+    the serial incremental path.
+
+    ``checkpoint_path`` appends every proven fact (improving models,
+    lower bounds, learned unit facts) to a JSONL checkpoint;
+    ``resume=True`` restores the latest state from that file first —
+    raising :class:`repro.opt.checkpoint.CheckpointError` when the file
+    belongs to a different formula — and continues the descent from the
+    restored bounds (``solve_calls`` counts only the new run's probes).
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
-    if parallel > 1:
-        return _minimize_sum_portfolio(
-            cnf, objective_lits, strategy, on_improvement,
-            parallel, portfolio_members, descent_timeout_s, persistent,
+
+    state: CheckpointState | None = None
+    ckpt: DescentCheckpoint | None = None
+    if checkpoint_path:
+        fingerprint = descent_fingerprint(
+            cnf.num_vars, cnf.num_clauses, objective_lits, strategy
         )
+        if resume:
+            state = load_checkpoint(checkpoint_path)
+            if state is not None:
+                state.check(fingerprint)
+                trace.event("checkpoint.resumed", cost=state.best_cost,
+                            lower=state.lower_bound,
+                            units=len(state.units))
+                if state.done_status == STATUS_OPTIMAL:
+                    return _replayed_result(state, strategy,
+                                            checkpoint_path)
+        ckpt = DescentCheckpoint(checkpoint_path)
+        ckpt.open(fingerprint, resumed=state is not None)
+
+    budget = _DescentBudget(wall_deadline_s)
+    try:
+        if parallel > 1:
+            return _minimize_sum_portfolio(
+                cnf, objective_lits, strategy, on_improvement,
+                parallel, portfolio_members, descent_timeout_s, persistent,
+                budget, ckpt, state,
+            )
+        return _minimize_sum_serial(
+            cnf, objective_lits, strategy, solver, on_improvement,
+            descent_timeout_s, budget, ckpt, state,
+        )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+
+
+def _minimize_sum_serial(
+    cnf: CNF,
+    objective_lits: list[int],
+    strategy: str,
+    solver: Solver | None,
+    on_improvement: Callable[[int], None] | None,
+    descent_timeout_s: float | None,
+    budget: _DescentBudget,
+    ckpt: DescentCheckpoint | None,
+    state: CheckpointState | None,
+) -> DescentResult:
+    """The serial incremental descent (one solver, bounds as assumptions)."""
     solver = cnf.to_solver(solver)
     if trace.enabled():
         solver.on_progress(
             lambda snap: trace.counter("solver.progress", **snap)
         )
     model_cost = _cost_counter(objective_lits)
-    calls = 1
-    with trace.span("descent.probe", call=calls, strategy=strategy):
-        verdict = solver.solve()
-    if verdict is not SolveResult.SAT:
-        return MinimizeResult(feasible=False, solve_calls=calls,
-                              strategy=strategy,
-                              solver_stats=solver.stats.as_dict())
+    configured_deadline = solver.config.wall_deadline_s
+    unit_keys: set[tuple[int, ...]] = set()
 
-    best_model = solver.model()
-    best_cost = model_cost(best_model)
-    trace.event("descent.improved", cost=best_cost)
-    if on_improvement:
-        on_improvement(best_cost)
-    if best_cost == 0 or not objective_lits:
-        return MinimizeResult(
-            feasible=True,
-            cost=best_cost,
-            model=best_model,
-            proven_optimal=True,
+    def arm(per_probe_s: float | None = None) -> bool:
+        """Point the solver deadline at the remaining budget.
+
+        Returns False when the descent budget is already spent (the
+        caller then stops without issuing the probe).
+        """
+        if budget.exhausted():
+            return False
+        effective = budget.probe_budget(per_probe_s)
+        if effective is None:
+            solver.config.wall_deadline_s = configured_deadline
+        elif configured_deadline is None:
+            solver.config.wall_deadline_s = effective
+        else:
+            solver.config.wall_deadline_s = min(configured_deadline,
+                                                effective)
+        return True
+
+    def harvest_units() -> None:
+        """Persist newly proven level-0 facts (assumption-free units)."""
+        if ckpt is None:
+            return
+        units = solver.export_learned(max_lbd=0, max_len=1, limit=256,
+                                      skip_keys=unit_keys)
+        ckpt.units([u[0] for u in units if len(u) == 1])
+
+    def probe_timed_out(verdict: SolveResult) -> bool:
+        return (
+            verdict is SolveResult.UNKNOWN
+            and (solver.last_stats.deadline_hits > 0 or budget.exhausted())
+        )
+
+    calls = 0
+    resumed = state is not None
+    improved = False
+    timed_out = False
+    lower = state.lower_bound if state else 0
+
+    def finish(feasible, cost, model, proven):
+        if feasible:
+            status = _descent_status(proven, timed_out, resumed, improved)
+        else:
+            # An UNSAT first solve is a *proven* conclusion; only a
+            # timed-out one leaves feasibility genuinely open.
+            status = STATUS_TIMEOUT if timed_out else STATUS_OPTIMAL
+        if ckpt is not None:
+            ckpt.done(status, cost if feasible else None)
+        return DescentResult(
+            feasible=feasible,
+            cost=cost,
+            model=model or [],
+            proven_optimal=proven,
             solve_calls=calls,
             strategy=strategy,
             solver_stats=solver.stats.as_dict(),
+            status=status,
+            lower_bound=lower,
+            resumed=resumed,
+            checkpoint=_checkpoint_summary(ckpt, state),
         )
 
-    # Build the totalizer *into the same solver* so bounds are assumptions.
-    marker = len(cnf.clauses)
-    totalizer = Totalizer(cnf, objective_lits)
-    for clause in cnf.clauses[marker:]:
-        solver.add_clause(clause)
-
-    if strategy == "linear":
-        proven = False
-        while best_cost > 0:
+    try:
+        if state is not None and state.best_cost is not None:
+            best_model = list(state.best_model)
+            best_cost = state.best_cost
+            trace.event("descent.restored", cost=best_cost, lower=lower)
+            if on_improvement:
+                on_improvement(best_cost)
+        else:
             calls += 1
+            if not arm():
+                timed_out = True
+                return finish(False, 0, [], False)
             with trace.span("descent.probe", call=calls,
-                            bound=best_cost - 1) as probe_span:
-                verdict = solver.solve(
-                    [totalizer.bound_literal(best_cost - 1)]
-                )
-                probe_span.add(verdict=verdict.name)
-            if verdict is SolveResult.SAT:
-                best_model = solver.model()
-                best_cost = model_cost(best_model)
-                trace.event("descent.improved", cost=best_cost)
-                if on_improvement:
-                    on_improvement(best_cost)
-            elif verdict is SolveResult.UNSAT:
+                            strategy=strategy):
+                verdict = solver.solve()
+            if verdict is not SolveResult.SAT:
+                timed_out = probe_timed_out(verdict)
+                return finish(False, 0, [], False)
+            best_model = solver.model()
+            best_cost = model_cost(best_model)
+            trace.event("descent.improved", cost=best_cost)
+            improved = True
+            # Checkpoint before notifying: a callback that dies (or kills
+            # the process) never loses the improvement it was told about.
+            if ckpt is not None:
+                ckpt.improved(best_cost, best_model, calls)
+            if on_improvement:
+                on_improvement(best_cost)
+        if best_cost == 0 or not objective_lits:
+            return finish(True, best_cost, best_model, True)
+
+        # Build the totalizer *into the same solver* so bounds are
+        # assumptions (the checkpoint fingerprint was taken before this,
+        # so resumed runs rebuild byte-identical totalizer literals).
+        marker = len(cnf.clauses)
+        totalizer = Totalizer(cnf, objective_lits)
+        for clause in cnf.clauses[marker:]:
+            solver.add_clause(clause)
+        if state is not None and state.units:
+            imported = solver.import_clauses(
+                [[lit] for lit in state.units]
+            )
+            trace.event("checkpoint.units_imported", count=imported)
+
+        if strategy == "linear":
+            proven = False
+            while best_cost > lower:
+                if not arm(descent_timeout_s):
+                    timed_out = True
+                    break
+                calls += 1
+                with trace.span("descent.probe", call=calls,
+                                bound=best_cost - 1) as probe_span:
+                    verdict = solver.solve(
+                        [totalizer.bound_literal(best_cost - 1)]
+                    )
+                    probe_span.add(verdict=verdict.name)
+                if verdict is SolveResult.SAT:
+                    best_model = solver.model()
+                    best_cost = model_cost(best_model)
+                    trace.event("descent.improved", cost=best_cost)
+                    improved = True
+                    if ckpt is not None:
+                        ckpt.improved(best_cost, best_model, calls)
+                        harvest_units()
+                    if on_improvement:
+                        on_improvement(best_cost)
+                elif verdict is SolveResult.UNSAT:
+                    proven = True
+                    lower = best_cost
+                    if ckpt is not None:
+                        ckpt.lower(lower, calls)
+                    break
+                else:  # UNKNOWN under a conflict or wall budget
+                    timed_out = probe_timed_out(verdict)
+                    break
+            if best_cost <= lower:
                 proven = True
-                break
-            else:  # UNKNOWN under a conflict budget
-                break
-        if best_cost == 0:
+                lower = best_cost
+        else:  # binary search on the bound
+            low = lower
+            high = best_cost
             proven = True
-    else:  # binary search on the bound
-        low = 0  # costs < low are known infeasible... low-1 infeasible
-        high = best_cost  # a model with this cost exists
-        proven = True
-        while low < high:
-            mid = (low + high) // 2
-            calls += 1
-            with trace.span("descent.probe", call=calls,
-                            bound=mid) as probe_span:
-                verdict = solver.solve([totalizer.bound_literal(mid)])
-                probe_span.add(verdict=verdict.name)
-            if verdict is SolveResult.SAT:
-                best_model = solver.model()
-                high = model_cost(best_model)
-                best_cost = high
-                trace.event("descent.improved", cost=best_cost)
-                if on_improvement:
-                    on_improvement(best_cost)
-            elif verdict is SolveResult.UNSAT:
-                low = mid + 1
-            else:
-                proven = False
-                break
+            while low < high:
+                if not arm(descent_timeout_s):
+                    timed_out = True
+                    proven = False
+                    break
+                mid = (low + high) // 2
+                calls += 1
+                with trace.span("descent.probe", call=calls,
+                                bound=mid) as probe_span:
+                    verdict = solver.solve([totalizer.bound_literal(mid)])
+                    probe_span.add(verdict=verdict.name)
+                if verdict is SolveResult.SAT:
+                    best_model = solver.model()
+                    high = model_cost(best_model)
+                    best_cost = high
+                    trace.event("descent.improved", cost=best_cost)
+                    improved = True
+                    if ckpt is not None:
+                        ckpt.improved(best_cost, best_model, calls)
+                        harvest_units()
+                    if on_improvement:
+                        on_improvement(best_cost)
+                elif verdict is SolveResult.UNSAT:
+                    low = mid + 1
+                    if ckpt is not None:
+                        ckpt.lower(low, calls)
+                else:
+                    timed_out = probe_timed_out(verdict)
+                    proven = False
+                    break
+            lower = max(lower, low)
+            if proven:
+                lower = best_cost
 
-    return MinimizeResult(
-        feasible=True,
-        cost=best_cost,
-        model=best_model,
-        proven_optimal=proven,
-        solve_calls=calls,
-        strategy=strategy,
-        solver_stats=solver.stats.as_dict(),
-    )
+        return finish(True, best_cost, best_model, proven)
+    finally:
+        solver.config.wall_deadline_s = configured_deadline
 
 
 def _cost_counter(objective_lits: list[int]) -> Callable[[list[int]], int]:
@@ -198,7 +451,10 @@ def _minimize_sum_portfolio(
     members: list[PortfolioMember] | None,
     descent_timeout_s: float | None,
     persistent: bool,
-) -> MinimizeResult:
+    budget: _DescentBudget,
+    ckpt: DescentCheckpoint | None,
+    state: CheckpointState | None,
+) -> DescentResult:
     """Portfolio-routed descent: every solve is a race over diversified
     configurations; the deterministic portfolio keeps the result a pure
     function of the problem (see :mod:`repro.sat.portfolio`).
@@ -291,27 +547,81 @@ def _minimize_sum_portfolio(
             out["service"] = info
         return out
 
+    calls = 0
+    resumed = state is not None
+    improved = False
+    timed_out = False
+    lower = state.lower_bound if state else 0
+
+    def finish(feasible, cost, model, proven):
+        if feasible:
+            status = _descent_status(proven, timed_out, resumed, improved)
+        else:
+            status = STATUS_TIMEOUT if timed_out else STATUS_OPTIMAL
+        if ckpt is not None:
+            ckpt.done(status, cost if feasible else None)
+        return DescentResult(
+            feasible=feasible,
+            cost=cost,
+            model=model or [],
+            proven_optimal=proven,
+            solve_calls=calls,
+            strategy=strategy,
+            solver_stats=dict(merged),
+            portfolio=summary(calls),
+            status=status,
+            lower_bound=lower,
+            resumed=resumed,
+            checkpoint=_checkpoint_summary(ckpt, state),
+        )
+
+    def probe_timed_out(outcome, had_timeout: bool) -> bool:
+        return (
+            getattr(outcome, "timed_out", False)
+            or had_timeout
+            or budget.exhausted()
+        )
+
     try:
-        calls = 1
-        first = race()
-        if first.verdict is not SolveResult.SAT:
-            return MinimizeResult(
-                feasible=False, solve_calls=calls, strategy=strategy,
-                solver_stats=dict(merged), portfolio=summary(calls),
-            )
-        best_model = first.model or []
-        best_cost = model_cost(best_model)
-        trace.event("descent.improved", cost=best_cost)
-        if on_improvement:
-            on_improvement(best_cost)
+        if state is not None and state.best_cost is not None:
+            best_model = list(state.best_model)
+            best_cost = state.best_cost
+            trace.event("descent.restored", cost=best_cost, lower=lower)
+            if on_improvement:
+                on_improvement(best_cost)
+        else:
+            calls += 1
+            if budget.exhausted():
+                timed_out = True
+                return finish(False, 0, [], False)
+            first_budget = budget.probe_budget(None)
+            first = race(timeout_s=first_budget)
+            if first.verdict is not SolveResult.SAT:
+                if first.verdict is SolveResult.UNKNOWN:
+                    timed_out = probe_timed_out(
+                        first, first_budget is not None
+                    )
+                return finish(False, 0, [], False)
+            best_model = first.model or []
+            best_cost = model_cost(best_model)
+            trace.event("descent.improved", cost=best_cost)
+            improved = True
+            if ckpt is not None:
+                ckpt.improved(best_cost, best_model, calls)
+            if on_improvement:
+                on_improvement(best_cost)
         if best_cost == 0 or not objective_lits:
-            return MinimizeResult(
-                feasible=True, cost=best_cost, model=best_model,
-                proven_optimal=True, solve_calls=calls, strategy=strategy,
-                solver_stats=dict(merged), portfolio=summary(calls),
-            )
+            return finish(True, best_cost, best_model, True)
 
         totalizer = Totalizer(cnf, objective_lits)
+        if state is not None and state.units:
+            # Assumption-free consequences from the killed run: adding
+            # them to the CNF warm-starts every member (the service
+            # ships them as part of the next probe's delta).
+            for lit in state.units:
+                cnf.add([lit])
+            trace.event("checkpoint.units_imported",
+                        count=len(state.units))
         # The service ships the totalizer layers as the next probe's
         # delta automatically (it holds ``cnf.clauses`` by reference);
         # the one-shot path re-hoists its snapshot here, once.
@@ -319,36 +629,55 @@ def _minimize_sum_portfolio(
 
         if strategy == "linear":
             proven = False
-            while best_cost > 0:
+            while best_cost > lower:
+                if budget.exhausted():
+                    timed_out = True
+                    break
                 calls += 1
+                probe_budget = budget.probe_budget(descent_timeout_s)
                 probe = race(
                     assumptions=[totalizer.bound_literal(best_cost - 1)],
-                    timeout_s=descent_timeout_s,
+                    timeout_s=probe_budget,
                     bound=best_cost - 1,
                 )
                 if probe.verdict is SolveResult.SAT:
                     best_model = probe.model or []
                     best_cost = model_cost(best_model)
                     trace.event("descent.improved", cost=best_cost)
+                    improved = True
+                    if ckpt is not None:
+                        ckpt.improved(best_cost, best_model, calls)
                     if on_improvement:
                         on_improvement(best_cost)
                 elif probe.verdict is SolveResult.UNSAT:
                     proven = True
+                    lower = best_cost
+                    if ckpt is not None:
+                        ckpt.lower(lower, calls)
                     break
                 else:  # timeout: keep the best-known bound
+                    timed_out = probe_timed_out(
+                        probe, probe_budget is not None
+                    )
                     break
-            if best_cost == 0:
+            if best_cost <= lower:
                 proven = True
+                lower = best_cost
         else:  # binary search on the bound
-            low = 0
+            low = lower
             high = best_cost
             proven = True
             while low < high:
+                if budget.exhausted():
+                    timed_out = True
+                    proven = False
+                    break
                 mid = (low + high) // 2
                 calls += 1
+                probe_budget = budget.probe_budget(descent_timeout_s)
                 probe = race(
                     assumptions=[totalizer.bound_literal(mid)],
-                    timeout_s=descent_timeout_s,
+                    timeout_s=probe_budget,
                     bound=mid,
                 )
                 if probe.verdict is SolveResult.SAT:
@@ -356,24 +685,26 @@ def _minimize_sum_portfolio(
                     high = model_cost(best_model)
                     best_cost = high
                     trace.event("descent.improved", cost=best_cost)
+                    improved = True
+                    if ckpt is not None:
+                        ckpt.improved(best_cost, best_model, calls)
                     if on_improvement:
                         on_improvement(best_cost)
                 elif probe.verdict is SolveResult.UNSAT:
                     low = mid + 1
+                    if ckpt is not None:
+                        ckpt.lower(low, calls)
                 else:
+                    timed_out = probe_timed_out(
+                        probe, probe_budget is not None
+                    )
                     proven = False
                     break
+            lower = max(lower, low)
+            if proven:
+                lower = best_cost
 
-        return MinimizeResult(
-            feasible=True,
-            cost=best_cost,
-            model=best_model,
-            proven_optimal=proven,
-            solve_calls=calls,
-            strategy=strategy,
-            solver_stats=dict(merged),
-            portfolio=summary(calls),
-        )
+        return finish(True, best_cost, best_model, proven)
     finally:
         if service is not None:
             service.close()

@@ -4,10 +4,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The descent ran to a proven conclusion (optimum found, or the hard
+#: constraints were proven infeasible).
+STATUS_OPTIMAL = "optimal"
+#: A model exists but optimality was not certified (budget other than the
+#: wall clock ran out, e.g. a conflict limit).
+STATUS_FEASIBLE = "feasible"
+#: The wall-clock deadline ended the descent; the result is best-so-far.
+STATUS_TIMEOUT = "timeout"
+#: The descent was restored from a checkpoint and ended without either
+#: improving the restored bound or proving anything new.
+STATUS_RESUMED = "resumed"
+
 
 @dataclass
-class MinimizeResult:
-    """Outcome of minimising the number of true literals in an objective.
+class DescentResult:
+    """Anytime outcome of minimising the true literals in an objective.
 
     Attributes:
         feasible: whether the hard constraints are satisfiable at all.
@@ -22,6 +34,17 @@ class MinimizeResult:
         portfolio: summary of the portfolio races when the descent ran with
             ``parallel > 1`` (processes, calls, per-member win counts,
             cumulative wall time); None on the serial path.
+        status: one of :data:`STATUS_OPTIMAL` / :data:`STATUS_FEASIBLE` /
+            :data:`STATUS_TIMEOUT` / :data:`STATUS_RESUMED` — how the
+            descent ended.
+        lower_bound: largest cost proven infeasible-below (0 when nothing
+            was proven); with ``proven_optimal`` it equals ``cost``.
+        upper_bound: cost of the best model found (= ``cost``), or None
+            when no model was found.
+        resumed: the descent restarted from a checkpoint.
+        checkpoint: checkpoint-writer summary (path, writes,
+            write_failures, restored bounds); None when checkpointing was
+            off.
     """
 
     feasible: bool
@@ -32,7 +55,27 @@ class MinimizeResult:
     strategy: str = ""
     solver_stats: dict = field(default_factory=dict)
     portfolio: dict | None = None
+    status: str = ""
+    lower_bound: int = 0
+    upper_bound: int | None = None
+    resumed: bool = False
+    checkpoint: dict | None = None
+
+    def __post_init__(self) -> None:
+        if not self.status:
+            self.status = (
+                STATUS_OPTIMAL if self.proven_optimal or not self.feasible
+                else STATUS_FEASIBLE
+            )
+        if self.upper_bound is None and self.feasible:
+            self.upper_bound = self.cost
+        if self.proven_optimal and self.feasible:
+            self.lower_bound = max(self.lower_bound, self.cost)
 
     def true_set(self) -> set[int]:
         """The model's true variables as a set (for decoding)."""
         return {lit for lit in self.model if lit > 0}
+
+
+#: Backwards-compatible alias: the pre-anytime name of the result type.
+MinimizeResult = DescentResult

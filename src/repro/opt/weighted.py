@@ -16,10 +16,12 @@ heaviest stratum down.
 
 from __future__ import annotations
 
+import time
+
 from repro.logic.cnf import CNF
 from repro.logic.totalizer import Totalizer
 from repro.opt.minimize import minimize_sum
-from repro.opt.result import MinimizeResult
+from repro.opt.result import STATUS_TIMEOUT, MinimizeResult
 
 #: Weights at or below this are handled by plain duplication.
 _DUPLICATION_LIMIT = 16
@@ -31,6 +33,7 @@ def minimize_weighted_sum(
     strategy: str = "linear",
     parallel: int = 1,
     persistent: bool = False,
+    wall_deadline_s: float | None = None,
 ) -> MinimizeResult:
     """Minimise ``Σ weight * [lit is true]``.
 
@@ -39,6 +42,8 @@ def minimize_weighted_sum(
     weighted optimum.  ``parallel`` and ``persistent`` are forwarded to the
     underlying :func:`minimize_sum` descents (portfolio-raced when
     ``parallel > 1``, on the resident solver service when ``persistent``).
+    ``wall_deadline_s`` bounds the whole minimisation; stratified runs give
+    each stratum the remaining budget and propagate a timeout outcome.
     """
     for lit, weight in weighted_lits:
         if weight <= 0 or not isinstance(weight, int):
@@ -53,7 +58,7 @@ def minimize_weighted_sum(
         ]
         result = minimize_sum(
             cnf, duplicated, strategy=strategy, parallel=parallel,
-            persistent=persistent,
+            persistent=persistent, wall_deadline_s=wall_deadline_s,
         )
         return result
 
@@ -70,20 +75,37 @@ def minimize_weighted_sum(
         weight > sum(w * len(strata[w]) for w in ordered if w < weight)
         for weight in ordered
     )
+    deadline = (
+        time.perf_counter() + wall_deadline_s
+        if wall_deadline_s is not None else None
+    )
     total_cost = 0
     last: MinimizeResult | None = None
     calls = 0
     all_optimal = True
+    timed_out = False
     for weight in ordered:
         lits = strata[weight]
+        remaining = None
+        if deadline is not None:
+            remaining = max(deadline - time.perf_counter(), 0.0)
+            if remaining <= 0 and last is not None:
+                # Budget spent between strata: freeze what we have.
+                timed_out = True
+                break
         result = minimize_sum(
             cnf, lits, strategy=strategy, parallel=parallel,
-            persistent=persistent,
+            persistent=persistent, wall_deadline_s=remaining,
         )
         calls += result.solve_calls
+        timed_out = timed_out or result.status == STATUS_TIMEOUT
         if not result.feasible:
+            # A timed-out first solve leaves feasibility open — propagate
+            # the timeout status instead of claiming proven infeasibility.
             return MinimizeResult(
-                feasible=False, solve_calls=calls, strategy="stratified"
+                feasible=False, solve_calls=calls, strategy="stratified",
+                status=(STATUS_TIMEOUT if result.status == STATUS_TIMEOUT
+                        else ""),
             )
         all_optimal = all_optimal and result.proven_optimal
         total_cost += weight * result.cost
@@ -92,11 +114,13 @@ def minimize_weighted_sum(
             totalizer.assert_at_most(result.cost)
         last = result
     assert last is not None
+    proven = bmo and all_optimal and not timed_out
     return MinimizeResult(
         feasible=True,
         cost=total_cost,
         model=last.model,
-        proven_optimal=bmo and all_optimal,
+        proven_optimal=proven,
         solve_calls=calls,
         strategy="stratified",
+        status=STATUS_TIMEOUT if timed_out else "",
     )

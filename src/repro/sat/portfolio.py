@@ -45,6 +45,7 @@ from repro.sat.simplify import simplify_clauses
 from repro.sat.solver import Solver
 from repro.sat.proof import ProofLogger
 from repro.sat.types import SolveResult, SolverConfig
+from repro.testing import faults
 
 #: Poll interval while waiting for worker results (seconds).
 _POLL_S = 0.02
@@ -231,6 +232,22 @@ def member_config_dict(member: PortfolioMember) -> dict:
     return dataclasses.asdict(member.config)
 
 
+def _member_config(
+    member: PortfolioMember, timeout_s: float | None
+) -> SolverConfig:
+    """The member's config with the race budget folded into its deadline.
+
+    The solver-level wall deadline is what makes the *serial* degradation
+    and worker searches honor ``timeout_s`` cooperatively instead of
+    relying on the parent to terminate them.
+    """
+    if timeout_s is None:
+        return member.config
+    own = member.config.wall_deadline_s
+    effective = timeout_s if own is None else min(own, timeout_s)
+    return dataclasses.replace(member.config, wall_deadline_s=effective)
+
+
 def _run_member(
     member: PortfolioMember,
     num_vars: int,
@@ -238,6 +255,7 @@ def _run_member(
     assumptions: tuple[int, ...],
     with_proof: bool,
     child_trace: bool = False,
+    timeout_s: float | None = None,
 ) -> dict:
     """Solve one member in the current process; returns a plain dict.
 
@@ -251,7 +269,7 @@ def _run_member(
     start = time.perf_counter()
     with trace.span("portfolio.member", member=member.name) as span:
         factory = member.solver_factory or Solver
-        solver = factory(member.config)
+        solver = factory(_member_config(member, timeout_s))
         logger = None
         if with_proof:
             logger = ProofLogger()
@@ -285,7 +303,7 @@ def _run_member(
 
 
 def _worker(index, member, num_vars, clauses, assumptions, with_proof, out,
-            reported=None):
+            reported=None, timeout_s=None):
     """Process entry point: solve and ship the outcome (or the error).
 
     ``reported`` (an Event) is set immediately before the message is
@@ -294,8 +312,10 @@ def _worker(index, member, num_vars, clauses, assumptions, with_proof, out,
     the winner's answer against this worker's queue flush.
     """
     try:
+        faults.on_worker_start(member.name)
         outcome = _run_member(member, num_vars, clauses, assumptions,
-                              with_proof, child_trace=True)
+                              with_proof, child_trace=True,
+                              timeout_s=timeout_s)
         outcome["index"] = index
         if reported is not None:
             reported.set()
@@ -383,18 +403,20 @@ def _win_margin(
 
 
 def _serial_result(member, num_vars, clauses, assumptions, with_proof,
-                   start, processes, *, fallback):
+                   start, processes, *, fallback, timeout_s=None):
     """Solve in-process with one member and wrap it as a portfolio answer."""
     outcome = _run_member(member, num_vars, clauses, tuple(assumptions),
-                          with_proof)
+                          with_proof, timeout_s=timeout_s)
     verdict = SolveResult(outcome["verdict"])
     report = WorkerReport(
         name=member.name, verdict=outcome["verdict"], finished=True,
         solve_time_s=outcome["time"], stats=outcome["stats"],
         config=member_config_dict(member),
     )
+    unknown = verdict is SolveResult.UNKNOWN
     stats = PortfolioStats(
-        winner=0, winner_name=member.name, verdict=verdict,
+        winner=None if unknown else 0,
+        winner_name="" if unknown else member.name, verdict=verdict,
         wall_time_s=time.perf_counter() - start, processes=processes,
         serial_fallback=fallback, workers=[report],
     )
@@ -449,8 +471,11 @@ def solve_portfolio(
     members = list(members[: max(processes, 1)])
 
     if processes <= 1 or len(members) == 1 or not fork_available():
+        # The serial degradation honors timeout_s cooperatively through
+        # the solver's own wall deadline (nobody can terminate us here).
         return _serial_result(members[0], num_vars, clauses, assumptions,
-                              with_proof, start, processes, fallback=False)
+                              with_proof, start, processes, fallback=False,
+                              timeout_s=timeout_s)
 
     ctx = multiprocessing.get_context("fork")
     out: multiprocessing.Queue = ctx.Queue()
@@ -459,7 +484,7 @@ def solve_portfolio(
         ctx.Process(
             target=_worker,
             args=(i, members[i], num_vars, clauses, tuple(assumptions),
-                  with_proof, out, flags[i]),
+                  with_proof, out, flags[i], timeout_s),
             daemon=True,
         )
         for i in range(len(members))
@@ -575,7 +600,15 @@ def solve_portfolio(
             )
 
     if winner_index is None:
-        if timed_out:
+        cooperative_unknown = any(
+            msg["verdict"] == SolveResult.UNKNOWN.value
+            for msg in outcomes.values()
+        )
+        if timed_out or cooperative_unknown:
+            # Parent-side deadline, or every finisher gave up on its own
+            # (worker-side wall deadline / conflict budget).  Re-solving
+            # in-process here would ignore the budget entirely, so the
+            # honest answer is UNKNOWN.
             stats = PortfolioStats(
                 winner=None, winner_name="", verdict=SolveResult.UNKNOWN,
                 wall_time_s=time.perf_counter() - start,

@@ -63,6 +63,7 @@ from repro.sat.portfolio import (
 )
 from repro.sat.solver import Solver
 from repro.sat.types import SolveResult
+from repro.testing import faults
 
 #: Poll interval while waiting for worker replies (seconds).
 _POLL_S = 0.05
@@ -132,6 +133,7 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
     if child_trace:
         trace.install(trace.fork_child(tid=f"service:{member.name}"))
     try:
+        faults.on_worker_start(member.name)
         factory = member.solver_factory or Solver
         solver = factory(member.config)
         solver.ensure_var(max(num_vars, 1))
@@ -161,14 +163,19 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
             return
         if msg[0] == "quit":
             return
-        __, probe_id, assumptions, delta, imports, share_spec = msg
+        __, probe_id, assumptions, delta, imports, share_spec, timeout_s = msg
         start = time.perf_counter()
         reply: dict = {"index": index, "probe": probe_id}
         try:
+            faults.on_probe(member.name, probe_id)
             before = solver.stats.snapshot()
             for clause in delta:
                 solver.add_clause(clause)
             imported = solver.import_clauses(imports)
+            # The parent ships the probe's *remaining* wall budget; the
+            # solver then gives up cooperatively even on searches that
+            # never conflict (where the cancel hook below cannot fire).
+            solver.config.wall_deadline_s = timeout_s
             solver.on_progress(check_cancel, _CANCEL_CHECK_CONFLICTS)
             cancelled = False
             with trace.span("service.probe", member=member.name,
@@ -239,6 +246,7 @@ class SolverService:
         processes: int | None = None,
         deterministic: bool = True,
         share: ShareConfig | None = None,
+        cancel_grace_s: float | None = None,
     ):
         if processes is None:
             processes = len(members) if members else 2
@@ -251,6 +259,9 @@ class SolverService:
         self._clauses = clauses
         self._deterministic = deterministic
         self._share = share or ShareConfig()
+        self._cancel_grace_s = (
+            cancel_grace_s if cancel_grace_s is not None else _CANCEL_GRACE_S
+        )
         self.metrics = MetricsRegistry()
         self.reports = [
             WorkerReport(name=m.name, config=member_config_dict(m))
@@ -399,7 +410,7 @@ class SolverService:
             try:
                 self._conns[i].send(
                     ("probe", probe_id, tuple(assumptions), delta,
-                     imports, share_spec)
+                     imports, share_spec, timeout_s)
                 )
                 sent.add(i)
             except (BrokenPipeError, OSError):
@@ -421,8 +432,18 @@ class SolverService:
         )
         if outcome.winner_name:
             met.inc(f"service.wins.{outcome.winner_name}")
+        if (
+            timeout_s is not None
+            and outcome.verdict is SolveResult.UNKNOWN
+            and not outcome.timed_out
+        ):
+            # Workers hit their own wall deadline before the parent's
+            # cancel fired: same meaning, same flag.
+            outcome.timed_out = True
         if outcome.timed_out:
             met.inc("service.probe_timeouts")
+            trace.event("deadline.probe_timeout", probe=probe_id,
+                        budget_s=timeout_s)
         return outcome
 
     # -- internals -----------------------------------------------------
@@ -465,7 +486,7 @@ class SolverService:
                     cancelled.add(i)
                     requested = True
             if requested:
-                grace_deadline = time.perf_counter() + _CANCEL_GRACE_S
+                grace_deadline = time.perf_counter() + self._cancel_grace_s
 
         def handle_reply(i, msg) -> None:
             nonlocal winner, sat_candidate

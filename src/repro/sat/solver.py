@@ -87,6 +87,7 @@ class Solver:
         self._order_heap: list[tuple[float, int]] = []
 
         self._ok = True  # False once an unconditional contradiction is found
+        self._solve_started = 0.0  # perf_counter at the last solve() entry
         self._model: list[int] | None = None
         self._conflict_core: list[int] = []
         self._n_assumptions = 0
@@ -203,11 +204,13 @@ class Solver:
         """Solve the current formula under the given assumption literals.
 
         Returns :data:`SolveResult.SAT`, :data:`SolveResult.UNSAT`, or
-        :data:`SolveResult.UNKNOWN` (only when a conflict limit is configured
-        and exhausted).  After SAT, :meth:`model_value` reads the model; after
-        UNSAT under assumptions, :meth:`unsat_core` lists the failed subset.
+        :data:`SolveResult.UNKNOWN` (only when a configured conflict limit
+        or wall deadline is exhausted).  After SAT, :meth:`model_value` reads
+        the model; after UNSAT under assumptions, :meth:`unsat_core` lists
+        the failed subset.
         """
         start = time.perf_counter()
+        self._solve_started = start
         before = self.stats.snapshot()
         self.stats.solve_calls += 1
         self._model = None
@@ -713,6 +716,14 @@ class Solver:
         restart_limit = luby_gen.next_limit() if config.use_restarts else None
         conflicts_since_restart = 0
         total_conflict_budget = config.conflict_limit
+        deadline_at: float | None = None
+        if config.wall_deadline_s is not None:
+            deadline_at = self._solve_started + config.wall_deadline_s
+            if time.perf_counter() >= deadline_at:
+                self.stats.deadline_hits += 1
+                return SolveResult.UNKNOWN
+        deadline_interval = max(1, config.deadline_check_interval)
+        events_since_check = 0
         max_learned = max(
             config.learned_clause_min_limit,
             int(len(self._clauses) * config.learned_clause_limit_factor),
@@ -728,6 +739,13 @@ class Solver:
                     and self.stats.conflicts % self._progress_interval == 0
                 ):
                     self._progress_cb(self.progress_snapshot())
+                if deadline_at is not None:
+                    events_since_check += 1
+                    if events_since_check >= deadline_interval:
+                        events_since_check = 0
+                        if time.perf_counter() >= deadline_at:
+                            self.stats.deadline_hits += 1
+                            return SolveResult.UNKNOWN
                 if self._decision_level() == 0:
                     self._ok = False
                     if self._proof is not None:
@@ -805,6 +823,15 @@ class Solver:
                 # All variables assigned: model found.
                 self._model = list(self._assigns)
                 return SolveResult.SAT
+            if deadline_at is not None:
+                # Decisions count too: conflict-free searches (huge easy
+                # instances) must still notice an expired deadline.
+                events_since_check += 1
+                if events_since_check >= deadline_interval:
+                    events_since_check = 0
+                    if time.perf_counter() >= deadline_at:
+                        self.stats.deadline_hits += 1
+                        return SolveResult.UNKNOWN
             self.stats.decisions += 1
             phase = (
                 self._saved_phase[var]

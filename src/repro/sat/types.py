@@ -45,6 +45,7 @@ _ADDITIVE_FIELDS = (
     "minimized_literals",
     "solve_calls",
     "solve_time",
+    "deadline_hits",
 )
 
 #: High-water-mark fields (deltas report the current value).
@@ -75,6 +76,8 @@ class SolverStats:
     max_decision_level: int = 0
     solve_calls: int = 0
     solve_time: float = 0.0
+    #: Solve calls that ended early because ``wall_deadline_s`` expired.
+    deadline_hits: int = 0
     #: Conflicts between consecutive restarts (appended at each restart).
     restart_conflict_deltas: list[int] = field(default_factory=list)
 
@@ -95,6 +98,7 @@ class SolverStats:
             "max_decision_level": self.max_decision_level,
             "solve_calls": self.solve_calls,
             "solve_time": self.solve_time,
+            "deadline_hits": self.deadline_hits,
         }
 
     def snapshot(self) -> "SolverStats":
@@ -152,4 +156,12 @@ class SolverConfig:
     random_seed: int = 91648253
     random_var_freq: float = 0.0
     conflict_limit: int | None = None
+    #: Wall-clock budget of one :meth:`Solver.solve` call; the search
+    #: returns :data:`SolveResult.UNKNOWN` once it expires.  None = no
+    #: deadline.  Re-read at every solve, so it can be retuned between
+    #: incremental calls (the descent layers set the *remaining* budget).
+    wall_deadline_s: float | None = None
+    #: Conflicts/decisions between wall-clock checks; the check costs one
+    #: ``perf_counter`` call per interval, invisible in the solve profile.
+    deadline_check_interval: int = 256
     extra_checks: bool = field(default=False, repr=False)

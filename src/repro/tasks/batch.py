@@ -15,6 +15,16 @@ over a process pool with
   platform without ``fork`` runs the jobs serially in-process, with
   identical results.
 
+Worker death is survivable in three escalating steps: jobs lost to a broken
+pool are first **retried** in fresh single-worker pools (bounded attempts
+with exponential backoff), then **recovered** serially in the parent; a
+``manifest_path`` additionally persists every finished job to a JSONL
+manifest so a *killed batch* can be re-run and skip its completed jobs.
+``job_timeout_s`` bounds each job with a SIGALRM-based wall clock.  All
+recovery activity is counted in ``BatchReport.metrics``
+(``batch.pool_broken``, ``retry.attempts``, ``batch.serial_recoveries``,
+``batch.job_timeouts``, …).
+
 Job functions must be importable (module-level) callables when running with
 processes — the pool ships them by pickling.  The serial path has no such
 restriction.
@@ -26,15 +36,23 @@ table1 --jobs N`` executes.
 
 from __future__ import annotations
 
+import importlib
+import json
+import signal
+import threading
 import time
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Callable
 
 from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.sat.portfolio import default_processes, fork_available
+from repro.testing import faults
 
 
 @dataclass(frozen=True)
@@ -72,12 +90,31 @@ class BatchJobResult:
 
 @dataclass
 class BatchReport:
-    """Outcome of a whole batch."""
+    """Outcome of a whole batch.
+
+    ``serial`` records the *scheduling decision* (the batch ran serially
+    in-process from the start); the recovery story after a worker death
+    is split out into ``retried_jobs`` (re-run in fresh single-worker
+    pools) and ``recovered_jobs`` (re-run serially in the parent after
+    retries were exhausted).  ``resumed_jobs`` were restored from the
+    manifest without running at all.
+    """
 
     results: list[BatchJobResult]
     wall_time_s: float
     processes: int
-    serial_fallback: bool
+    serial: bool
+    recovered_jobs: list[str] = field(default_factory=list)
+    retried_jobs: list[str] = field(default_factory=list)
+    resumed_jobs: list[str] = field(default_factory=list)
+    pool_error: str = ""
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def serial_fallback(self) -> bool:
+        """Deprecated alias for ``serial`` (the initial scheduling
+        decision) — pre-dates the ``recovered_jobs`` split."""
+        return self.serial
 
     @property
     def ok(self) -> bool:
@@ -109,25 +146,75 @@ def job_seed(batch_seed: int, index: int, name: str) -> int:
     return zlib.crc32(f"{batch_seed}:{index}:{name}".encode()) & 0x7FFFFFFF
 
 
+class BatchJobTimeout(Exception):
+    """A job exceeded ``job_timeout_s`` (raised inside the job via SIGALRM)."""
+
+
+@contextmanager
+def _job_alarm(timeout_s: float | None):
+    """Interrupt the enclosed block after ``timeout_s`` via SIGALRM.
+
+    Only armed on the main thread of a POSIX process (SIGALRM cannot be
+    delivered to other threads, and Windows has no itimers); elsewhere
+    the block runs unbounded.  An outer itimer (e.g. a test-suite
+    timeout) is saved and re-armed with its remaining time on exit.
+    """
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise BatchJobTimeout(f"job exceeded {timeout_s:.3g}s")
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    outer_remaining, __ = signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    start = time.monotonic()
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if outer_remaining > 0:
+            # Re-arm the enclosing timer with whatever it had left.
+            remaining = outer_remaining - (time.monotonic() - start)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 0.001))
+
+
 def _execute(
-    job: BatchJob, index: int, seed: int, child_trace: bool = False
+    job: BatchJob,
+    index: int,
+    seed: int,
+    child_trace: bool = False,
+    timeout_s: float | None = None,
+    attempt: int = 0,
 ) -> BatchJobResult:
     """Run one job in the current process, capturing any exception.
 
     With ``child_trace`` (the process-pool path) the job runs under a fresh
     per-worker tracer whose spans are shipped back in the result; the
     fork-inherited parent tracer tells the worker whether tracing is on.
+    Fault-injection hooks fire only on the pool path, so the parent's
+    serial recovery always survives an injected worker kill.
     """
     start = time.perf_counter()
+    in_pool = child_trace
     child_trace = child_trace and trace.enabled()
     if child_trace:
         trace.install(trace.fork_child(tid=f"batch:{job.name}"))
+    if in_pool:
+        faults.on_batch_job(job.name, attempt)
     kwargs = dict(job.kwargs)
     if job.seed_kwarg is not None:
         kwargs[job.seed_kwarg] = seed
     try:
-        with trace.span("batch.job", job=job.name, seed=seed):
-            value = job.func(*job.args, **kwargs)
+        with _job_alarm(timeout_s):
+            with trace.span("batch.job", job=job.name, seed=seed):
+                value = job.func(*job.args, **kwargs)
     except Exception as exc:  # captured, reported, never re-raised
         return BatchJobResult(
             name=job.name, index=index, ok=False,
@@ -142,10 +229,125 @@ def _execute(
     )
 
 
+def _restore_value(value_type: str, payload):
+    """Rebuild a manifest value recorded through a ``to_manifest`` codec.
+
+    ``value_type`` is ``"module:QualName"`` of the original class; its
+    ``from_manifest`` classmethod gets the JSON payload back.  Plain
+    JSON values (empty ``value_type``) pass through untouched.
+    """
+    if not value_type:
+        return payload
+    module_name, _, qualname = value_type.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj.from_manifest(payload)
+
+
+class BatchManifest:
+    """JSONL record of finished jobs, for resuming a killed batch.
+
+    Each line is one finished job keyed by ``(index, name, seed)`` — the
+    key includes the seed so a manifest written under a different batch
+    seed (or job order) never leaks stale results into a resume.  A
+    successful job is *restored* when its value is JSON-representable or
+    its value's class offers a ``to_manifest()`` / ``from_manifest()``
+    JSON codec (:class:`repro.tasks.result.TaskResult` does, minus the
+    decoded solution); everything else is recorded for the log but
+    re-runs.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+        self._disabled = False
+
+    def load(self) -> dict[tuple[int, str, int], dict]:
+        """Previously recorded jobs, keyed by (index, name, seed)."""
+        entries: dict[tuple[int, str, int], dict] = {}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn trailing line from a kill
+                    key = (
+                        record.get("index"),
+                        record.get("name"),
+                        record.get("seed"),
+                    )
+                    entries[key] = record
+        except FileNotFoundError:
+            pass
+        return entries
+
+    def open(self) -> None:
+        try:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            self._disabled = True
+            trace.event("manifest.open_failed", path=self.path,
+                        error=str(exc))
+
+    def record(self, result: BatchJobResult) -> None:
+        """Append one finished job; flushed so a kill loses at most it."""
+        if self._disabled or self._handle is None:
+            return
+        value, restorable, value_type = None, False, ""
+        if result.ok:
+            payload = result.value
+            to_manifest = getattr(payload, "to_manifest", None)
+            if callable(to_manifest):
+                try:
+                    payload = to_manifest()
+                    value_type = (
+                        f"{type(result.value).__module__}:"
+                        f"{type(result.value).__qualname__}"
+                    )
+                except Exception:
+                    payload, value_type = result.value, ""
+            try:
+                value = json.loads(json.dumps(payload))
+                restorable = True
+            except (TypeError, ValueError):
+                value_type = ""  # non-JSON value: logged but re-run
+        record = {
+            "index": result.index, "name": result.name,
+            "seed": result.seed, "ok": result.ok,
+            "error": result.error, "runtime_s": result.runtime_s,
+            "restorable": restorable, "value": value,
+            "value_type": value_type,
+        }
+        try:
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+        except OSError as exc:
+            self._disabled = True
+            trace.event("manifest.write_failed", path=self.path,
+                        error=str(exc))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
 def run_batch(
     jobs: list[BatchJob],
     processes: int | None = None,
     seed: int = 0,
+    job_timeout_s: float | None = None,
+    max_retries: int = 1,
+    retry_backoff_s: float = 0.05,
+    manifest_path: str | None = None,
 ) -> BatchReport:
     """Run ``jobs`` concurrently over a process pool.
 
@@ -155,33 +357,92 @@ def run_batch(
     requirement on the job functions).
 
     A worker process that dies abruptly (beyond a captured Python
-    exception) does not sink the batch: its pending jobs are re-executed
-    serially in the parent.
+    exception) does not sink the batch: its jobs are retried up to
+    ``max_retries`` times in fresh single-worker pools (exponential
+    backoff starting at ``retry_backoff_s``), and whatever still has no
+    result is recovered serially in the parent.  ``job_timeout_s``
+    bounds each job's wall clock (the job fails with
+    :class:`BatchJobTimeout` instead of hanging the batch).
+    ``manifest_path`` appends every finished job to a JSONL manifest and
+    — when the file already exists — restores completed jobs from it
+    instead of re-running them.
     """
     start = time.perf_counter()
+    met = MetricsRegistry()
     if processes is None:
         processes = default_processes()
     seeds = [job_seed(seed, i, job.name) for i, job in enumerate(jobs)]
 
-    serial = processes <= 1 or len(jobs) <= 1 or not fork_available()
     results: list[BatchJobResult | None] = [None] * len(jobs)
+    recovered: list[str] = []
+    retried: list[str] = []
+    resumed: list[str] = []
+    pool_error = ""
+
+    manifest = BatchManifest(manifest_path) if manifest_path else None
+    if manifest is not None:
+        previous = manifest.load()
+        for i, job in enumerate(jobs):
+            record = previous.get((i, job.name, seeds[i]))
+            if record is None:
+                continue
+            if record.get("ok") and record.get("restorable"):
+                try:
+                    value = _restore_value(
+                        record.get("value_type", ""), record.get("value")
+                    )
+                except Exception as exc:
+                    trace.event("manifest.restore_failed", job=job.name,
+                                error=f"{type(exc).__name__}: {exc}")
+                    met.inc("batch.manifest_skipped")
+                    continue
+                results[i] = BatchJobResult(
+                    name=job.name, index=i, ok=True, value=value,
+                    runtime_s=record.get("runtime_s", 0.0),
+                    seed=seeds[i],
+                )
+                resumed.append(job.name)
+                met.inc("batch.manifest_restored")
+            else:
+                met.inc("batch.manifest_skipped")
+        manifest.open()
+
+    todo = [i for i in range(len(jobs)) if results[i] is None]
+    serial = processes <= 1 or len(jobs) <= 1 or not fork_available()
+
+    def note_pool_error(exc: BaseException) -> None:
+        nonlocal pool_error
+        message = f"{type(exc).__name__}: {exc}"
+        if not pool_error:
+            pool_error = message
+        met.inc("batch.pool_broken")
+        trace.event("batch.pool_broken", error=message)
+
+    def finish(result: BatchJobResult) -> None:
+        results[result.index] = result
+        if not result.ok and result.error.startswith("BatchJobTimeout"):
+            met.inc("batch.job_timeouts")
+        if manifest is not None:
+            manifest.record(result)
+
     with trace.span(
         "batch", jobs=len(jobs), processes=processes, serial=serial
     ):
         if serial:
-            for i, job in enumerate(jobs):
-                results[i] = _execute(job, i, seeds[i])
-        else:
-            pending: dict = {}
+            for i in todo:
+                finish(_execute(jobs[i], i, seeds[i],
+                                timeout_s=job_timeout_s))
+        elif todo:
             try:
                 with ProcessPoolExecutor(
                     max_workers=processes, mp_context=get_context("fork")
                 ) as pool:
                     pending = {
                         pool.submit(
-                            _execute, job, i, seeds[i], True
+                            _execute, jobs[i], i, seeds[i], True,
+                            job_timeout_s,
                         ): i
-                        for i, job in enumerate(jobs)
+                        for i in todo
                     }
                     not_done = set(pending)
                     while not_done:
@@ -189,26 +450,89 @@ def run_batch(
                             not_done, return_when=FIRST_COMPLETED
                         )
                         for future in done:
-                            i = pending[future]
                             exc = future.exception()
                             if exc is None:
-                                results[i] = future.result()
-                            # else: pool breakage — fallback below
-            except Exception:
-                pass  # BrokenProcessPool and friends: recovery below
-            for i, job in enumerate(jobs):
+                                result = future.result()
+                                trace.merge(result.spans)
+                                finish(result)
+                            elif isinstance(exc, KeyboardInterrupt):
+                                raise exc
+                            elif isinstance(exc, (BrokenProcessPool,
+                                                  OSError)):
+                                # The worker died without reporting;
+                                # leave the slot for the retry phase.
+                                note_pool_error(exc)
+                            else:
+                                raise exc
+            except KeyboardInterrupt:
+                raise
+            except (BrokenProcessPool, OSError) as exc:
+                note_pool_error(exc)
+
+            # Retry phase: fresh single-worker pools, bounded attempts,
+            # exponential backoff — a crash loop cannot spin forever.
+            for attempt in range(1, max_retries + 1):
+                remaining = [i for i in todo if results[i] is None]
+                if not remaining:
+                    break
+                time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+                met.observe("retry.backoff_s",
+                            retry_backoff_s * (2 ** (attempt - 1)))
+                for i in remaining:
+                    met.inc("retry.attempts")
+                    if jobs[i].name not in retried:
+                        retried.append(jobs[i].name)
+                    try:
+                        with ProcessPoolExecutor(
+                            max_workers=1, mp_context=get_context("fork")
+                        ) as pool:
+                            future = pool.submit(
+                                _execute, jobs[i], i, seeds[i], True,
+                                job_timeout_s, attempt,
+                            )
+                            exc = future.exception()
+                            if exc is None:
+                                result = future.result()
+                                trace.merge(result.spans)
+                                finish(result)
+                            elif isinstance(exc, KeyboardInterrupt):
+                                raise exc
+                            elif isinstance(exc, (BrokenProcessPool,
+                                                  OSError)):
+                                met.inc("retry.worker_deaths")
+                                note_pool_error(exc)
+                            else:
+                                raise exc
+                    except KeyboardInterrupt:
+                        raise
+                    except (BrokenProcessPool, OSError) as exc:
+                        met.inc("retry.worker_deaths")
+                        note_pool_error(exc)
+
+            # Last resort: run what is still missing serially in the
+            # parent (no fault hooks fire here, so injected kills
+            # cannot reach this path).
+            for i in todo:
                 if results[i] is None:
-                    # The worker (or the whole pool) died before
-                    # reporting: recover serially in the parent.
-                    results[i] = _execute(job, i, seeds[i])
-                else:
-                    trace.merge(results[i].spans)
+                    finish(_execute(jobs[i], i, seeds[i],
+                                    timeout_s=job_timeout_s))
+                    recovered.append(jobs[i].name)
+                    met.inc("batch.serial_recoveries")
+                    trace.event("batch.serial_recovery", job=jobs[i].name)
+
+    if manifest is not None:
+        manifest.close()
 
     return BatchReport(
         results=[result for result in results if result is not None],
         wall_time_s=time.perf_counter() - start,
         processes=processes,
-        serial_fallback=serial,
+        serial=serial,
+        recovered_jobs=recovered,
+        retried_jobs=retried,
+        resumed_jobs=resumed,
+        pool_error=pool_error,
+        metrics=met.as_dict(),
     )
 
 
@@ -286,6 +610,13 @@ def run_table1(
     skip_slow: bool = False,
     processes: int | None = None,
     parallel: int = 1,
+    job_timeout_s: float | None = None,
+    manifest_path: str | None = None,
 ) -> BatchReport:
     """Regenerate Table I as a batch: one job per row, ``processes`` wide."""
-    return run_batch(table1_jobs(skip_slow, parallel), processes=processes)
+    return run_batch(
+        table1_jobs(skip_slow, parallel),
+        processes=processes,
+        job_timeout_s=job_timeout_s,
+        manifest_path=manifest_path,
+    )

@@ -8,6 +8,7 @@ from repro.encoding.validate import validate_solution
 from repro.network.discretize import DiscreteNetwork
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
+from repro.opt.result import STATUS_TIMEOUT
 from repro.sat.solver import Solver
 from repro.trains.schedule import Schedule
 
@@ -63,6 +64,22 @@ def record_descent(reg: MetricsRegistry, result) -> None:
     """Absorb a :class:`MinimizeResult`'s counters and race summary."""
     reg.absorb_solver_stats(result.solver_stats)
     reg.inc("descent.solve_calls", result.solve_calls)
+    status = getattr(result, "status", "")
+    if status:
+        reg.inc(f"descent.status.{status}")
+        if status == STATUS_TIMEOUT:
+            reg.inc("deadline.descent_timeouts")
+    if getattr(result, "resumed", False):
+        reg.inc("checkpoint.resumes")
+    checkpoint = getattr(result, "checkpoint", None)
+    if checkpoint:
+        reg.inc("checkpoint.writes", checkpoint.get("writes", 0))
+        failures = checkpoint.get("write_failures", 0)
+        if failures:
+            reg.inc("checkpoint.write_failures", failures)
+    deadline_hits = result.solver_stats.get("deadline_hits", 0)
+    if deadline_hits:
+        reg.inc("deadline.solver_hits", deadline_hits)
     if result.portfolio:
         reg.set("portfolio.processes", result.portfolio.get("processes", 0))
         reg.inc("portfolio.races", result.portfolio.get("calls", 0))

@@ -36,6 +36,9 @@ def generate_layout(
     border_costs: dict[int, int] | None = None,
     parallel: int = 1,
     persistent: bool = True,
+    timeout_s: float | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -54,6 +57,14 @@ def generate_layout(
     incremental solver service (:mod:`repro.sat.service`), which keeps
     learned clauses across probes and ships only clause deltas; it falls
     back to the one-shot portfolio automatically when unavailable.
+
+    ``timeout_s`` bounds the descent's wall clock: on expiry the task
+    returns the best layout found so far (``status="timeout"`` with the
+    proven ``lower_bound``/``upper_bound``) instead of raising.
+    ``checkpoint_path`` persists the descent's proven facts to a JSONL
+    file as they are found, and ``resume=True`` continues a previously
+    killed run from that file (linear/binary strategies without
+    ``border_costs``; see :mod:`repro.opt.checkpoint`).
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -76,13 +87,18 @@ def generate_layout(
                     encoding.cnf, weighted,
                     strategy=strategy if strategy != "core" else "linear",
                     parallel=parallel, persistent=persistent,
+                    wall_deadline_s=timeout_s,
                 )
             elif strategy == "core":
-                result = minimize_sum_core_guided(encoding.cnf, objective)
+                result = minimize_sum_core_guided(
+                    encoding.cnf, objective, wall_deadline_s=timeout_s
+                )
             else:
                 result = minimize_sum(
                     encoding.cnf, objective, strategy=strategy,
                     parallel=parallel, persistent=persistent,
+                    wall_deadline_s=timeout_s,
+                    checkpoint_path=checkpoint_path, resume=resume,
                 )
         record_descent(reg, result)
 
@@ -111,4 +127,8 @@ def generate_layout(
         solver_stats=result.solver_stats,
         portfolio=result.portfolio,
         metrics=reg.as_dict(),
+        status=result.status,
+        lower_bound=result.lower_bound,
+        upper_bound=result.upper_bound,
+        resumed=result.resumed,
     )

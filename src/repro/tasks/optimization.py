@@ -18,6 +18,7 @@ from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.opt.maxsat import minimize_sum_core_guided
 from repro.opt.minimize import minimize_sum
+from repro.opt.result import STATUS_TIMEOUT
 from repro.tasks.common import (
     build_encoding,
     checked_decode,
@@ -39,6 +40,9 @@ def optimize_schedule(
     refine_arrivals: bool = False,
     parallel: int = 1,
     persistent: bool = True,
+    timeout_s: float | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -66,10 +70,28 @@ def optimize_schedule(
     incremental solver service (:mod:`repro.sat.service`) — one session
     per descent pass — falling back to the one-shot portfolio when
     unavailable.
+
+    ``timeout_s`` bounds the *whole* task: the primary descent gets the
+    remaining wall budget, each later pass gets what is left after the
+    ones before it, and passes whose budget is already spent are skipped
+    (counted as ``deadline.pass_skipped``).  On expiry the task returns
+    the best schedule found so far with ``status="timeout"``.
+    ``checkpoint_path``/``resume`` checkpoint the *primary* descent only
+    (the refinement and secondary passes optimise different objectives
+    and always re-run).
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
     start = time.perf_counter()
+    deadline = (
+        time.perf_counter() + timeout_s if timeout_s is not None else None
+    )
+
+    def remaining() -> float | None:
+        if deadline is None:
+            return None
+        return max(deadline - time.perf_counter(), 0.0)
+
     reg = MetricsRegistry()
     with trace.span(
         "optimize", objective=objective, strategy=strategy, parallel=parallel
@@ -86,19 +108,41 @@ def optimize_schedule(
         with trace.span("solve", phase="primary"):
             if strategy == "core":
                 result = minimize_sum_core_guided(
-                    encoding.cnf, objective_lits
+                    encoding.cnf, objective_lits,
+                    wall_deadline_s=remaining(),
                 )
             else:
                 result = minimize_sum(
                     encoding.cnf, objective_lits, strategy=strategy,
                     parallel=parallel, persistent=persistent,
+                    wall_deadline_s=remaining(),
+                    checkpoint_path=checkpoint_path, resume=resume,
                 )
         record_descent(reg, result)
         solve_calls = result.solve_calls
         portfolio_summary = result.portfolio
         stats_total = dict(result.solver_stats)
+        timed_out = result.status == STATUS_TIMEOUT
+        was_resumed = result.resumed
 
-        if result.feasible and refine_arrivals and objective == "makespan":
+        def pass_budget(phase: str) -> tuple[float | None, bool]:
+            """Remaining budget for a follow-up pass, or (0, True) to
+            skip it because the deadline is already spent."""
+            budget = remaining()
+            if budget is not None and budget <= 0:
+                reg.inc("deadline.pass_skipped")
+                trace.event("deadline.pass_skipped", phase=phase)
+                return budget, True
+            return budget, False
+
+        refine = (
+            result.feasible and refine_arrivals and objective == "makespan"
+        )
+        if refine:
+            budget, skipped = pass_budget("refine-arrivals")
+            refine = not skipped
+            timed_out = timed_out or skipped
+        if refine:
             # Freeze the makespan, then minimise summed arrivals among
             # optima.
             if result.cost < len(objective_lits):
@@ -109,10 +153,12 @@ def optimize_schedule(
                 refined = minimize_sum(
                     encoding.cnf, arrival_lits, strategy=strategy,
                     parallel=parallel, persistent=persistent,
+                    wall_deadline_s=budget,
                 )
             record_descent(reg, refined)
             _merge_counts(stats_total, refined.solver_stats)
             solve_calls += refined.solve_calls
+            timed_out = timed_out or refined.status == STATUS_TIMEOUT
             if refined.feasible:
                 # Freeze the arrival optimum so that a subsequent border
                 # pass cannot trade it away.
@@ -129,9 +175,16 @@ def optimize_schedule(
                     and refined.proven_optimal,
                     solve_calls=solve_calls,
                     strategy=result.strategy,
+                    lower_bound=result.lower_bound,
+                    resumed=was_resumed,
                 )
 
-        if result.feasible and minimize_borders_secondary:
+        borders = result.feasible and minimize_borders_secondary
+        if borders:
+            budget, skipped = pass_budget("minimize-borders")
+            borders = not skipped
+            timed_out = timed_out or skipped
+        if borders:
             # Freeze the primary optimum, then minimise borders among
             # optima.
             if result.cost < len(objective_lits):
@@ -142,10 +195,12 @@ def optimize_schedule(
                     encoding.cnf, encoding.border_objective(),
                     strategy=strategy, parallel=parallel,
                     persistent=persistent,
+                    wall_deadline_s=budget,
                 )
             record_descent(reg, secondary)
             _merge_counts(stats_total, secondary.solver_stats)
             solve_calls += secondary.solve_calls
+            timed_out = timed_out or secondary.status == STATUS_TIMEOUT
             if secondary.feasible:
                 result = type(result)(
                     feasible=True,
@@ -155,6 +210,8 @@ def optimize_schedule(
                     and secondary.proven_optimal,
                     solve_calls=solve_calls,
                     strategy=result.strategy,
+                    lower_bound=result.lower_bound,
+                    resumed=was_resumed,
                 )
 
         solution = None
@@ -187,6 +244,10 @@ def optimize_schedule(
         solver_stats=stats_total,
         portfolio=portfolio_summary,
         metrics=reg.as_dict(),
+        status=STATUS_TIMEOUT if timed_out else result.status,
+        lower_bound=result.lower_bound,
+        upper_bound=result.upper_bound,
+        resumed=result.resumed,
     )
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.encoding.decode import Solution
 
@@ -35,6 +35,14 @@ class TaskResult:
         portfolio: portfolio-race summary when the task ran with
             ``parallel > 1`` (winner members, processes, wall time); None on
             the serial path.
+
+    Anytime/resilience detail (see :mod:`repro.opt.result`):
+        status: how the optimisation ended — "optimal", "feasible",
+            "timeout" (deadline hit; the solution is best-so-far), or
+            "resumed"; None for tasks without an optimisation loop.
+        lower_bound / upper_bound: proven objective bounds (meaningful
+            when ``status`` is set and the task optimised something).
+        resumed: the optimisation restarted from a checkpoint.
     """
 
     task: str
@@ -53,6 +61,10 @@ class TaskResult:
     proof_checked: bool | None = None  # UNSAT verdicts: DRAT proof validated
     portfolio: dict | None = None
     metrics: dict = field(default_factory=dict)
+    status: str | None = None
+    lower_bound: int = 0
+    upper_bound: int | None = None
+    resumed: bool = False
 
     @property
     def stats(self) -> dict:
@@ -69,6 +81,27 @@ class TaskResult:
             stacklevel=2,
         )
         return self.solver_stats
+
+    def to_manifest(self) -> dict:
+        """JSON-safe view for the batch manifest.
+
+        Drops :attr:`solution` (the decoded layout does not survive a
+        JSON round-trip); everything Table I needs is plain data, so a
+        restored result still renders its row and metrics.
+        """
+        return {
+            f.name: getattr(self, f.name) for f in fields(self)
+            if f.name != "solution"
+        }
+
+    @classmethod
+    def from_manifest(cls, payload: dict) -> "TaskResult":
+        """Rebuild from :meth:`to_manifest` output (unknown keys from a
+        newer writer are ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{
+            key: value for key, value in payload.items() if key in known
+        })
 
     def table_row(self) -> tuple:
         """(task, vars, sat, sections, steps, runtime) — a Table I row."""

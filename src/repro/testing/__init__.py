@@ -1,0 +1,10 @@
+"""Test-support utilities shipped with the package.
+
+Only deterministic *fault injection* lives here for now
+(:mod:`repro.testing.faults`); production code calls its hooks, which are
+no-ops unless a fault plan is armed through the environment.
+"""
+
+from repro.testing.faults import FaultPlan, active_plan, injected
+
+__all__ = ["FaultPlan", "active_plan", "injected"]

@@ -1,6 +1,17 @@
-"""Shared fixtures: small networks and schedules used across the test suite."""
+"""Shared fixtures: small networks and schedules used across the test suite.
+
+Also installs a global per-test wall-clock timeout (SIGALRM-based, no
+third-party plugin): a hung test — e.g. a fault-injection scenario whose
+recovery path regresses — fails with a traceback instead of wedging the
+whole suite.  Override the limit with ``REPRO_TEST_TIMEOUT_S``; setting
+it to 0 disables the alarm.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -8,6 +19,34 @@ from repro.network.builder import NetworkBuilder
 from repro.network.discretize import DiscreteNetwork
 from repro.trains.schedule import Schedule, TrainRun
 from repro.trains.train import Train
+
+_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "180"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    usable = (
+        _TEST_TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {_TEST_TIMEOUT_S:.0f}s timeout "
+            "(REPRO_TEST_TIMEOUT_S)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,167 @@
+"""Deterministic fault-injection suite (``make test-faults``).
+
+Every scenario arms a :class:`repro.testing.faults.FaultPlan` and asserts
+the system ends in a *correct result or a typed error* with matching
+telemetry — never a hang, never a silently wrong answer.  Forked workers
+inherit the plan through the ``REPRO_FAULTS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import pytest
+
+from repro.logic import CNF, VarPool
+from repro.opt import minimize_sum
+from repro.sat.portfolio import fork_available
+from repro.sat.service import SolverService
+from repro.sat.types import SolveResult
+from repro.tasks.batch import BatchJob, run_batch
+from repro.testing import FaultPlan, active_plan, injected
+from repro.testing.faults import ENV_KEY, FaultPlanError
+
+pytestmark = pytest.mark.faults
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+def _staircase(n: int = 6):
+    """Objective over negated vars: several improvements per descent."""
+    cnf = CNF(VarPool())
+    lits = [cnf.pool.var(("x", i)) for i in range(n)]
+    for combo in itertools.combinations(range(n), n - 1):
+        cnf.add([-lits[i] for i in combo])
+    return cnf, [-lit for lit in lits]
+
+
+def _job_ok(value, seed=0):
+    return value + 100
+
+
+class TestFaultPlans:
+    def test_env_round_trip(self):
+        plan = FaultPlan(kill_member="neg-phase", kill_probe=2,
+                         checkpoint_fail_at=3)
+        assert FaultPlan.from_env(plan.to_env()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_env('{"explode_at": 1}')
+
+    def test_unparseable_payload_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_env("not json")
+
+    def test_injected_sets_and_restores_env(self):
+        assert active_plan() is None
+        with injected(FaultPlan(slow_member="base")) as plan:
+            assert os.environ[ENV_KEY] == plan.to_env()
+            assert active_plan() == plan
+        assert ENV_KEY not in os.environ
+        assert active_plan() is None
+
+
+@needs_fork
+class TestServiceFaults:
+    def test_worker_kill_mid_descent_survives(self):
+        # Kill the non-primary member at its 2nd probe: the session
+        # keeps going on the survivor and the crash is counted.
+        cnf, obj = _staircase()
+        with injected(FaultPlan(kill_member="neg-phase", kill_probe=2)):
+            result = minimize_sum(cnf, obj, parallel=2, persistent=True)
+        assert result.feasible and result.proven_optimal
+        assert result.cost == 2
+        service = result.portfolio["service"]
+        assert service["counters"].get("service.worker_crashes", 0) >= 1
+
+    def test_worker_kill_at_startup_downgrades_gracefully(self):
+        cnf, obj = _staircase()
+        with injected(FaultPlan(kill_member="neg-phase", kill_probe=0)):
+            result = minimize_sum(cnf, obj, parallel=2, persistent=True)
+        assert result.feasible and result.proven_optimal
+        assert result.cost == 2
+
+    def test_hung_worker_is_cancelled_not_waited_for(self):
+        # Member "neg-phase" sleeps 30 s at probe 1; the parent races the
+        # other member, cancels, and only waits the (small) grace.
+        clauses = [[1, 2], [-1, 3], [-2, -3]]
+        with injected(FaultPlan(hang_member="neg-phase", hang_probe=1,
+                                hang_s=30.0)):
+            service = SolverService(
+                3, clauses, processes=2, cancel_grace_s=1.0
+            ).start()
+            try:
+                start = time.perf_counter()
+                outcome = service.probe()
+                elapsed = time.perf_counter() - start
+            finally:
+                service.close()  # terminates the sleeper
+        assert outcome.verdict is SolveResult.SAT
+        assert elapsed < 10.0  # nowhere near the 30 s hang
+
+    def test_slow_worker_start_only_delays(self):
+        cnf, obj = _staircase()
+        with injected(FaultPlan(slow_member="neg-phase",
+                                slow_start_s=0.2)):
+            result = minimize_sum(cnf, obj, parallel=2, persistent=True)
+        assert result.feasible and result.proven_optimal
+        assert result.cost == 2
+
+
+class TestCheckpointFaults:
+    def test_write_failure_disables_writer_not_descent(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        cnf, obj = _staircase()
+        with injected(FaultPlan(checkpoint_fail_at=2)):
+            result = minimize_sum(cnf, obj, checkpoint_path=path)
+        # The descent is unharmed ...
+        assert result.feasible and result.proven_optimal
+        assert result.cost == 2
+        # ... the failure is visible, and writing stopped at the fault.
+        assert result.checkpoint["write_failures"] == 1
+        assert result.checkpoint["writes"] == 1  # only the header landed
+
+    def test_failed_checkpoint_never_resumes_wrong(self, tmp_path):
+        # A checkpoint truncated by write failures must still either
+        # resume soundly or start fresh — never corrupt the result.
+        path = str(tmp_path / "ck.jsonl")
+        cnf, obj = _staircase()
+        with injected(FaultPlan(checkpoint_fail_at=3)):
+            minimize_sum(cnf, obj, checkpoint_path=path)
+        cnf, obj = _staircase()
+        resumed = minimize_sum(cnf, obj, checkpoint_path=path,
+                               resume=True)
+        assert resumed.feasible and resumed.proven_optimal
+        assert resumed.cost == 2
+
+
+@needs_fork
+class TestBatchFaults:
+    def test_kill_every_attempt_recovers_in_parent(self):
+        jobs = [BatchJob("doomed", _job_ok, args=(1,)),
+                BatchJob("fine", _job_ok, args=(2,))]
+        with injected(FaultPlan(batch_kill_job="doomed")):
+            report = run_batch(jobs, processes=2, max_retries=1,
+                               retry_backoff_s=0.01)
+        assert report.ok
+        assert report.value_of("doomed") == 101
+        assert "doomed" in report.recovered_jobs
+        assert report.metrics.get("batch.pool_broken", 0) >= 1
+
+    def test_kill_first_attempt_only_succeeds_on_retry(self):
+        jobs = [BatchJob("flaky", _job_ok, args=(1,)),
+                BatchJob("fine", _job_ok, args=(2,))]
+        with injected(FaultPlan(batch_kill_job="flaky",
+                                batch_kill_attempts=1)):
+            report = run_batch(jobs, processes=2, max_retries=2,
+                               retry_backoff_s=0.01)
+        assert report.ok
+        assert report.value_of("flaky") == 101
+        assert "flaky" in report.retried_jobs
+        assert "flaky" not in report.recovered_jobs  # the retry pool won
+        assert report.metrics.get("retry.attempts", 0) >= 1
