@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: tier1 test test-faults smoke lint check bench bench-portfolio \
-	bench-descent
+	bench-descent bench-lazy
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -15,10 +15,21 @@ test:
 test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m faults
 
+# The running-example verification is UNSAT by design, so exit 1 is the
+# expected outcome; any other code (0 = unexpectedly SAT, >=2 = crash) is
+# a distinct, loud failure rather than being folded into the same test.
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro generate --case running-example -j 2
 	PYTHONPATH=src $(PYTHON) -m repro verify --case running-example -j 2; \
-		test $$? -eq 1  # running example verification is UNSAT by design
+		rc=$$?; \
+		if [ $$rc -eq 1 ]; then \
+			echo "smoke: verify UNSAT as expected"; \
+		elif [ $$rc -eq 0 ]; then \
+			echo "smoke: verify unexpectedly SAT" >&2; exit 1; \
+		else \
+			echo "smoke: verify crashed with exit $$rc" >&2; \
+			exit $$rc; \
+		fi
 
 # Lint with ruff when it is installed (CLI or module); skip gracefully on
 # machines without it, so `make check` works in minimal containers too.
@@ -45,3 +56,9 @@ bench-portfolio:
 bench-descent:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_descent.py \
 		--out BENCH_descent.json
+
+# Lazy (CEGAR) vs eager encoding on all four case studies; writes clause
+# counts, refinement rounds and wall-clock to BENCH_lazy.json.
+bench-lazy:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_lazy.py \
+		--out BENCH_lazy.json

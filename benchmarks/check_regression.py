@@ -1,0 +1,117 @@
+"""Compare a fresh ``BENCH_*.json`` against a committed baseline.
+
+The benchmark JSON files are flat ``{"bench.<...>": number}`` dicts
+(:meth:`repro.obs.metrics.MetricsRegistry.write_json`).  This script
+flags any key that moved more than ``--threshold`` (fraction, default
+0.25) in the *bad* direction and exits non-zero, so the CI benchmark
+job fails on a real performance regression but tolerates normal noise.
+
+Which direction is "bad" is inferred from the key name:
+
+* lower-is-better: wall-clock (``..._s``), formula size (``..._clauses``,
+  ``...constraints_added``) and refinement effort (``...rounds``);
+* higher-is-better: ``speedup``, ``probes_per_s``, ``clauses_saved``,
+  ``clauses_skipped`` and the boolean ``_beats_`` wins;
+* anything else (environment facts like ``bench.host_cpus``, raw
+  ``probes`` counts) is informational and never gated.
+
+Keys present only in the baseline or only in the current run are
+reported as warnings, not failures, so adding/renaming benchmarks does
+not require touching this script.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline .bench-baseline/BENCH_lazy.json \
+        --current BENCH_lazy.json --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+LOWER_IS_BETTER_SUFFIXES = (
+    "_s", "_clauses", "constraints_added", ".rounds",
+)
+HIGHER_IS_BETTER_TOKENS = (
+    "speedup", "probes_per_s", "clauses_saved", "clauses_skipped",
+    "_beats_",
+)
+
+
+def direction(key: str) -> str | None:
+    """Return "lower", "higher", or None (ungated) for a metric key."""
+    for token in HIGHER_IS_BETTER_TOKENS:
+        if token in key:
+            return "higher"
+    for suffix in LOWER_IS_BETTER_SUFFIXES:
+        if key.endswith(suffix):
+            return "lower"
+    return None
+
+
+def compare(baseline: dict, current: dict, threshold: float):
+    """Yield (key, kind, message) for every noteworthy delta."""
+    for key in sorted(set(baseline) | set(current)):
+        if key not in current:
+            yield key, "warn", "missing from current run"
+            continue
+        if key not in baseline:
+            yield key, "warn", "new key (no baseline)"
+            continue
+        sense = direction(key)
+        if sense is None:
+            continue
+        base, cur = baseline[key], current[key]
+        if isinstance(base, bool) or isinstance(cur, bool):
+            if bool(base) and not bool(cur):
+                yield key, "fail", f"regressed {base} -> {cur}"
+            continue
+        if not isinstance(base, (int, float)):
+            continue
+        if abs(base) < 1e-9:
+            # A near-zero baseline makes the relative delta meaningless
+            # (e.g. 0 refinement rounds on a trivially clean case).
+            yield key, "warn", f"baseline ~0 ({base!r}), skipped"
+            continue
+        delta = (cur - base) / abs(base)
+        if sense == "lower" and delta > threshold:
+            yield key, "fail", f"{base} -> {cur} (+{delta:.0%})"
+        elif sense == "higher" and delta < -threshold:
+            yield key, "fail", f"{base} -> {cur} ({delta:.0%})"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative slack (default 0.25)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    failures = 0
+    for key, kind, message in compare(baseline, current, args.threshold):
+        if kind == "fail":
+            failures += 1
+            print(f"REGRESSION {key}: {message}")
+        else:
+            print(f"warning    {key}: {message}")
+    if failures:
+        print(f"{failures} regression(s) beyond "
+              f"{args.threshold:.0%} vs {args.baseline}")
+        return 1
+    print(f"ok: no regressions beyond {args.threshold:.0%} "
+          f"vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

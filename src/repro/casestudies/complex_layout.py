@@ -36,7 +36,8 @@ def complex_layout_network():
     """The Fig. 4b track layout (6 stations, 22 TTDs, 157 km)."""
     builder = NetworkBuilder()
     # Terminal stations: two boundary stubs meeting in one switch.
-    for terminal, switch in (("A", "a1"), ("C", "c1"), ("D", "d1"), ("F", "f1")):
+    for terminal, switch in (("A", "a1"), ("C", "c1"), ("D", "d1"),
+                             ("F", "f1")):
         builder.boundary(f"{terminal}B1").boundary(f"{terminal}B2")
         builder.switch(switch)
         builder.track(
@@ -48,7 +49,8 @@ def complex_layout_network():
             ttd=f"{terminal}2", name=f"sta{terminal}2",
         )
     # Interior stations: two platforms between a pair of switches.
-    for interior, (sw_in, sw_out) in (("B", ("b1", "b2")), ("E", ("e1", "e2"))):
+    for interior, (sw_in, sw_out) in (("B", ("b1", "b2")),
+                                      ("E", ("e1", "e2"))):
         builder.switch(sw_in).switch(sw_out)
         builder.track(
             sw_in, sw_out, length_km=1.0,
@@ -67,8 +69,10 @@ def complex_layout_network():
     ):
         mid = f"l{name}"
         builder.link(mid)
-        builder.track(left, mid, length_km=15.0, ttd=f"{name}a", name=f"line{name}a")
-        builder.track(mid, right, length_km=15.0, ttd=f"{name}b", name=f"line{name}b")
+        builder.track(left, mid, length_km=15.0, ttd=f"{name}a",
+                      name=f"line{name}a")
+        builder.track(mid, right, length_km=15.0, ttd=f"{name}b",
+                      name=f"line{name}b")
     # The connector between the corridors (25 km, two TTD sections).
     builder.link("lBE")
     builder.track("b2", "lBE", length_km=13.0, ttd="BEa", name="connectorA")

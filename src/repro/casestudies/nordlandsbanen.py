@@ -87,12 +87,14 @@ def nordlandsbanen_network() -> RailwayNetwork:
         return f"RUN{run_index}"
 
     def add_run_track(node_a: str, node_b: str, km: float, name: str) -> None:
-        """Append a track to the current mainline-run TTD, splitting long runs."""
+        """Append a track to the current mainline-run TTD, splitting
+        long runs."""
         nonlocal run_index, run_km
         if run_km + km > _MAX_TTD_KM and run_km > 0:
             run_index += 1
             run_km = 0.0
-        builder.track(node_a, node_b, length_km=km, ttd=current_run(), name=name)
+        builder.track(node_a, node_b, length_km=km, ttd=current_run(),
+                      name=name)
         run_km += km
 
     def close_run() -> None:
@@ -105,7 +107,8 @@ def nordlandsbanen_network() -> RailwayNetwork:
         if is_crossing_station(index):
             sw_in, sw_out = f"{name}-W", f"{name}-E"
             builder.switch(sw_in).switch(sw_out)
-            add_run_track(previous, sw_in, _gap_km(index - 1), f"gap{index - 1}")
+            add_run_track(previous, sw_in, _gap_km(index - 1),
+                          f"gap{index - 1}")
             close_run()
             builder.track(
                 sw_in, sw_out, length_km=STATION_KM,
@@ -126,7 +129,8 @@ def nordlandsbanen_network() -> RailwayNetwork:
             else:
                 west = f"{name}-W"
                 builder.link(west)
-                add_run_track(previous, west, _gap_km(index - 1), f"gap{index - 1}")
+                add_run_track(previous, west, _gap_km(index - 1),
+                              f"gap{index - 1}")
                 add_run_track(west, east, STATION_KM, f"sta-{name}")
             builder.station(name, [f"sta-{name}"])
             previous = east

@@ -87,7 +87,7 @@ def running_example_schedule() -> Schedule:
 
 
 def running_example() -> CaseStudy:
-    """The complete running-example case study with the paper's Table I rows."""
+    """The complete running-example case study (paper's Table I rows)."""
     return CaseStudy(
         name="Running Example",
         network=running_example_network(),

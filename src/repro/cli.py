@@ -28,7 +28,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.tasks import generate_layout, optimize_schedule, verify_schedule
 from repro.trains.schedule import Schedule, ScheduleError, TrainRun
 from repro.trains.train import Train
-from repro.viz import format_table1, format_task_result, render_layout, render_spacetime
+from repro.viz import (
+    format_table1,
+    format_task_result,
+    render_layout,
+    render_spacetime,
+)
 
 
 def _case_key(study: CaseStudy) -> str:
@@ -118,7 +123,8 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=30.0,
                         help="scenario duration in min (with --network)")
     parser.add_argument("--train", action="append", default=[],
-                        help="train spec: name,start,goal,speed,length,dep,arr")
+                        help="train spec: "
+                             "name,start,goal,speed,length,dep,arr")
     parser.add_argument("--schedule", help="schedule JSON file "
                         "(alternative to --train/--duration)")
     parser.add_argument("--diagram", action="store_true",
@@ -183,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(verify)
     _add_jobs_arg(verify, "race the solve over N portfolio processes")
     _add_obs_args(verify)
+    verify.add_argument("--lazy", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="defer cross-train constraints to the CEGAR "
+                             "refinement loop, adding only violated "
+                             "instances (default on; --no-lazy forces the "
+                             "eager encoder; --proof implies eager)")
     verify.add_argument("--proof", action="store_true",
                         help="back UNSAT verdicts with a checked DRAT proof")
     verify.add_argument("--explain", action="store_true",
@@ -200,10 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fork fresh portfolio workers per probe "
                                "instead of reusing the resident "
                                "incremental solver service")
+    generate.add_argument("--lazy", action=argparse.BooleanOptionalAction,
+                          default=False,
+                          help="defer cross-train constraints to the CEGAR "
+                               "refinement loop (default off for descents; "
+                               "ignored by --strategy core)")
     _add_anytime_args(generate)
     _add_obs_args(generate)
 
-    optimize = sub.add_parser("optimize", help="optimize the schedule makespan")
+    optimize = sub.add_parser("optimize",
+                              help="optimize the schedule makespan")
     _add_scenario_args(optimize)
     _add_jobs_arg(optimize, "race each descent solve over N portfolio "
                             "processes (linear/binary strategies)")
@@ -219,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--objective", default="makespan",
                           choices=["makespan", "total-arrival"],
                           help="efficiency reading (paper §III-C)")
+    optimize.add_argument("--lazy", action=argparse.BooleanOptionalAction,
+                          default=False,
+                          help="defer cross-train constraints to the CEGAR "
+                               "refinement loop (default off for descents; "
+                               "ignored by --strategy core)")
     _add_anytime_args(optimize)
     _add_obs_args(optimize)
 
@@ -390,7 +413,7 @@ def _run_command(args) -> int:
         return 0
     if args.command == "verify":
         result = verify_schedule(net, schedule, r_t, with_proof=args.proof,
-                                 parallel=args.jobs)
+                                 parallel=args.jobs, lazy=args.lazy)
         if args.proof and not result.satisfiable:
             status = "VALID" if result.proof_checked else "REJECTED"
             print(f"DRAT proof of infeasibility: {status}")
@@ -405,7 +428,7 @@ def _run_command(args) -> int:
                 )
             else:
                 trains = ", ".join(diagnosis.conflicting_trains)
-                print(f"diagnosis: conflicting timetable commitments of "
+                print("diagnosis: conflicting timetable commitments of "
                       f"train(s) {trains}")
     elif args.command == "generate":
         if args.resume and not args.checkpoint:
@@ -415,7 +438,8 @@ def _run_command(args) -> int:
                                  persistent=args.persist,
                                  timeout_s=args.timeout,
                                  checkpoint_path=args.checkpoint,
-                                 resume=args.resume)
+                                 resume=args.resume,
+                                 lazy=args.lazy)
     else:
         if args.resume and not args.checkpoint:
             raise SystemExit("--resume requires --checkpoint")
@@ -429,6 +453,7 @@ def _run_command(args) -> int:
             timeout_s=args.timeout,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            lazy=args.lazy,
         )
     if getattr(args, "metrics", None):
         _write_metrics(result.metrics, args.metrics)

@@ -10,17 +10,27 @@
 * :mod:`repro.encoding.decode` — turns SAT models back into VSS layouts and
   train trajectories,
 * :mod:`repro.encoding.validate` — an independent procedural checker of
-  decoded solutions (used heavily by the test suite).
+  decoded solutions (used heavily by the test suite),
+* :mod:`repro.encoding.lazy` — counterexample-guided lazy instantiation of
+  the cross-train constraint families (CEGAR).
 """
 
 from repro.encoding.decode import Solution, TrainTrajectory
 from repro.encoding.encoder import EncodingOptions, EtcsEncoding
+from repro.encoding.lazy import (
+    LazyOutcome,
+    LazyRefiner,
+    solve_lazy_verification,
+)
 from repro.encoding.validate import validate_solution
 
 __all__ = [
     "EtcsEncoding",
     "EncodingOptions",
+    "LazyOutcome",
+    "LazyRefiner",
     "Solution",
     "TrainTrajectory",
+    "solve_lazy_verification",
     "validate_solution",
 ]

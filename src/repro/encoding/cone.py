@@ -26,7 +26,9 @@ from repro.network.discretize import DiscreteNetwork
 from repro.trains.discretize import DiscreteTrainRun
 
 
-def multi_source_distances(net: DiscreteNetwork, sources: list[int]) -> list[int]:
+def multi_source_distances(
+    net: DiscreteNetwork, sources: list[int]
+) -> list[int]:
     """BFS hop distance from the nearest of ``sources`` (-1 = unreachable)."""
     dist = [-1] * net.num_segments
     queue: deque[int] = deque()

@@ -13,6 +13,11 @@
 5. *Schedule*: departures, intermediate stops, arrival deadlines.
 6. *Objectives*: ``min Σ border_v`` (generation) and ``min Σ_t ¬done^t``
    (optimization), exposed as soft-literal lists for :mod:`repro.opt`.
+
+The cross-train families (separation, collision, swap) can be *deferred*
+with ``build(lazy=True)``: no clause of theirs is emitted up front, and
+the counterexample-guided loop in :mod:`repro.encoding.lazy` adds only
+the violated pair instances via the per-pair ``emit_*_pair`` methods.
 """
 
 from __future__ import annotations
@@ -49,6 +54,11 @@ class EncodingOptions:
     add_collision_clauses: bool = True  # the paper's no-passing constraint
     guarded_arrivals: bool = False  # guard deadlines by per-train selectors
     # (guarded arrivals imply cone pruning must not use the deadlines)
+
+
+#: Families build(lazy=True) defers to the CEGAR loop: the cross-train
+#: constraints, whose instances are mostly inactive in any one model.
+LAZY_FAMILIES = ("separation", "collision", "swap")
 
 
 class EtcsEncoding:
@@ -89,6 +99,10 @@ class EtcsEncoding:
         self.reg = VariableRegistry()
         self.cnf = CNF(self.reg.pool)
         self._built = False
+        # Families skipped by build(lazy=True), in eager emission order;
+        # () after an eager build.
+        self.deferred_families: tuple[str, ...] = ()
+        self._deferred_count: dict[str, int] | None = None
         # Per-constraint-family encoding sizes (vars/clauses/literals added
         # by each family of build()) — the paper's §III families, measured.
         self.family_stats: dict[str, dict[str, int]] = {}
@@ -149,27 +163,42 @@ class EtcsEncoding:
     # Building the base formulation
     # ------------------------------------------------------------------
 
-    def build(self) -> "EtcsEncoding":
-        """Emit all base constraints.  Returns self for chaining.
+    def build(self, lazy: bool = False) -> "EtcsEncoding":
+        """Emit the base constraints.  Returns self for chaining.
 
         Each constraint family is traced (``encode.<family>`` spans) and
         its contribution to the encoding size recorded in
         :attr:`family_stats`.
+
+        With ``lazy`` the cross-train families (:data:`LAZY_FAMILIES`,
+        honouring the usual :class:`EncodingOptions` gates) are skipped
+        and recorded in :attr:`deferred_families` instead, for
+        :class:`repro.encoding.lazy.LazyRefiner` to instantiate on
+        demand.  The deferred families add clauses over variables the
+        eager families already create (``occupies`` over the cone,
+        ``border``), so refinement never grows the variable space — safe
+        for incremental solvers and already-forked service workers.
         """
         if self._built:
             raise RuntimeError("encoding already built")
         self._built = True
+        enabled: list[tuple[str, Callable[[], None]]] = [
+            ("separation", self._separation_constraints),
+        ]
+        if self.options.add_collision_clauses:
+            enabled.append(("collision", self._collision_constraints))
+        if self.options.add_swap_clauses:
+            enabled.append(("swap", self._swap_constraints))
         families: list[tuple[str, Callable[[], None]]] = [
             ("borders", self._create_borders),
             ("placement", self._placement_constraints),
             ("departure", self._departure_constraints),
             ("movement", self._movement_constraints),
-            ("separation", self._separation_constraints),
         ]
-        if self.options.add_collision_clauses:
-            families.append(("collision", self._collision_constraints))
-        if self.options.add_swap_clauses:
-            families.append(("swap", self._swap_constraints))
+        if lazy:
+            self.deferred_families = tuple(name for name, _ in enabled)
+        else:
+            families.extend(enabled)
         families.append(("schedule", self._goal_and_stop_constraints))
         families.append(("done", self._done_constraints))
         for name, emit in families:
@@ -246,7 +275,8 @@ class EtcsEncoding:
         return selectors
 
     def _departure_constraints(self) -> None:
-        """At the departure step, the train's chain touches its start station."""
+        """At the departure step, the train's chain touches its start
+        station."""
         for i, run in enumerate(self.runs):
             possible = self.cone.at(i, run.departure_step)
             lits = [
@@ -284,20 +314,28 @@ class EtcsEncoding:
         for i in range(len(self.runs)):
             for j in range(i + 1, len(self.runs)):
                 for t in range(self.t_max):
-                    possible_i = self.cone.at(i, t)
-                    possible_j = self.cone.at(j, t)
-                    if not possible_i or not possible_j:
-                        continue
-                    self._separate_pair_at(i, j, t, possible_i, possible_j)
+                    self.emit_separation_pair(i, j, t)
 
-    def _separate_pair_at(
+    def emit_separation_pair(
         self,
         i: int,
         j: int,
         t: int,
-        possible_i: frozenset[int],
-        possible_j: frozenset[int],
-    ) -> None:
+        add: Callable[[list[int]], None] | None = None,
+    ) -> int:
+        """VSS-separation clauses for the pair ``(i, j)`` at step ``t``.
+
+        ``add`` overrides the clause sink (default: this encoding's CNF);
+        a no-op sink turns the emitter into a pure counter, which is how
+        :meth:`deferred_eager_count` prices the clauses lazy runs avoid.
+        Returns the number of clauses emitted.
+        """
+        sink = self.cnf.add if add is None else add
+        possible_i = self.cone.at(i, t)
+        possible_j = self.cone.at(j, t)
+        if not possible_i or not possible_j:
+            return 0
+        count = 0
         for ttd, members in self.net.ttd_segments.items():
             members_i = [e for e in members if e in possible_i]
             if not members_i:
@@ -310,48 +348,75 @@ class EtcsEncoding:
                 for f in members_j:
                     occ_j = self.reg.occupies(j, f, t)
                     if e == f:
-                        self.cnf.add([-occ_i, -occ_j])
+                        sink([-occ_i, -occ_j])
+                        count += 1
                         continue
                     borders = [
-                        self.reg.border(v) for v in self._ttd_index.between(e, f)
+                        self.reg.border(v)
+                        for v in self._ttd_index.between(e, f)
                     ]
-                    self.cnf.add([-occ_i, -occ_j, *borders])
+                    sink([-occ_i, -occ_j, *borders])
+                    count += 1
+        return count
 
     def _collision_constraints(self) -> None:
-        """A moving train forbids others on the traversed path (paper §III-B)."""
+        """A moving train forbids others on the traversed path (paper
+        §III-B)."""
         for i, run_i in enumerate(self.runs):
-            reach = self._reach(run_i.speed_segments)
-            max_edges = run_i.speed_segments + 1
             for t in range(run_i.departure_step, self.t_max - 1):
-                possible_now = self.cone.at(i, t)
-                possible_next = self.cone.at(i, t + 1)
-                for j, run_j in enumerate(self.runs):
-                    if j == i:
-                        continue
-                    other_now = self.cone.at(j, t)
-                    other_next = self.cone.at(j, t + 1)
-                    if not other_now and not other_next:
-                        continue
-                    for e in possible_now:
-                        occ_e = self.reg.occupies(i, e, t)
-                        for f in reach[e]:
-                            if f == e or f not in possible_next:
-                                continue
-                            interiors = self._interiors(e, f, max_edges)
-                            if not interiors:
-                                continue
-                            occ_f = self.reg.occupies(i, f, t + 1)
-                            for g in interiors:
-                                if g in other_now:
-                                    self.cnf.add(
-                                        [-occ_e, -occ_f,
-                                         -self.reg.occupies(j, g, t)]
-                                    )
-                                if g in other_next:
-                                    self.cnf.add(
-                                        [-occ_e, -occ_f,
-                                         -self.reg.occupies(j, g, t + 1)]
-                                    )
+                for j in range(len(self.runs)):
+                    self.emit_collision_pair(i, j, t)
+
+    def emit_collision_pair(
+        self,
+        i: int,
+        j: int,
+        t: int,
+        add: Callable[[list[int]], None] | None = None,
+    ) -> int:
+        """No-passing clauses for mover ``i`` vs train ``j`` over ``t``.
+
+        Covers train ``i``'s moves from ``t`` to ``t + 1``: train ``j``
+        may not sit on the traversed interior at either endpoint step.
+        Returns the number of clauses emitted (see
+        :meth:`emit_separation_pair` for the ``add`` sink contract).
+        """
+        run_i = self.runs[i]
+        if j == i or not run_i.departure_step <= t < self.t_max - 1:
+            return 0
+        sink = self.cnf.add if add is None else add
+        reach = self._reach(run_i.speed_segments)
+        max_edges = run_i.speed_segments + 1
+        possible_now = self.cone.at(i, t)
+        possible_next = self.cone.at(i, t + 1)
+        other_now = self.cone.at(j, t)
+        other_next = self.cone.at(j, t + 1)
+        if not other_now and not other_next:
+            return 0
+        count = 0
+        for e in possible_now:
+            occ_e = self.reg.occupies(i, e, t)
+            for f in reach[e]:
+                if f == e or f not in possible_next:
+                    continue
+                interiors = self._interiors(e, f, max_edges)
+                if not interiors:
+                    continue
+                occ_f = self.reg.occupies(i, f, t + 1)
+                for g in interiors:
+                    if g in other_now:
+                        sink(
+                            [-occ_e, -occ_f,
+                             -self.reg.occupies(j, g, t)]
+                        )
+                        count += 1
+                    if g in other_next:
+                        sink(
+                            [-occ_e, -occ_f,
+                             -self.reg.occupies(j, g, t + 1)]
+                        )
+                        count += 1
+        return count
 
     def _swap_constraints(self) -> None:
         """Forbid two trains exchanging positions across one step.
@@ -362,33 +427,53 @@ class EtcsEncoding:
         close that soundness gap (DESIGN.md §5).
         """
         for i in range(len(self.runs)):
-            speed_i = self.runs[i].speed_segments
             for j in range(i + 1, len(self.runs)):
-                speed_j = self.runs[j].speed_segments
-                reach = self._reach(min(speed_i, speed_j))
                 for t in range(self.t_max - 1):
-                    pi_now = self.cone.at(i, t)
-                    pi_next = self.cone.at(i, t + 1)
-                    pj_now = self.cone.at(j, t)
-                    pj_next = self.cone.at(j, t + 1)
-                    if not pi_now or not pj_now:
-                        continue
-                    for e in pi_now:
-                        if e not in pj_next:
-                            continue
-                        for f in reach[e]:
-                            if f == e:
-                                continue
-                            if f not in pi_next or f not in pj_now:
-                                continue
-                            self.cnf.add(
-                                [
-                                    -self.reg.occupies(i, e, t),
-                                    -self.reg.occupies(i, f, t + 1),
-                                    -self.reg.occupies(j, f, t),
-                                    -self.reg.occupies(j, e, t + 1),
-                                ]
-                            )
+                    self.emit_swap_pair(i, j, t)
+
+    def emit_swap_pair(
+        self,
+        i: int,
+        j: int,
+        t: int,
+        add: Callable[[list[int]], None] | None = None,
+    ) -> int:
+        """Position-swap blocking for the pair ``i < j`` across step ``t``.
+
+        Returns the number of clauses emitted (see
+        :meth:`emit_separation_pair` for the ``add`` sink contract).
+        """
+        if not 0 <= t < self.t_max - 1:
+            return 0
+        sink = self.cnf.add if add is None else add
+        reach = self._reach(
+            min(self.runs[i].speed_segments, self.runs[j].speed_segments)
+        )
+        pi_now = self.cone.at(i, t)
+        pi_next = self.cone.at(i, t + 1)
+        pj_now = self.cone.at(j, t)
+        pj_next = self.cone.at(j, t + 1)
+        if not pi_now or not pj_now:
+            return 0
+        count = 0
+        for e in pi_now:
+            if e not in pj_next:
+                continue
+            for f in reach[e]:
+                if f == e:
+                    continue
+                if f not in pi_next or f not in pj_now:
+                    continue
+                sink(
+                    [
+                        -self.reg.occupies(i, e, t),
+                        -self.reg.occupies(i, f, t + 1),
+                        -self.reg.occupies(j, f, t),
+                        -self.reg.occupies(j, e, t + 1),
+                    ]
+                )
+                count += 1
+        return count
 
     def _goal_and_stop_constraints(self) -> None:
         """Goal must be visited by the deadline; stops within their windows.
@@ -497,7 +582,8 @@ class EtcsEncoding:
                 self.cnf.add_unit(-var)
 
     def pin_waypoints(self, waypoints: list[tuple[str, str, int]]) -> None:
-        """Pin (train, station, step) triples — the paper's schedule encoding."""
+        """Pin (train, station, step) triples — the paper's schedule
+        encoding."""
         names = {run.name: i for i, run in enumerate(self.runs)}
         for train_name, station, step in waypoints:
             if train_name not in names:
@@ -559,6 +645,45 @@ class EtcsEncoding:
     # ------------------------------------------------------------------
     # Reporting & decoding
     # ------------------------------------------------------------------
+
+    def deferred_eager_count(self) -> dict[str, int]:
+        """Clauses each *deferred* family would have emitted eagerly.
+
+        Walks the family loops with a counting sink (no clause is
+        created); the lazy loop reports ``lazy.clauses_saved`` against
+        these totals.  Cached — the cone/TTD queries dominate the cost.
+        """
+        if self._deferred_count is None:
+
+            def noop(clause: list[int]) -> None:
+                pass
+
+            counts: dict[str, int] = {}
+            n = len(self.runs)
+            for family in self.deferred_families:
+                if family == "separation":
+                    counts[family] = sum(
+                        self.emit_separation_pair(i, j, t, add=noop)
+                        for i in range(n)
+                        for j in range(i + 1, n)
+                        for t in range(self.t_max)
+                    )
+                elif family == "collision":
+                    counts[family] = sum(
+                        self.emit_collision_pair(i, j, t, add=noop)
+                        for i in range(n)
+                        for t in range(self.t_max)
+                        for j in range(n)
+                    )
+                elif family == "swap":
+                    counts[family] = sum(
+                        self.emit_swap_pair(i, j, t, add=noop)
+                        for i in range(n)
+                        for j in range(i + 1, n)
+                        for t in range(self.t_max)
+                    )
+            self._deferred_count = counts
+        return dict(self._deferred_count)
 
     def paper_equivalent_vars(self) -> int:
         """The paper's Table I "Var." count: borders + dense occupies grid."""

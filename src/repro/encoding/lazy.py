@@ -1,0 +1,343 @@
+"""Counterexample-guided lazy constraint generation (CEGAR).
+
+The cross-train clause families — VSS separation, no-passing collision,
+position swap — dominate the eager encoding's size, yet in any one model
+almost all of their instances are trivially satisfied (the trains are
+simply elsewhere).  Engels & Wille observe that lazily selecting exactly
+these families is the dominant lever in moving-block train routing, and
+Kolárik & Ratschan's SAT-modulo-simulations loop has the same shape:
+
+1. build only the *structural* constraints (occupation chains, movement
+   and speed, schedule, ``done`` semantics) — ``build(lazy=True)``,
+2. solve the relaxation,
+3. check the model against the deferred families with the clause-exact
+   finders in :mod:`repro.encoding.validate`,
+4. add just the violated pair instances (clauses only — the deferred
+   families never create variables) and re-solve incrementally,
+
+until the model is clean or the formula is UNSAT.  Because the relaxed
+formula only ever gains clauses that the eager encoding also contains,
+UNSAT answers are sound at any round; and because the finders evaluate
+the exact clause semantics, a clean model satisfies the *whole* eager
+formula — lazy and eager define the same set of models, hence identical
+verdicts and objective optima.
+
+:class:`LazyRefiner` is the reusable check-and-refine step (the descent
+in :mod:`repro.opt.minimize` plugs it in as a ``refine`` callback);
+:func:`solve_lazy_verification` is the complete loop for the plain
+verification task, serial or through the persistent solver service
+(which ships each round's new clauses as an O(delta) probe payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encoding.validate import (
+    decode_positions,
+    find_collision_violations,
+    find_separation_violations,
+    find_swap_violations,
+)
+from repro.obs import trace
+from repro.sat.portfolio import diversified_members, solve_portfolio
+from repro.sat.service import ServiceError, SolverService
+from repro.sat.solver import Solver
+from repro.sat.types import SolveResult
+
+
+class LazyRefinementError(RuntimeError):
+    """The refinement loop stopped making progress (a plumbing bug:
+    the model falsifies clauses that the solver should already have)."""
+
+
+class LazyRefiner:
+    """Check models against deferred families; add violated instances.
+
+    One refiner accompanies one lazily-built :class:`EtcsEncoding` for
+    the whole solve (verification loop or optimisation descent).  It
+    appends clauses to ``encoding.cnf`` — callers ship the tail of
+    ``cnf.clauses`` to their solver(s) after every :meth:`refine` that
+    returns non-zero (the solver service does this automatically, since
+    it holds ``cnf.clauses`` by reference).
+    """
+
+    def __init__(self, encoding):
+        if not encoding.deferred_families:
+            raise ValueError(
+                "encoding has no deferred families; build(lazy=True) first"
+            )
+        self.encoding = encoding
+        self.rounds = 0
+        self.clauses_added = 0
+        self.groups_added = 0
+        self.violations: dict[str, int] = {
+            family: 0 for family in encoding.deferred_families
+        }
+        self._emitted: set[tuple[str, int, int, int]] = set()
+
+    def refine(self, model: list[int]) -> int:
+        """Check ``model``; emit violated instances; return clauses added.
+
+        0 means the model satisfies every deferred constraint (clean):
+        the caller's SAT answer is final.
+        """
+        self.rounds += 1
+        encoding = self.encoding
+        true_vars = {lit for lit in model if lit > 0}
+        deferred = encoding.deferred_families
+        with trace.span("lazy.round", round=self.rounds) as span:
+            positions = decode_positions(encoding, true_vars)
+            groups: list[tuple[str, int, int, int]] = []
+            if "separation" in deferred:
+                groups.extend(
+                    ("separation", *key)
+                    for key in find_separation_violations(
+                        encoding, positions, true_vars
+                    )
+                )
+            if "collision" in deferred:
+                groups.extend(
+                    ("collision", *key)
+                    for key in find_collision_violations(encoding, positions)
+                )
+            if "swap" in deferred:
+                groups.extend(
+                    ("swap", *key)
+                    for key in find_swap_violations(encoding, positions)
+                )
+            added = 0
+            fresh = 0
+            for key in groups:
+                self.violations[key[0]] += 1
+                if key in self._emitted:
+                    continue
+                self._emitted.add(key)
+                fresh += 1
+                family, i, j, t = key
+                if family == "separation":
+                    added += encoding.emit_separation_pair(i, j, t)
+                elif family == "collision":
+                    added += encoding.emit_collision_pair(i, j, t)
+                else:
+                    added += encoding.emit_swap_pair(i, j, t)
+            span.add(violations=len(groups), groups=fresh, clauses=added)
+        if groups and not added:
+            raise LazyRefinementError(
+                "lazy refinement stalled: the model violates deferred "
+                "constraints whose clauses were already emitted — a solver "
+                "is being probed without the refinement clauses"
+            )
+        self.clauses_added += added
+        self.groups_added += fresh
+        if added:
+            trace.event("lazy.refined", round=self.rounds, clauses=added)
+        return added
+
+    def stats(self, include_saved: bool = True) -> dict:
+        """``lazy.*`` metric payload (see doc/architecture.md §7).
+
+        ``include_saved`` prices the avoided clauses via
+        :meth:`EtcsEncoding.deferred_eager_count` — a full counting walk
+        of the deferred families, so callers on a hot path may skip it.
+        """
+        out = {
+            "lazy.rounds": self.rounds,
+            "lazy.constraints_added": self.clauses_added,
+            "lazy.groups_added": self.groups_added,
+        }
+        for family, count in sorted(self.violations.items()):
+            out[f"lazy.violations.{family}"] = count
+        if include_saved:
+            eager = self.encoding.deferred_eager_count()
+            total = sum(eager.values())
+            out["lazy.eager_clauses"] = total
+            out["lazy.clauses_saved"] = total - self.clauses_added
+        return out
+
+
+@dataclass
+class LazyOutcome:
+    """Answer of :func:`solve_lazy_verification`."""
+
+    satisfiable: bool
+    true_vars: set[int] | None
+    refiner: LazyRefiner
+    solver_stats: dict
+    solve_calls: int
+    #: The serial path's solver (for restart-cadence telemetry).
+    solver: Solver | None = None
+    #: Portfolio/service summary when run with ``parallel > 1``.
+    portfolio: dict | None = field(default=None)
+
+
+def solve_lazy_verification(
+    encoding,
+    parallel: int = 1,
+    members=None,
+) -> LazyOutcome:
+    """Run the solve→check→refine loop to a clean model or UNSAT.
+
+    ``parallel > 1`` races each round through the persistent solver
+    service (new clauses travel as the next probe's delta); if the
+    service dies mid-loop the round is replayed through the one-shot
+    portfolio.  ``parallel = 1`` keeps one incremental solver in
+    process.
+    """
+    refiner = LazyRefiner(encoding)
+    if parallel > 1:
+        return _lazy_portfolio_loop(encoding, refiner, parallel, members)
+    return _lazy_serial_loop(encoding, refiner)
+
+
+def _lazy_serial_loop(encoding, refiner: LazyRefiner) -> LazyOutcome:
+    cnf = encoding.cnf
+    solver = Solver()
+    if trace.enabled():
+        solver.on_progress(
+            lambda snap: trace.counter("solver.progress", **snap)
+        )
+    solver.ensure_var(max(cnf.num_vars, 1))
+    shipped = 0
+    calls = 0
+    while True:
+        for clause in cnf.clauses[shipped:]:
+            solver.add_clause(clause)
+        shipped = len(cnf.clauses)
+        calls += 1
+        with trace.span("lazy.solve", call=calls):
+            verdict = solver.solve()
+        if verdict is SolveResult.UNSAT:
+            return LazyOutcome(
+                satisfiable=False,
+                true_vars=None,
+                refiner=refiner,
+                solver_stats=solver.stats.as_dict(),
+                solve_calls=calls,
+                solver=solver,
+            )
+        if verdict is not SolveResult.SAT:
+            raise RuntimeError(
+                f"lazy verification solve returned {verdict!r} without a "
+                "deadline in play"
+            )
+        model = solver.model()
+        if refiner.refine(model) == 0:
+            return LazyOutcome(
+                satisfiable=True,
+                true_vars={lit for lit in model if lit > 0},
+                refiner=refiner,
+                solver_stats=solver.stats.as_dict(),
+                solve_calls=calls,
+                solver=solver,
+            )
+
+
+def _lazy_portfolio_loop(
+    encoding, refiner: LazyRefiner, parallel: int, members
+) -> LazyOutcome:
+    cnf = encoding.cnf
+    members = members or diversified_members(parallel)
+    merged: dict = {}
+    winners: dict[str, int] = {}
+    wall = 0.0
+    calls = 0
+    service_info: dict = {}
+    service = None
+    try:
+        service = SolverService(
+            cnf.num_vars, cnf.clauses, members=members, processes=parallel
+        ).start()
+    except ServiceError as exc:
+        service_info["fallback"] = str(exc)
+        trace.event("service.fallback", error=str(exc))
+
+    def absorb(stats: dict) -> None:
+        for key, value in stats.items():
+            if isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+
+    def summary() -> dict:
+        info = dict(service_info)
+        if service is not None:
+            info.update(service.summary())
+        return {
+            "processes": parallel,
+            "calls": calls,
+            "winners": dict(winners),
+            "wall_time_s": wall,
+            "persistent": service is not None or "fallback" in info,
+            "service": info,
+        }
+
+    snapshot_len = -1
+    snapshot: list[list[int]] = []
+    try:
+        while True:
+            calls += 1
+            verdict = None
+            model = None
+            if service is not None:
+                try:
+                    outcome = service.probe()
+                except ServiceError as exc:
+                    service_info.update(service.summary())
+                    service_info["fallback"] = str(exc)
+                    trace.event("service.fallback", error=str(exc))
+                    service.close()
+                    service = None
+                else:
+                    wall += outcome.wall_time_s
+                    absorb(outcome.stats)
+                    if outcome.winner_name:
+                        winners[outcome.winner_name] = (
+                            winners.get(outcome.winner_name, 0) + 1
+                        )
+                    if outcome.verdict is not SolveResult.UNKNOWN:
+                        verdict = outcome.verdict
+                        model = outcome.model
+            if verdict is None:
+                # Service gone (or indefinite): replay through a one-shot
+                # race over the full current clause set.
+                if snapshot_len != len(cnf.clauses):
+                    snapshot = list(cnf.clauses)
+                    snapshot_len = len(snapshot)
+                with trace.span("lazy.race", call=calls):
+                    race = solve_portfolio(
+                        cnf.num_vars, snapshot,
+                        members=members, processes=parallel,
+                    )
+                if race.stats is not None:
+                    wall += race.stats.wall_time_s
+                    name = race.stats.winner_name
+                    if name:
+                        winners[name] = winners.get(name, 0) + 1
+                    absorb(race.stats.merged_counters())
+                verdict = race.verdict
+                model = race.model
+            if verdict is SolveResult.UNSAT:
+                return LazyOutcome(
+                    satisfiable=False,
+                    true_vars=None,
+                    refiner=refiner,
+                    solver_stats=merged,
+                    solve_calls=calls,
+                    portfolio=summary(),
+                )
+            if verdict is not SolveResult.SAT:
+                raise RuntimeError(
+                    f"lazy verification race returned {verdict!r} without "
+                    "a deadline in play"
+                )
+            if refiner.refine(model or []) == 0:
+                return LazyOutcome(
+                    satisfiable=True,
+                    true_vars={lit for lit in model if lit > 0},
+                    refiner=refiner,
+                    solver_stats=merged,
+                    solve_calls=calls,
+                    portfolio=summary(),
+                )
+    finally:
+        if service is not None:
+            service.close()

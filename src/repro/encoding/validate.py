@@ -18,7 +18,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.encoding.encoder import EtcsEncoding
 
 
-def validate_solution(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+def validate_solution(
+    encoding: "EtcsEncoding", solution: Solution
+) -> list[str]:
     """Return a list of rule violations (empty = the solution is valid)."""
     problems: list[str] = []
     problems.extend(_check_footprints(encoding, solution))
@@ -30,7 +32,9 @@ def validate_solution(encoding: "EtcsEncoding", solution: Solution) -> list[str]
     return problems
 
 
-def _check_footprints(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
+def _check_footprints(
+    encoding: "EtcsEncoding", solution: Solution
+) -> list[str]:
     """Each present train occupies a connected chain of exactly l* segments."""
     problems = []
     net = encoding.net
@@ -84,7 +88,8 @@ def _check_presence_windows(
     encoding: "EtcsEncoding", solution: Solution
 ) -> list[str]:
     """Absent before departure; present at departure touching the start;
-    absence after the run is final and only allowed once the goal was visited."""
+    absence after the run is final and only allowed once the goal was
+    visited."""
     problems = []
     for i, run in enumerate(encoding.runs):
         trajectory = solution.trajectories[i]
@@ -206,13 +211,145 @@ def _check_no_swap(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
     return problems
 
 
+# ----------------------------------------------------------------------
+# Violation finders for the lazy CEGAR loop (repro.encoding.lazy)
+# ----------------------------------------------------------------------
+#
+# Unlike the message-producing checks above (which judge *decoded*
+# solutions against the operational rules), these evaluate a raw model
+# against the exact semantics of the deferred clause families, and
+# return the (i, j, t) pair-instance keys whose clauses the model
+# falsifies.  That exactness matters twice over: every reported key is
+# guaranteed to contain a falsified clause (so each refinement round
+# makes progress), and a model with no reported key satisfies *every*
+# deferred clause (so the lazy fixpoint admits exactly the eager
+# encoding's models — verdicts and objective optima coincide).
+
+
+def decode_positions(
+    encoding: "EtcsEncoding", true_vars: set[int]
+) -> list[list[frozenset[int]]]:
+    """Per-train, per-step occupied segment sets straight from a model."""
+    reg = encoding.reg
+    positions: list[list[frozenset[int]]] = []
+    for i in range(len(encoding.runs)):
+        steps = []
+        for t in range(encoding.t_max):
+            occupied = []
+            for e in encoding.cone.at(i, t):
+                var = reg.lookup_occupies(i, e, t)
+                if var is not None and var in true_vars:
+                    occupied.append(e)
+            steps.append(frozenset(occupied))
+        positions.append(steps)
+    return positions
+
+
+def find_separation_violations(
+    encoding: "EtcsEncoding",
+    positions: list[list[frozenset[int]]],
+    true_vars: set[int],
+) -> list[tuple[int, int, int]]:
+    """Pairs (i, j, t) sharing a TTD with no true border between them."""
+    net = encoding.net
+    reg = encoding.reg
+    violations = []
+    for i in range(len(encoding.runs)):
+        for j in range(i + 1, len(encoding.runs)):
+            for t in range(encoding.t_max):
+                pos_i = positions[i][t]
+                pos_j = positions[j][t]
+                if not pos_i or not pos_j:
+                    continue
+                for e in pos_i:
+                    ttd_e = net.segments[e].ttd
+                    hit = False
+                    for f in pos_j:
+                        if net.segments[f].ttd != ttd_e:
+                            continue
+                        if e == f or not any(
+                            (var := reg.lookup_border(v)) is not None
+                            and var in true_vars
+                            for v in encoding._ttd_index.between(e, f)
+                        ):
+                            violations.append((i, j, t))
+                            hit = True
+                            break
+                    if hit:
+                        break
+    return violations
+
+
+def find_collision_violations(
+    encoding: "EtcsEncoding", positions: list[list[frozenset[int]]]
+) -> list[tuple[int, int, int]]:
+    """Mover/bystander pairs (i, j, t) with j on i's traversed interior."""
+    violations = []
+    n = len(encoding.runs)
+    for i, run in enumerate(encoding.runs):
+        reach = encoding._reach(run.speed_segments)
+        max_edges = run.speed_segments + 1
+        for t in range(run.departure_step, encoding.t_max - 1):
+            now = positions[i][t]
+            nxt = positions[i][t + 1]
+            if not now or not nxt:
+                continue
+            for j in range(n):
+                if j == i:
+                    continue
+                other = positions[j][t] | positions[j][t + 1]
+                if not other:
+                    continue
+                hit = False
+                for e in now:
+                    for f in nxt:
+                        if f == e or f not in reach[e]:
+                            continue
+                        interiors = encoding._interiors(e, f, max_edges)
+                        if interiors & other:
+                            violations.append((i, j, t))
+                            hit = True
+                            break
+                    if hit:
+                        break
+    return violations
+
+
+def find_swap_violations(
+    encoding: "EtcsEncoding", positions: list[list[frozenset[int]]]
+) -> list[tuple[int, int, int]]:
+    """Pairs (i, j, t), i < j, exchanging positions across step t."""
+    violations = []
+    n = len(encoding.runs)
+    for i in range(n):
+        speed_i = encoding.runs[i].speed_segments
+        for j in range(i + 1, n):
+            reach = encoding._reach(
+                min(speed_i, encoding.runs[j].speed_segments)
+            )
+            for t in range(encoding.t_max - 1):
+                crossing_ij = positions[i][t] & positions[j][t + 1]
+                if not crossing_ij:
+                    continue
+                crossing_ji = positions[i][t + 1] & positions[j][t]
+                if any(
+                    f != e and f in reach[e]
+                    for e in crossing_ij
+                    for f in crossing_ji
+                ):
+                    violations.append((i, j, t))
+    return violations
+
+
 def _check_schedule(encoding: "EtcsEncoding", solution: Solution) -> list[str]:
     """Goals reached by their deadlines; stops visited in their windows."""
     problems = []
     for i, run in enumerate(encoding.runs):
         trajectory = solution.trajectories[i]
         deadline = (
-            run.arrival_step if run.arrival_step is not None else encoding.t_max - 1
+            run.arrival_step
+            if run.arrival_step is not None
+            else encoding.t_max - 1
         )
         goal_set = set(run.goal_segments)
         visited = any(

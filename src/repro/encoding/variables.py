@@ -86,7 +86,9 @@ class VariableRegistry:
 
     # -- lookup (no creation) ----------------------------------------------
 
-    def lookup_occupies(self, train: int, segment: int, step: int) -> int | None:
+    def lookup_occupies(
+        self, train: int, segment: int, step: int
+    ) -> int | None:
         return self.pool.lookup(("occupies", train, segment, step))
 
     def lookup_done(self, train: int, step: int) -> int | None:
@@ -102,7 +104,7 @@ class VariableRegistry:
 
     @property
     def num_primary(self) -> int:
-        """border + occupies + done: the paper's notion of problem variables."""
+        """border + occupies + done: the paper's problem variables."""
         return self.num_border + self.num_occupies + self.num_done
 
     @property

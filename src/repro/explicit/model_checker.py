@@ -36,7 +36,9 @@ class ExplicitLimitExceeded(RuntimeError):
     """The scenario's state space exceeded the configured limit."""
 
 
-def _chain_candidates(net: DiscreteNetwork, length: int) -> list[frozenset[int]]:
+def _chain_candidates(
+    net: DiscreteNetwork, length: int
+) -> list[frozenset[int]]:
     return [frozenset(chain) for chain in enumerate_chains(net, length)]
 
 

@@ -53,7 +53,9 @@ def at_most_one_ladder(cnf: CNF, lits: list[int]) -> None:
     cnf.add([-prev, -lits[n - 1]])
 
 
-def at_most_one_commander(cnf: CNF, lits: list[int], group_size: int = 3) -> None:
+def at_most_one_commander(
+    cnf: CNF, lits: list[int], group_size: int = 3
+) -> None:
     """Commander AMO: recursively group literals under commander variables."""
     if group_size < 2:
         raise ValueError(f"group size must be >= 2, got {group_size}")

@@ -106,7 +106,9 @@ class CNF:
         """Add a unit clause fixing ``lit`` to true."""
         self.add([lit])
 
-    def add_implication(self, antecedent: int, consequent: Iterable[int]) -> None:
+    def add_implication(
+        self, antecedent: int, consequent: Iterable[int]
+    ) -> None:
         """Add ``antecedent -> (c1 v c2 v ...)`` as one clause."""
         self.add([-antecedent, *consequent])
 

@@ -175,7 +175,8 @@ class Iff(Formula):
         self.right = right
 
     def evaluate(self, assignment: dict[int, bool]) -> bool:
-        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+        return (self.left.evaluate(assignment)
+                == self.right.evaluate(assignment))
 
     def __repr__(self) -> str:
         return f"Iff({self.left!r}, {self.right!r})"

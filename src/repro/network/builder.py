@@ -42,7 +42,8 @@ class NetworkBuilder:
 
     # -- nodes -----------------------------------------------------------
 
-    def node(self, name: str, kind: NodeKind = NodeKind.LINK) -> NetworkBuilder:
+    def node(self, name: str,
+             kind: NodeKind = NodeKind.LINK) -> NetworkBuilder:
         """Add a node of the given kind."""
         if name in self._node_names:
             raise NetworkError(f"duplicate node {name!r}")

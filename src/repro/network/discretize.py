@@ -87,7 +87,9 @@ class DiscreteNetwork:
         self.num_vertices = next_vertex
 
         # Incidence: vertex -> segment ids.
-        self.segments_at: list[list[int]] = [[] for _ in range(self.num_vertices)]
+        self.segments_at: list[list[int]] = [
+            [] for _ in range(self.num_vertices)
+        ]
         for segment in self.segments:
             self.segments_at[segment.u].append(segment.id)
             self.segments_at[segment.v].append(segment.id)

@@ -122,7 +122,7 @@ class TTDPathIndex:
         self._order: dict[str, list[int]] = {}
         # segment id -> position within its TTD path
         self._position: dict[int, int] = {}
-        # ttd -> list of "joint" vertices: joint[i] connects order[i], order[i+1]
+        # ttd -> "joint" vertices: joint[i] connects order[i], order[i+1]
         self._joints: dict[str, list[int]] = {}
         for ttd, members in net.ttd_segments.items():
             order = self._order_path(members)
@@ -163,7 +163,8 @@ class TTDPathIndex:
         previous = -1
         while len(order) < len(members):
             candidates = [
-                s for s in incidence[vertex] if s != previous and s in member_set
+                s for s in incidence[vertex]
+                if s != previous and s in member_set
             ]
             if len(candidates) != 1:
                 raise NetworkError("TTD does not form a simple path")
@@ -209,7 +210,8 @@ def interior_segments_of_paths(
     interiors: set[int] = set()
     seg_e = net.segments[e]
 
-    def dfs(current: int, head: int, visited: list[int], used: set[int]) -> None:
+    def dfs(current: int, head: int, visited: list[int],
+            used: set[int]) -> None:
         if len(visited) > max_edges:
             return
         for nxt in net.seg_neighbours[current]:

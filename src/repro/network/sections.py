@@ -14,11 +14,13 @@ from repro.network.topology import NetworkError
 class VSSLayout:
     """An assignment of the ``border_v`` variables for a discrete network."""
 
-    def __init__(self, net: DiscreteNetwork, borders: set[int] | frozenset[int]):
+    def __init__(self, net: DiscreteNetwork,
+                 borders: set[int] | frozenset[int]):
         missing = net.forced_borders - set(borders)
         if missing:
             raise NetworkError(
-                f"layout is missing forced borders at vertices {sorted(missing)}"
+                "layout is missing forced borders at vertices "
+                f"{sorted(missing)}"
             )
         out_of_range = [v for v in borders if not 0 <= v < net.num_vertices]
         if out_of_range:

@@ -78,7 +78,9 @@ class Track:
             return self.node_b
         if node == self.node_b:
             return self.node_a
-        raise NetworkError(f"node {node!r} is not an endpoint of {self.name!r}")
+        raise NetworkError(
+            f"node {node!r} is not an endpoint of {self.name!r}"
+        )
 
 
 class RailwayNetwork:
@@ -225,7 +227,9 @@ class RailwayNetwork:
                     frontier.append(neighbour)
         if len(seen) != len(self.nodes):
             missing = sorted(set(self.nodes) - seen)
-            raise NetworkError(f"network is disconnected; unreachable: {missing}")
+            raise NetworkError(
+                f"network is disconnected; unreachable: {missing}"
+            )
 
     def __repr__(self) -> str:
         return (

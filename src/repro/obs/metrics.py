@@ -144,6 +144,11 @@ class MetricsRegistry:
             f"{prefix}literals_strengthened", stats.literals_strengthened
         )
 
+    def absorb_lazy(self, stats: dict) -> None:
+        """Absorb a lazy-refinement summary (the ``lazy.*`` keys of
+        :meth:`repro.encoding.lazy.LazyRefiner.stats`)."""
+        self.absorb_counters(stats)
+
     def absorb_portfolio(self, stats, prefix: str = "portfolio.") -> None:
         """Absorb a :class:`repro.sat.portfolio.PortfolioStats` — per-member
         outcomes, win counts, crash reasons, and the win margin."""

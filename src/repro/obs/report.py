@@ -126,7 +126,8 @@ class RunReport:
                     mean = value.get("mean")
                     detail = (
                         f"n={value.get('count', 0)}"
-                        f" mean={_format_value(mean) if mean is not None else '-'}"
+                        " mean="
+                        f"{_format_value(mean) if mean is not None else '-'}"
                         f" min={_format_value(value.get('min'))}"
                         f" max={_format_value(value.get('max'))}"
                     )

@@ -29,7 +29,6 @@ the failure; they never take the descent down with them.
 from __future__ import annotations
 
 import json
-import os
 import zlib
 
 from repro.obs import trace

@@ -55,7 +55,7 @@ from repro.sat.portfolio import (
     diversified_members,
     solve_portfolio,
 )
-from repro.sat.service import ServiceError, SolverService
+from repro.sat.service import ProbeOutcome, ServiceError, SolverService
 from repro.sat.solver import Solver
 from repro.sat.types import SolveResult
 
@@ -152,6 +152,7 @@ def minimize_sum(
     wall_deadline_s: float | None = None,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    refine: Callable[[list[int]], int] | None = None,
 ) -> DescentResult:
     """Minimise the number of true literals among ``objective_lits``.
 
@@ -178,6 +179,15 @@ def minimize_sum(
     raising :class:`repro.opt.checkpoint.CheckpointError` when the file
     belongs to a different formula — and continues the descent from the
     restored bounds (``solve_calls`` counts only the new run's probes).
+
+    ``refine`` hooks a lazy-encoding check into every SAT answer
+    (typically :meth:`repro.encoding.lazy.LazyRefiner.refine`): it
+    receives the model and returns the number of clauses it appended to
+    ``cnf`` (0 = the model is clean).  The descent re-solves after every
+    non-zero refinement — incrementally on the serial path, as an
+    O(delta) service probe or a re-hoisted one-shot race on the parallel
+    paths — so only *clean* models are ever accepted as improvements,
+    and relaxation UNSATs remain sound lower bounds.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -207,11 +217,11 @@ def minimize_sum(
             return _minimize_sum_portfolio(
                 cnf, objective_lits, strategy, on_improvement,
                 parallel, portfolio_members, descent_timeout_s, persistent,
-                budget, ckpt, state,
+                budget, ckpt, state, refine,
             )
         return _minimize_sum_serial(
             cnf, objective_lits, strategy, solver, on_improvement,
-            descent_timeout_s, budget, ckpt, state,
+            descent_timeout_s, budget, ckpt, state, refine,
         )
     finally:
         if ckpt is not None:
@@ -228,6 +238,7 @@ def _minimize_sum_serial(
     budget: _DescentBudget,
     ckpt: DescentCheckpoint | None,
     state: CheckpointState | None,
+    refine: Callable[[list[int]], int] | None = None,
 ) -> DescentResult:
     """The serial incremental descent (one solver, bounds as assumptions)."""
     solver = cnf.to_solver(solver)
@@ -238,6 +249,15 @@ def _minimize_sum_serial(
     model_cost = _cost_counter(objective_lits)
     configured_deadline = solver.config.wall_deadline_s
     unit_keys: set[tuple[int, ...]] = set()
+    shipped = len(cnf.clauses)
+
+    def ship_new() -> None:
+        """Feed clauses appended to the CNF (totalizer layers, lazy
+        refinements) into the incremental solver."""
+        nonlocal shipped
+        for clause in cnf.clauses[shipped:]:
+            solver.add_clause(clause)
+        shipped = len(cnf.clauses)
 
     def arm(per_probe_s: float | None = None) -> bool:
         """Point the solver deadline at the remaining budget.
@@ -270,6 +290,31 @@ def _minimize_sum_serial(
             verdict is SolveResult.UNKNOWN
             and (solver.last_stats.deadline_hits > 0 or budget.exhausted())
         )
+
+    def checked_solve(
+        assumptions: list[int] | tuple[int, ...] = (),
+        per_probe_s: float | None = None,
+    ) -> SolveResult:
+        """One probe plus the lazy solve→check→refine loop.
+
+        SAT is only returned for models that satisfy every deferred
+        constraint; an exhausted budget mid-refinement yields UNKNOWN —
+        a dirty model is never reported as the answer.
+        """
+        nonlocal calls
+        verdict = solver.solve(list(assumptions))
+        while (
+            verdict is SolveResult.SAT
+            and refine is not None
+            and refine(solver.model()) > 0
+        ):
+            ship_new()
+            if not arm(per_probe_s):
+                return SolveResult.UNKNOWN
+            calls += 1
+            with trace.span("descent.probe", call=calls, refined=True):
+                verdict = solver.solve(list(assumptions))
+        return verdict
 
     calls = 0
     resumed = state is not None
@@ -314,7 +359,7 @@ def _minimize_sum_serial(
                 return finish(False, 0, [], False)
             with trace.span("descent.probe", call=calls,
                             strategy=strategy):
-                verdict = solver.solve()
+                verdict = checked_solve()
             if verdict is not SolveResult.SAT:
                 timed_out = probe_timed_out(verdict)
                 return finish(False, 0, [], False)
@@ -334,10 +379,8 @@ def _minimize_sum_serial(
         # Build the totalizer *into the same solver* so bounds are
         # assumptions (the checkpoint fingerprint was taken before this,
         # so resumed runs rebuild byte-identical totalizer literals).
-        marker = len(cnf.clauses)
         totalizer = Totalizer(cnf, objective_lits)
-        for clause in cnf.clauses[marker:]:
-            solver.add_clause(clause)
+        ship_new()
         if state is not None and state.units:
             imported = solver.import_clauses(
                 [[lit] for lit in state.units]
@@ -353,8 +396,9 @@ def _minimize_sum_serial(
                 calls += 1
                 with trace.span("descent.probe", call=calls,
                                 bound=best_cost - 1) as probe_span:
-                    verdict = solver.solve(
-                        [totalizer.bound_literal(best_cost - 1)]
+                    verdict = checked_solve(
+                        [totalizer.bound_literal(best_cost - 1)],
+                        descent_timeout_s,
                     )
                     probe_span.add(verdict=verdict.name)
                 if verdict is SolveResult.SAT:
@@ -392,7 +436,9 @@ def _minimize_sum_serial(
                 calls += 1
                 with trace.span("descent.probe", call=calls,
                                 bound=mid) as probe_span:
-                    verdict = solver.solve([totalizer.bound_literal(mid)])
+                    verdict = checked_solve(
+                        [totalizer.bound_literal(mid)], descent_timeout_s
+                    )
                     probe_span.add(verdict=verdict.name)
                 if verdict is SolveResult.SAT:
                     best_model = solver.model()
@@ -454,6 +500,7 @@ def _minimize_sum_portfolio(
     budget: _DescentBudget,
     ckpt: DescentCheckpoint | None,
     state: CheckpointState | None,
+    refine: Callable[[list[int]], int] | None = None,
 ) -> DescentResult:
     """Portfolio-routed descent: every solve is a race over diversified
     configurations; the deterministic portfolio keeps the result a pure
@@ -472,9 +519,9 @@ def _minimize_sum_portfolio(
     merged: dict[str, int | float] = {}
     service: SolverService | None = None
     service_info: dict = {}
-    # Hoisted clause snapshot for the one-shot path: refreshed exactly
-    # once (after the totalizer is built) instead of re-reading the
-    # growing ``cnf.clauses`` list on every race call.
+    # Hoisted clause snapshot for the one-shot path: refreshed only when
+    # the CNF has grown (totalizer layers, lazy refinement clauses)
+    # instead of re-copying the list on every race call.
     clause_snapshot = list(cnf.clauses)
 
     if persistent:
@@ -503,7 +550,7 @@ def _minimize_sum_portfolio(
             merged[key] = merged.get(key, 0) + value
 
     def race(assumptions=(), timeout_s=None, bound=None):
-        nonlocal wall
+        nonlocal wall, clause_snapshot
         if service is not None:
             try:
                 outcome = service.probe(assumptions, timeout_s=timeout_s)
@@ -517,6 +564,8 @@ def _minimize_sum_portfolio(
                     )
                 absorb(outcome.stats)
                 return outcome
+        if len(clause_snapshot) != len(cnf.clauses):
+            clause_snapshot = list(cnf.clauses)
         with trace.span("descent.race", bound=bound) as race_span:
             result = solve_portfolio(
                 cnf.num_vars, clause_snapshot, assumptions=assumptions,
@@ -582,6 +631,31 @@ def _minimize_sum_portfolio(
             or budget.exhausted()
         )
 
+    def checked_race(assumptions=(), per_probe_s=None, bound=None):
+        """One race plus the lazy solve→check→refine loop.
+
+        SAT outcomes are re-raced until the model is clean (the service
+        ships each refinement as the next probe's delta; the one-shot
+        path re-hoists its snapshot); an exhausted budget mid-refinement
+        yields a timed-out UNKNOWN, never a dirty model.
+        """
+        nonlocal calls
+        outcome = race(assumptions, budget.probe_budget(per_probe_s),
+                       bound)
+        while (
+            outcome.verdict is SolveResult.SAT
+            and refine is not None
+            and refine(outcome.model or []) > 0
+        ):
+            if budget.exhausted():
+                return ProbeOutcome(
+                    verdict=SolveResult.UNKNOWN, timed_out=True
+                )
+            calls += 1
+            outcome = race(assumptions, budget.probe_budget(per_probe_s),
+                           bound)
+        return outcome
+
     try:
         if state is not None and state.best_cost is not None:
             best_model = list(state.best_model)
@@ -595,7 +669,7 @@ def _minimize_sum_portfolio(
                 timed_out = True
                 return finish(False, 0, [], False)
             first_budget = budget.probe_budget(None)
-            first = race(timeout_s=first_budget)
+            first = checked_race()
             if first.verdict is not SolveResult.SAT:
                 if first.verdict is SolveResult.UNKNOWN:
                     timed_out = probe_timed_out(
@@ -624,8 +698,8 @@ def _minimize_sum_portfolio(
                         count=len(state.units))
         # The service ships the totalizer layers as the next probe's
         # delta automatically (it holds ``cnf.clauses`` by reference);
-        # the one-shot path re-hoists its snapshot here, once.
-        clause_snapshot = list(cnf.clauses)
+        # the one-shot race re-hoists its snapshot when it sees the CNF
+        # has grown.
 
         if strategy == "linear":
             proven = False
@@ -635,9 +709,9 @@ def _minimize_sum_portfolio(
                     break
                 calls += 1
                 probe_budget = budget.probe_budget(descent_timeout_s)
-                probe = race(
+                probe = checked_race(
                     assumptions=[totalizer.bound_literal(best_cost - 1)],
-                    timeout_s=probe_budget,
+                    per_probe_s=descent_timeout_s,
                     bound=best_cost - 1,
                 )
                 if probe.verdict is SolveResult.SAT:
@@ -675,9 +749,9 @@ def _minimize_sum_portfolio(
                 mid = (low + high) // 2
                 calls += 1
                 probe_budget = budget.probe_budget(descent_timeout_s)
-                probe = race(
+                probe = checked_race(
                     assumptions=[totalizer.bound_literal(mid)],
-                    timeout_s=probe_budget,
+                    per_probe_s=descent_timeout_s,
                     bound=mid,
                 )
                 if probe.verdict is SolveResult.SAT:

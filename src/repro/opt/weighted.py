@@ -34,6 +34,7 @@ def minimize_weighted_sum(
     parallel: int = 1,
     persistent: bool = False,
     wall_deadline_s: float | None = None,
+    refine=None,
 ) -> MinimizeResult:
     """Minimise ``Σ weight * [lit is true]``.
 
@@ -44,6 +45,8 @@ def minimize_weighted_sum(
     ``parallel > 1``, on the resident solver service when ``persistent``).
     ``wall_deadline_s`` bounds the whole minimisation; stratified runs give
     each stratum the remaining budget and propagate a timeout outcome.
+    ``refine`` is the lazy-encoding check callback, forwarded to every
+    underlying descent (see :func:`repro.opt.minimize.minimize_sum`).
     """
     for lit, weight in weighted_lits:
         if weight <= 0 or not isinstance(weight, int):
@@ -59,6 +62,7 @@ def minimize_weighted_sum(
         result = minimize_sum(
             cnf, duplicated, strategy=strategy, parallel=parallel,
             persistent=persistent, wall_deadline_s=wall_deadline_s,
+            refine=refine,
         )
         return result
 
@@ -96,6 +100,7 @@ def minimize_weighted_sum(
         result = minimize_sum(
             cnf, lits, strategy=strategy, parallel=parallel,
             persistent=persistent, wall_deadline_s=remaining,
+            refine=refine,
         )
         calls += result.solve_calls
         timed_out = timed_out or result.status == STATUS_TIMEOUT

@@ -41,7 +41,9 @@ def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
                 num_vars = int(parts[2])
                 declared_clauses = int(parts[3])
             except ValueError as exc:
-                raise DimacsError(f"line {line_no}: non-integer header") from exc
+                raise DimacsError(
+                    f"line {line_no}: non-integer header"
+                ) from exc
             continue
         for token in line.split():
             try:

@@ -200,7 +200,9 @@ class Solver:
             ok = self.add_clause(lits) and ok
         return ok
 
-    def solve(self, assumptions: list[int] | tuple[int, ...] = ()) -> SolveResult:
+    def solve(
+        self, assumptions: list[int] | tuple[int, ...] = ()
+    ) -> SolveResult:
         """Solve the current formula under the given assumption literals.
 
         Returns :data:`SolveResult.SAT`, :data:`SolveResult.UNSAT`, or
@@ -461,7 +463,8 @@ class Solver:
                 found = False
                 for k in range(2, len(lits)):
                     other = lits[k]
-                    other_val = assigns[other] if other > 0 else -assigns[-other]
+                    other_val = (assigns[other] if other > 0
+                                 else -assigns[-other])
                     if other_val != -1:
                         lits[1] = other
                         lits[k] = false_lit
@@ -594,7 +597,8 @@ class Solver:
         levels = {self._level[abs(lit)] for lit in learned[1:]}
         result = [learned[0]]
         for lit in learned[1:]:
-            if self._reason[abs(lit)] is None or not self._redundant(lit, levels):
+            if (self._reason[abs(lit)] is None
+                    or not self._redundant(lit, levels)):
                 result.append(lit)
             else:
                 self.stats.minimized_literals += 1
@@ -627,7 +631,7 @@ class Solver:
         return True
 
     def _analyze_final(self, failed_lit: int) -> list[int]:
-        """Compute the unsat core when assumption ``failed_lit`` is falsified."""
+        """Compute the unsat core when ``failed_lit`` is falsified."""
         core = [failed_lit]
         if self._decision_level() == 0:
             return core
@@ -679,7 +683,8 @@ class Solver:
             heap = self._order_heap
             while heap:
                 neg_activity, var = heapq.heappop(heap)
-                if self._assigns[var] == 0 and -neg_activity == self._activity[var]:
+                if (self._assigns[var] == 0
+                        and -neg_activity == self._activity[var]):
                     return var
             return 0
         for var in range(1, len(self._assigns)):
@@ -802,7 +807,9 @@ class Solver:
                 and len(self._learned) >= max_learned
             ):
                 self._reduce_learned()
-                max_learned = int(max_learned * config.learned_clause_limit_growth)
+                max_learned = int(
+                    max_learned * config.learned_clause_limit_growth
+                )
 
             # Extend the assumption prefix before free decisions.
             level = self._decision_level()

@@ -26,9 +26,14 @@ def build_encoding(
     schedule: Schedule,
     r_t_min: float,
     options: EncodingOptions | None,
+    lazy: bool = False,
 ) -> EtcsEncoding:
-    """Construct and build the base encoding."""
-    return EtcsEncoding(net, schedule, r_t_min, options).build()
+    """Construct and build the base encoding.
+
+    With ``lazy`` the cross-train families are deferred for the CEGAR
+    loop (:mod:`repro.encoding.lazy`) to instantiate on demand.
+    """
+    return EtcsEncoding(net, schedule, r_t_min, options).build(lazy=lazy)
 
 
 def checked_decode(encoding: EtcsEncoding, true_vars: set[int]) -> Solution:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
+from repro.encoding.lazy import LazyRefiner
 from repro.network.discretize import DiscreteNetwork
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
@@ -39,6 +40,7 @@ def generate_layout(
     timeout_s: float | None = None,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    lazy: bool = False,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -65,16 +67,31 @@ def generate_layout(
     file as they are found, and ``resume=True`` continues a previously
     killed run from that file (linear/binary strategies without
     ``border_costs``; see :mod:`repro.opt.checkpoint`).
+
+    ``lazy`` defers the cross-train constraint families and lets the
+    descent instantiate only the violated instances via the CEGAR check
+    (:mod:`repro.encoding.lazy`) — the optimum is provably unchanged.
+    Off by default for generation (the descent revisits many models, so
+    the refinement rounds can cost more than the smaller formula saves;
+    measure with ``benchmarks/bench_lazy.py``).  The core-guided engine
+    drives its own assumption schedule and stays eager.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
+    use_lazy = lazy and strategy != "core"
+    if lazy and not use_lazy:
+        trace.event("lazy.unsupported", strategy=strategy)
     with trace.span(
-        "generate", strategy=strategy, parallel=parallel
+        "generate", strategy=strategy, parallel=parallel, lazy=use_lazy
     ) as task_span:
-        with trace.span("encode"):
-            encoding = build_encoding(net, schedule, r_t_min, options)
+        with trace.span("encode", lazy=use_lazy):
+            encoding = build_encoding(
+                net, schedule, r_t_min, options, lazy=use_lazy
+            )
             objective = encoding.border_objective()
         record_encoding(reg, encoding)
+        refiner = LazyRefiner(encoding) if use_lazy else None
+        refine = refiner.refine if refiner is not None else None
 
         with trace.span("solve", strategy=strategy):
             if border_costs is not None:
@@ -87,7 +104,7 @@ def generate_layout(
                     encoding.cnf, weighted,
                     strategy=strategy if strategy != "core" else "linear",
                     parallel=parallel, persistent=persistent,
-                    wall_deadline_s=timeout_s,
+                    wall_deadline_s=timeout_s, refine=refine,
                 )
             elif strategy == "core":
                 result = minimize_sum_core_guided(
@@ -99,8 +116,11 @@ def generate_layout(
                     parallel=parallel, persistent=persistent,
                     wall_deadline_s=timeout_s,
                     checkpoint_path=checkpoint_path, resume=resume,
+                    refine=refine,
                 )
         record_descent(reg, result)
+        if refiner is not None:
+            reg.absorb_lazy(refiner.stats())
 
         solution = None
         with trace.span("decode", satisfiable=result.feasible):

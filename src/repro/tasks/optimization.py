@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
+from repro.encoding.lazy import LazyRefiner
 from repro.logic.totalizer import Totalizer
 from repro.network.discretize import DiscreteNetwork
 from repro.obs import trace
@@ -43,6 +44,7 @@ def optimize_schedule(
     timeout_s: float | None = None,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    lazy: bool = False,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -79,6 +81,11 @@ def optimize_schedule(
     ``checkpoint_path``/``resume`` checkpoint the *primary* descent only
     (the refinement and secondary passes optimise different objectives
     and always re-run).
+
+    ``lazy`` defers the cross-train constraint families to the CEGAR
+    check (:mod:`repro.encoding.lazy`), shared by the primary and every
+    follow-up pass; off by default (see :func:`generate_layout`).  The
+    core-guided engine stays eager.
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -93,17 +100,25 @@ def optimize_schedule(
         return max(deadline - time.perf_counter(), 0.0)
 
     reg = MetricsRegistry()
+    use_lazy = lazy and strategy != "core"
+    if lazy and not use_lazy:
+        trace.event("lazy.unsupported", strategy=strategy)
     with trace.span(
-        "optimize", objective=objective, strategy=strategy, parallel=parallel
+        "optimize", objective=objective, strategy=strategy,
+        parallel=parallel, lazy=use_lazy,
     ) as task_span:
         free_schedule = schedule.without_deadlines()
-        with trace.span("encode"):
-            encoding = build_encoding(net, free_schedule, r_t_min, options)
+        with trace.span("encode", lazy=use_lazy):
+            encoding = build_encoding(
+                net, free_schedule, r_t_min, options, lazy=use_lazy
+            )
             if objective == "makespan":
                 objective_lits = encoding.makespan_objective()
             else:
                 objective_lits = encoding.total_arrival_objective()
         record_encoding(reg, encoding)
+        refiner = LazyRefiner(encoding) if use_lazy else None
+        lazy_refine = refiner.refine if refiner is not None else None
 
         with trace.span("solve", phase="primary"):
             if strategy == "core":
@@ -117,6 +132,7 @@ def optimize_schedule(
                     parallel=parallel, persistent=persistent,
                     wall_deadline_s=remaining(),
                     checkpoint_path=checkpoint_path, resume=resume,
+                    refine=lazy_refine,
                 )
         record_descent(reg, result)
         solve_calls = result.solve_calls
@@ -153,7 +169,7 @@ def optimize_schedule(
                 refined = minimize_sum(
                     encoding.cnf, arrival_lits, strategy=strategy,
                     parallel=parallel, persistent=persistent,
-                    wall_deadline_s=budget,
+                    wall_deadline_s=budget, refine=lazy_refine,
                 )
             record_descent(reg, refined)
             _merge_counts(stats_total, refined.solver_stats)
@@ -195,7 +211,7 @@ def optimize_schedule(
                     encoding.cnf, encoding.border_objective(),
                     strategy=strategy, parallel=parallel,
                     persistent=persistent,
-                    wall_deadline_s=budget,
+                    wall_deadline_s=budget, refine=lazy_refine,
                 )
             record_descent(reg, secondary)
             _merge_counts(stats_total, secondary.solver_stats)
@@ -214,6 +230,8 @@ def optimize_schedule(
                     resumed=was_resumed,
                 )
 
+        if refiner is not None:
+            reg.absorb_lazy(refiner.stats())
         solution = None
         with trace.span("decode", satisfiable=result.feasible):
             if result.feasible:

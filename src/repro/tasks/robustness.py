@@ -19,7 +19,8 @@ from repro.tasks.verification import verify_schedule
 from repro.trains.schedule import Schedule, ScheduleError
 
 
-def _delayed(schedule: Schedule, train_name: str, delay_min: float) -> Schedule:
+def _delayed(schedule: Schedule, train_name: str,
+             delay_min: float) -> Schedule:
     """Copy of ``schedule`` with one train's departure shifted later."""
     runs = []
     for run in schedule.runs:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
+from repro.encoding.lazy import solve_lazy_verification
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.sat import (
@@ -44,6 +45,7 @@ def verify_schedule(
     with_proof: bool = False,
     presimplify: bool = False,
     parallel: int = 1,
+    lazy: bool = True,
 ) -> TaskResult:
     """Verify ``schedule`` on ``layout`` (default: the pure TTD layout).
 
@@ -63,14 +65,23 @@ def verify_schedule(
     many diversified solver configurations (:mod:`repro.sat.portfolio`);
     the verdict is provably unchanged and the witness stays deterministic.
     ``parallel=1`` is exactly the serial path.
+
+    ``lazy`` (the default) defers the cross-train constraint families to
+    the CEGAR loop in :mod:`repro.encoding.lazy` — same verdict, usually
+    far fewer clauses.  Proof logging and presimplification need the
+    full clause set as fixed premises, so either of them forces the
+    eager encoder.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
-    with trace.span("verify", parallel=parallel) as task_span:
+    use_lazy = lazy and not with_proof and not presimplify
+    with trace.span("verify", parallel=parallel, lazy=use_lazy) as task_span:
         if layout is None:
             layout = VSSLayout.pure_ttd(net)
-        with trace.span("encode"):
-            encoding = build_encoding(net, schedule, r_t_min, options)
+        with trace.span("encode", lazy=use_lazy):
+            encoding = build_encoding(
+                net, schedule, r_t_min, options, lazy=use_lazy
+            )
             encoding.pin_layout(layout)
             if waypoints:
                 encoding.pin_waypoints(waypoints)
@@ -87,7 +98,30 @@ def verify_schedule(
                 reg.absorb_simplify(simplify_stats)
 
         portfolio_summary = None
-        if parallel > 1:
+        solve_calls = 1
+        if use_lazy:
+            with trace.span("solve", lazy=True, processes=parallel):
+                outcome = solve_lazy_verification(
+                    encoding, parallel=parallel
+                )
+            satisfiable = outcome.satisfiable
+            solve_calls = outcome.solve_calls
+            proof_checked = None
+            portfolio_summary = outcome.portfolio
+            with trace.span("decode", satisfiable=satisfiable):
+                solution = (
+                    checked_decode(encoding, outcome.true_vars)
+                    if satisfiable
+                    else None
+                )
+            if outcome.solver is not None:
+                record_solver(reg, outcome.solver)
+            else:
+                reg.absorb_solver_stats(outcome.solver_stats)
+            solver_stats = outcome.solver_stats
+            reg.absorb_lazy(outcome.refiner.stats())
+            task_span.add(lazy_rounds=outcome.refiner.rounds)
+        elif parallel > 1:
             with trace.span("solve", processes=parallel):
                 race = solve_portfolio(
                     encoding.cnf.num_vars, clauses,
@@ -162,7 +196,7 @@ def verify_schedule(
         actual_vars=encoding.cnf.num_vars,
         clauses=encoding.cnf.num_clauses,
         solution=solution,
-        solve_calls=1,
+        solve_calls=solve_calls,
         solver_stats=solver_stats,
         proof_checked=proof_checked,
         portfolio=portfolio_summary,

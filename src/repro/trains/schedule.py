@@ -57,14 +57,16 @@ class TrainRun:
             raise ScheduleError(
                 f"train {self.train.name!r}: negative departure time"
             )
-        if self.arrival_min is not None and self.arrival_min <= self.departure_min:
+        if (self.arrival_min is not None
+                and self.arrival_min <= self.departure_min):
             raise ScheduleError(
                 f"train {self.train.name!r}: arrival deadline "
                 f"{self.arrival_min} not after departure {self.departure_min}"
             )
         if self.start == self.goal:
             raise ScheduleError(
-                f"train {self.train.name!r}: start equals goal ({self.start!r})"
+                f"train {self.train.name!r}: start equals goal "
+                f"({self.start!r})"
             )
 
 

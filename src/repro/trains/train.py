@@ -33,7 +33,8 @@ class Train:
             )
         if self.max_speed_kmh <= 0:
             raise ValueError(
-                f"train {self.name!r}: speed must be > 0, got {self.max_speed_kmh}"
+                f"train {self.name!r}: speed must be > 0, "
+                f"got {self.max_speed_kmh}"
             )
 
     @property

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import SweepPoint, resolution_sweep
+from repro.analysis import resolution_sweep
 from repro.analysis.sensitivity import format_sweep
 from repro.trains.schedule import Schedule, TrainRun
 from repro.trains.train import Train
@@ -25,7 +25,8 @@ class TestSweep:
         )
         assert [p.segments for p in points] == [3, 6, 12]
         assert [p.t_max for p in points] == [5, 10, 20]
-        assert points[0].paper_vars < points[1].paper_vars < points[2].paper_vars
+        assert (points[0].paper_vars < points[1].paper_vars
+                < points[2].paper_vars)
 
     def test_feasible_across_resolutions(self, micro_line, schedule):
         points = resolution_sweep(

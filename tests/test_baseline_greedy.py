@@ -94,8 +94,6 @@ class TestAgainstValidator:
                                                     single_train_schedule):
         """Greedy trajectories must satisfy the same physics the SAT model
         enforces (cross-checked via the independent validator)."""
-        import dataclasses
-
         from repro.encoding.decode import Solution, TrainTrajectory
         from repro.encoding.encoder import EtcsEncoding
         from repro.encoding.validate import validate_solution

@@ -19,6 +19,7 @@ from repro.opt import minimize_sum
 from repro.sat.portfolio import fork_available
 from repro.sat.service import SolverService
 from repro.sat.types import SolveResult
+from repro.tasks import generate_layout, verify_schedule
 from repro.tasks.batch import BatchJob, run_batch
 from repro.testing import FaultPlan, active_plan, injected
 from repro.testing.faults import ENV_KEY, FaultPlanError
@@ -138,6 +139,73 @@ class TestCheckpointFaults:
                                resume=True)
         assert resumed.feasible and resumed.proven_optimal
         assert resumed.cost == 2
+
+
+@needs_fork
+class TestLazyFaults:
+    """Worker crashes during the CEGAR refinement loop.
+
+    The running example's verification is UNSAT after one refinement
+    round (probe 1: SAT on the relaxation → refine; probe 2: UNSAT), so
+    a kill at probe 2 lands mid-refinement by construction.
+    """
+
+    @staticmethod
+    def _running_example():
+        from repro.casestudies.running_example import running_example
+
+        study = running_example()
+        return study.discretize(), study.schedule, study.r_t_min
+
+    def test_worker_kill_mid_refinement_survives(self):
+        # Kill "base" at its 2nd probe: the refinement clauses shipped
+        # in that probe's delta are not lost — the surviving member got
+        # its own copy — and the final UNSAT verdict is unchanged.
+        net, schedule, r_t = self._running_example()
+        with injected(FaultPlan(kill_member="base", kill_probe=2)):
+            result = verify_schedule(
+                net, schedule, r_t, parallel=2, lazy=True
+            )
+        assert not result.satisfiable  # same verdict as the clean run
+        assert result.metrics["lazy.rounds"] >= 1
+        service = result.portfolio["service"]
+        assert service["counters"].get("service.worker_crashes", 0) >= 1
+
+    def test_service_death_mid_refinement_falls_back(self):
+        # A single-member service that dies at probe 2 leaves no
+        # survivors (ServiceDeadError); the loop must replay the round
+        # through the one-shot portfolio — over the *refined* clause
+        # set — and still conclude UNSAT.
+        from repro.encoding.lazy import solve_lazy_verification
+        from repro.network.sections import VSSLayout
+        from repro.sat.portfolio import diversified_members
+        from repro.tasks.common import build_encoding
+
+        net, schedule, r_t = self._running_example()
+        encoding = build_encoding(net, schedule, r_t, None, lazy=True)
+        encoding.pin_layout(VSSLayout.pure_ttd(net))
+        with injected(FaultPlan(kill_member="base", kill_probe=2)):
+            outcome = solve_lazy_verification(
+                encoding, parallel=2, members=diversified_members(1)
+            )
+        assert not outcome.satisfiable
+        assert outcome.refiner.rounds >= 1
+        assert "fallback" in outcome.portfolio["service"]
+
+    def test_worker_kill_mid_lazy_descent_survives(self):
+        # The lazy generation descent re-solves every SAT probe until
+        # its model is clean; killing the non-primary member partway
+        # must not change the proven optimum.
+        net, schedule, r_t = self._running_example()
+        with injected(FaultPlan(kill_member="neg-phase", kill_probe=2)):
+            result = generate_layout(
+                net, schedule, r_t, parallel=2, persistent=True,
+                lazy=True,
+            )
+        assert result.satisfiable and result.proven_optimal
+        assert result.objective_value == 1  # the clean-run optimum
+        service = result.portfolio["service"]
+        assert service["counters"].get("service.worker_crashes", 0) >= 1
 
 
 @needs_fork

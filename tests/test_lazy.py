@@ -1,0 +1,167 @@
+"""Lazy (CEGAR) constraint generation: unit and integration tests.
+
+Covers the deferred build, the emit/count parity between the lazy pair
+emitters and the eager families, the refinement loop itself, the task
+plumbing (defaults, proof forcing eager, metrics keys), and the
+parallel service path's verdict agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoding.encoder import LAZY_FAMILIES
+from repro.encoding.lazy import LazyRefiner, solve_lazy_verification
+from repro.network.sections import VSSLayout
+from repro.sat.portfolio import fork_available
+from repro.tasks import generate_layout, verify_schedule
+from repro.tasks.common import build_encoding
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+def _encodings(net, schedule, r_t_min, layout=None):
+    """The same scenario built eagerly and lazily, layouts pinned."""
+    eager = build_encoding(net, schedule, r_t_min, None, lazy=False)
+    lazy = build_encoding(net, schedule, r_t_min, None, lazy=True)
+    if layout is None:
+        layout = VSSLayout.pure_ttd(net)
+    eager.pin_layout(layout)
+    lazy.pin_layout(layout)
+    return eager, lazy
+
+
+class TestLazyBuild:
+    def test_defers_cross_train_families(self, micro_net,
+                                         crossing_schedule):
+        eager, lazy = _encodings(micro_net, crossing_schedule, 0.5)
+        assert lazy.deferred_families == LAZY_FAMILIES
+        assert eager.deferred_families == ()
+        for family in LAZY_FAMILIES:
+            assert family not in lazy.family_stats
+            assert family in eager.family_stats
+        # Deferring families must not change the variable space: the
+        # cross-train clauses only reuse occupies/border variables.
+        assert lazy.cnf.num_vars == eager.cnf.num_vars
+        assert lazy.cnf.num_clauses < eager.cnf.num_clauses
+
+    def test_deferred_count_matches_eager_family_stats(
+        self, micro_net, crossing_schedule
+    ):
+        """The counting walk prices exactly what eager would emit."""
+        eager, lazy = _encodings(micro_net, crossing_schedule, 0.5)
+        counts = lazy.deferred_eager_count()
+        assert set(counts) == set(LAZY_FAMILIES)
+        for family in LAZY_FAMILIES:
+            assert counts[family] == eager.family_stats[family]["clauses"]
+
+    def test_refiner_rejects_eager_encoding(self, micro_net,
+                                            crossing_schedule):
+        eager, _ = _encodings(micro_net, crossing_schedule, 0.5)
+        with pytest.raises(ValueError):
+            LazyRefiner(eager)
+
+
+class TestLazyVerificationLoop:
+    def test_single_train_clean_without_refinement(
+        self, micro_net, single_train_schedule
+    ):
+        """One train can never violate a cross-train constraint."""
+        _, lazy = _encodings(micro_net, single_train_schedule, 0.5)
+        outcome = solve_lazy_verification(lazy)
+        assert outcome.satisfiable
+        assert outcome.refiner.rounds == 1
+        assert outcome.refiner.clauses_added == 0
+        stats = outcome.refiner.stats()
+        assert stats["lazy.constraints_added"] == 0
+        assert stats["lazy.clauses_saved"] == stats["lazy.eager_clauses"]
+
+    def test_unsat_verdict_matches_eager(self, micro_net,
+                                         crossing_schedule):
+        # Two opposing trains on a single line with pure TTDs deadlock.
+        eager_result = verify_schedule(
+            micro_net, crossing_schedule, 0.5, lazy=False
+        )
+        outcome = solve_lazy_verification(
+            _encodings(micro_net, crossing_schedule, 0.5)[1]
+        )
+        assert not eager_result.satisfiable
+        assert not outcome.satisfiable
+
+    def test_sat_needs_refinement_on_loop(self, loop_net,
+                                          crossing_schedule):
+        """On the passing loop the schedule is SAT, but the relaxation's
+        first model typically violates separation — refinement adds the
+        violated instances and the final model is validator-clean."""
+        _, lazy = _encodings(loop_net, crossing_schedule, 0.5)
+        outcome = solve_lazy_verification(lazy)
+        assert outcome.satisfiable
+        assert outcome.refiner.rounds >= 1
+        # Only a strict subset of the eager cross-train clauses was
+        # needed — the whole point of the exercise.
+        saved = outcome.refiner.stats()["lazy.clauses_saved"]
+        assert saved > 0
+
+
+class TestTaskPlumbing:
+    def test_verify_lazy_default_emits_metrics(self, loop_net,
+                                               crossing_schedule):
+        result = verify_schedule(loop_net, crossing_schedule, 0.5)
+        assert result.satisfiable
+        assert "lazy.rounds" in result.metrics
+        assert "lazy.constraints_added" in result.metrics
+        assert "lazy.clauses_saved" in result.metrics
+
+    def test_verify_no_lazy_has_no_lazy_metrics(self, loop_net,
+                                                crossing_schedule):
+        result = verify_schedule(
+            loop_net, crossing_schedule, 0.5, lazy=False
+        )
+        assert result.satisfiable
+        assert "lazy.rounds" not in result.metrics
+
+    def test_with_proof_forces_eager(self, micro_net, crossing_schedule):
+        """Proof logging needs the full clause set as premises, so the
+        lazy default silently yields to the eager encoder."""
+        result = verify_schedule(
+            micro_net, crossing_schedule, 0.5, with_proof=True, lazy=True
+        )
+        assert not result.satisfiable
+        assert result.proof_checked is True
+        assert "lazy.rounds" not in result.metrics
+
+    def test_lazy_generation_matches_eager_objective(
+        self, micro_net, crossing_schedule
+    ):
+        eager = generate_layout(micro_net, crossing_schedule, 0.5)
+        lazy = generate_layout(
+            micro_net, crossing_schedule, 0.5, lazy=True
+        )
+        assert lazy.satisfiable == eager.satisfiable
+        assert lazy.objective_value == eager.objective_value
+        assert "lazy.rounds" in lazy.metrics
+
+    def test_core_strategy_stays_eager(self, micro_net,
+                                       crossing_schedule):
+        result = generate_layout(
+            micro_net, crossing_schedule, 0.5, strategy="core", lazy=True
+        )
+        assert result.satisfiable
+        assert "lazy.rounds" not in result.metrics
+
+
+@needs_fork
+class TestLazyParallel:
+    def test_parallel_verification_agrees(self, loop_net,
+                                          crossing_schedule):
+        serial = verify_schedule(
+            loop_net, crossing_schedule, 0.5, lazy=True
+        )
+        parallel = verify_schedule(
+            loop_net, crossing_schedule, 0.5, parallel=2, lazy=True
+        )
+        assert parallel.satisfiable == serial.satisfiable
+        assert parallel.portfolio is not None
+        assert parallel.portfolio["calls"] >= 1

@@ -28,7 +28,9 @@ def enumerate_models(cnf: CNF, variables: list[int]) -> set[tuple[bool, ...]]:
     while solver.solve() is SolveResult.SAT:
         model = tuple(bool(solver.model_value(v)) for v in variables)
         found.add(model)
-        solver.add_clause([-v if solver.model_value(v) else v for v in variables])
+        solver.add_clause(
+            [-v if solver.model_value(v) else v for v in variables]
+        )
     return found
 
 
@@ -37,7 +39,9 @@ def fresh(n: int) -> tuple[CNF, list[int]]:
     return cnf, [cnf.pool.var(("x", i)) for i in range(n)]
 
 
-AMO_ENCODERS = [at_most_one_pairwise, at_most_one_ladder, at_most_one_commander]
+AMO_ENCODERS = [
+    at_most_one_pairwise, at_most_one_ladder, at_most_one_commander
+]
 
 
 class TestAtMostOne:

@@ -33,7 +33,8 @@ class TestBoundsViaAssumptions:
         totalizer = Totalizer(cnf, lits)
         for k in range(n):
             expected = sum(math.comb(n, j) for j in range(k + 1))
-            assert count_models(cnf, lits, [totalizer.bound_literal(k)]) == expected
+            bound = [totalizer.bound_literal(k)]
+            assert count_models(cnf, lits, bound) == expected
 
     def test_bound_literal_range_checked(self):
         cnf, lits = fresh(3)
@@ -50,7 +51,8 @@ class TestBoundsViaAssumptions:
         cnf.add(lits[:3])  # at least one of the first three
         solver = cnf.to_solver()
         for k in (4, 3, 2, 1):
-            assert solver.solve([totalizer.bound_literal(k)]) is SolveResult.SAT
+            verdict = solver.solve([totalizer.bound_literal(k)])
+            assert verdict is SolveResult.SAT
             true_count = sum(bool(solver.model_value(v)) for v in lits)
             assert true_count <= k
         assert solver.solve([totalizer.bound_literal(0)]) is SolveResult.UNSAT

@@ -11,7 +11,9 @@ import itertools
 
 import pytest
 
-from repro.logic import And, CNF, FALSE, Iff, Implies, Not, Or, TRUE, Var, VarPool, to_cnf
+from repro.logic import (
+    And, CNF, FALSE, Iff, Implies, Not, Or, TRUE, Var, VarPool, to_cnf
+)
 from repro.sat import SolveResult
 
 

@@ -104,7 +104,8 @@ class TestForcedBorders:
 
 class TestStations:
     def test_station_segments(self, micro_net):
-        assert micro_net.station_segments("A") == micro_net.track_segments("staA")
+        assert (micro_net.station_segments("A")
+                == micro_net.track_segments("staA"))
 
     def test_multi_track_station(self, loop_net):
         # Make a station out of both loop tracks.

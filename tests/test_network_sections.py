@@ -38,7 +38,8 @@ class TestSections:
 
     def test_sections_partition_segments(self, loop_net):
         free = loop_net.free_border_candidates()
-        layout = VSSLayout(loop_net, set(loop_net.forced_borders) | set(free[:2]))
+        borders = set(loop_net.forced_borders) | set(free[:2])
+        layout = VSSLayout(loop_net, borders)
         sections = layout.sections()
         seen = [s for section in sections for s in section]
         assert sorted(seen) == list(range(loop_net.num_segments))

@@ -145,5 +145,6 @@ class TestLexicographic:
 
     def test_binary_strategy(self):
         cnf = build(4, [[1, 2], [3, 4]])
-        results = minimize_lexicographic(cnf, [[1, 2], [3, 4]], strategy="binary")
+        results = minimize_lexicographic(cnf, [[1, 2], [3, 4]],
+                                         strategy="binary")
         assert [r.cost for r in results] == [1, 1]

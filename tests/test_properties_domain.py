@@ -97,7 +97,8 @@ class TestGraphProperties:
         net = DiscreteNetwork(network, r_s)
         source = 0
         dist = segment_distances(net, source)
-        expected = {e for e in range(net.num_segments) if 0 <= dist[e] <= radius}
+        expected = {e for e in range(net.num_segments)
+                    if 0 <= dist[e] <= radius}
         assert set(reachable(net, source, radius)) == expected
 
     @given(line_networks(), st.floats(0.3, 1.5))
@@ -194,7 +195,7 @@ class TestGreedyCrossValidation:
         if greedy.success:
             sat = verify_schedule(net, schedule, 1.0, layout=layout)
             assert sat.satisfiable, (
-                f"greedy witness not accepted by SAT: "
+                "greedy witness not accepted by SAT: "
                 f"arrivals={greedy.arrivals}, trajectories="
                 f"{[[sorted(x) for x in tr] for tr in greedy.trajectories]}"
             )

@@ -6,7 +6,9 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.logic import CNF, Totalizer, VarPool, at_most_k_sequential, exactly_one
+from repro.logic import (
+    CNF, Totalizer, VarPool, at_most_k_sequential, exactly_one
+)
 from repro.sat import Solver, SolveResult, parse_dimacs, write_dimacs
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import itertools
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sat import Solver, SolveResult

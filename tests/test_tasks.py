@@ -88,7 +88,8 @@ class TestGeneration:
         assert 1 <= result.objective_value < len(
             micro_net.free_border_candidates()
         )
-        assert result.num_sections == micro_net.num_ttds + result.objective_value
+        assert (result.num_sections
+                == micro_net.num_ttds + result.objective_value)
 
     def test_zero_borders_when_pure_works(self, micro_net,
                                           single_train_schedule):

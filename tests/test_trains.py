@@ -144,7 +144,8 @@ class TestDiscretizeRun:
 
 class TestDiscretizeSchedule:
     def test_t_max(self, micro_net, single_train_schedule):
-        runs, t_max = discretize_schedule(micro_net, single_train_schedule, 0.5)
+        runs, t_max = discretize_schedule(micro_net,
+                                          single_train_schedule, 0.5)
         assert t_max == 10
         assert len(runs) == 1
         assert runs[0].index == 0

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.encoding.decode import Solution, TrainTrajectory
+from repro.encoding.decode import Solution
 from repro.encoding.encoder import EtcsEncoding
 from repro.encoding.validate import validate_solution
 from repro.sat import SolveResult
