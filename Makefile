@@ -1,7 +1,7 @@
 PYTHON ?= python
 
-.PHONY: tier1 test test-faults smoke lint check bench bench-portfolio \
-	bench-descent bench-lazy
+.PHONY: tier1 test test-faults smoke fuzz lint check bench \
+	bench-portfolio bench-descent bench-lazy
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -30,6 +30,14 @@ smoke:
 			echo "smoke: verify crashed with exit $$rc" >&2; \
 			exit $$rc; \
 		fi
+
+# Differential fuzz: FUZZ_COUNT seeded scenarios through all four solver
+# paths; failing seeds are shrunk and written to fuzz-failures/.
+FUZZ_COUNT ?= 25
+FUZZ_SEED ?= 0
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed $(FUZZ_SEED) \
+		--count $(FUZZ_COUNT) -j 2 --report fuzz-report.json
 
 # Lint with ruff when it is installed (CLI or module); skip gracefully on
 # machines without it, so `make check` works in minimal containers too.

@@ -6,8 +6,10 @@ with the lazy CEGAR loop (:mod:`repro.encoding.lazy`, only *violated*
 separation/collision/swap instances added between solver calls) — and
 records clause counts, refinement rounds, and wall time under stable
 ``bench.lazy.*`` keys.  The generation descent is benchmarked on the
-running example the same way (lazy is off by default for descents; this
-is the data point that justifies the default).
+running example the same way, and every cell of the refiner's
+grouping/selection strategy matrix is timed on that descent under
+``bench.lazy.strategy.*`` — the data that picks
+:data:`~repro.encoding.lazy.DESCENT_LAZY_STRATEGY`.
 
 The verdict/objective agreement between the modes is asserted, so the
 benchmark doubles as an end-to-end differential check.
@@ -25,6 +27,7 @@ import time
 
 from repro.casestudies.base import all_case_studies
 from repro.casestudies.running_example import running_example
+from repro.encoding.lazy import DEFAULT_LAZY_STRATEGY, DESCENT_LAZY_STRATEGY
 from repro.obs.metrics import MetricsRegistry
 from repro.tasks import generate_layout, verify_schedule
 
@@ -104,6 +107,56 @@ def bench_generation(reg: MetricsRegistry) -> None:
           f"{lazy_s:.3f}s, objective {lazy.objective_value} (agree)")
 
 
+def bench_strategy_matrix(reg: MetricsRegistry, repeat: int = 3) -> None:
+    """Time every strategy cell on the running-example descent.
+
+    The eager reference and all six cells are measured *interleaved*
+    (one full sweep per repeat, best-of per config) so a load drift on
+    the host hits every config alike instead of skewing the ratios.
+    """
+    study = running_example()
+    net = study.discretize()
+
+    def run(lazy: bool, strategy: str = DEFAULT_LAZY_STRATEGY):
+        return generate_layout(
+            net, study.schedule, study.r_t_min, lazy=lazy,
+            lazy_strategy=strategy,
+        )
+
+    cells = [
+        f"{grouping}/{selection}"
+        for grouping in ("violation", "pair", "family")
+        for selection in ("all", "first-1")
+    ]
+    configs: list[str | None] = [None, *cells]  # None = eager reference
+    best: dict[str | None, float] = {}
+    results: dict[str | None, object] = {}
+    for __ in range(repeat):
+        for config in configs:
+            start = time.perf_counter()
+            result = run(config is not None, config or DEFAULT_LAZY_STRATEGY)
+            elapsed = time.perf_counter() - start
+            if config not in best or elapsed < best[config]:
+                best[config] = elapsed
+            results[config] = result
+
+    eager = results[None]
+    eager_s = best[None]
+    print("strategy matrix (generation descent, running example):")
+    for cell in cells:
+        result, wall = results[cell], best[cell]
+        assert result.satisfiable == eager.satisfiable, cell
+        assert result.objective_value == eager.objective_value, cell
+        prefix = f"bench.lazy.strategy.{cell.replace('/', '-')}."
+        reg.set(f"{prefix}wall_s", round(wall, 4))
+        reg.set(f"{prefix}speedup", round(eager_s / wall, 3))
+        reg.set(f"{prefix}rounds", result.metrics.get("lazy.rounds", 0))
+        marker = " *" if cell == DESCENT_LAZY_STRATEGY else ""
+        print(f"  {cell:18s} {wall:.3f}s "
+              f"({eager_s / wall:.2f}x vs eager, "
+              f"{result.metrics.get('lazy.rounds', 0)} rounds){marker}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_lazy.json",
@@ -115,6 +168,7 @@ def main(argv=None) -> int:
     for study in all_case_studies():
         bench_verification(reg, study)
     bench_generation(reg)
+    bench_strategy_matrix(reg)
     reg.write_json(args.out)
     print(f"wrote {args.out}")
     return 0

@@ -151,6 +151,19 @@ def _add_anytime_args(parser: argparse.ArgumentParser) -> None:
                              "instead of starting over")
 
 
+def _add_lazy_strategy_arg(parser: argparse.ArgumentParser,
+                           default: str | None = None) -> None:
+    from repro.encoding.lazy import DEFAULT_LAZY_STRATEGY
+
+    default = default or DEFAULT_LAZY_STRATEGY
+    parser.add_argument("--lazy-strategy", metavar="G/S",
+                        default=default,
+                        help="CEGAR clause-selection cell "
+                             "<violation|pair|family>/<all|first-k> "
+                             f"(default {default}; only "
+                             "meaningful with the lazy encoder)")
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE",
                         help="record a span trace (.jsonl = JSON Lines, "
@@ -195,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "refinement loop, adding only violated "
                              "instances (default on; --no-lazy forces the "
                              "eager encoder; --proof implies eager)")
+    _add_lazy_strategy_arg(verify)
     verify.add_argument("--proof", action="store_true",
                         help="back UNSAT verdicts with a checked DRAT proof")
     verify.add_argument("--explain", action="store_true",
@@ -217,6 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="defer cross-train constraints to the CEGAR "
                                "refinement loop (default off for descents; "
                                "ignored by --strategy core)")
+    from repro.encoding.lazy import DESCENT_LAZY_STRATEGY
+    _add_lazy_strategy_arg(generate, default=DESCENT_LAZY_STRATEGY)
     _add_anytime_args(generate)
     _add_obs_args(generate)
 
@@ -242,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="defer cross-train constraints to the CEGAR "
                                "refinement loop (default off for descents; "
                                "ignored by --strategy core)")
+    _add_lazy_strategy_arg(optimize, default=DESCENT_LAZY_STRATEGY)
     _add_anytime_args(optimize)
     _add_obs_args(optimize)
 
@@ -276,6 +293,35 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--output", required=True, help="DIMACS output file")
     export.add_argument("--pin-pure-ttd", action="store_true",
                         help="pin the pure TTD layout (verification instance)")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differentially fuzz random scenarios across the "
+                     "eager/lazy/portfolio/service solver paths"
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="run seed; the whole run (scenarios, verdicts, "
+                           "records) is a pure function of it")
+    fuzz.add_argument("--count", type=int, default=25, metavar="N",
+                      help="number of scenarios to generate (default 25)")
+    fuzz.add_argument("-j", "--jobs", type=int, default=2, metavar="N",
+                      help="portfolio/service processes for the racing "
+                           "paths (default 2)")
+    fuzz.add_argument("--no-optimum", dest="check_optimum",
+                      action="store_false",
+                      help="skip the eager-vs-lazy generation-optimum "
+                           "cross-check (verdicts only; faster)")
+    fuzz.add_argument("--max-trains", type=int, default=3,
+                      help="fleet-size cap for sampled scenarios")
+    fuzz.add_argument("--max-loops", type=int, default=1,
+                      help="passing-loop cap for sampled scenarios")
+    fuzz.add_argument("--out", metavar="DIR", default="fuzz-failures",
+                      help="directory for reproducer files of shrunk "
+                           "disagreements (created on first failure)")
+    fuzz.add_argument("--report", metavar="FILE", default=None,
+                      help="write the full fuzz report as JSON")
+    fuzz.add_argument("--reproduce", metavar="FILE", default=None,
+                      help="replay one reproducer JSON instead of fuzzing")
+    _add_obs_args(fuzz)
     return parser
 
 
@@ -311,6 +357,54 @@ def main(argv: list[str] | None = None) -> int:
         if tracer is not None:
             _write_trace(tracer, args.trace)
             trace.reset()
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.scenarios.fuzz import (
+        reproduce,
+        run_fuzz,
+        write_report,
+    )
+
+    if args.reproduce:
+        record = reproduce(args.reproduce, jobs=args.jobs,
+                           check_optimum=args.check_optimum)
+        print(f"{record.name}: verdicts={record.verdicts} "
+              f"optima={record.optima}")
+        if record.agree:
+            print("all paths agree — reproducer no longer fails")
+            return 0
+        print("DISAGREEMENT reproduced", file=sys.stderr)
+        return 1
+
+    reg = MetricsRegistry()
+    report = run_fuzz(
+        count=args.count,
+        seed=args.seed,
+        jobs=args.jobs,
+        check_optimum=args.check_optimum,
+        out_dir=args.out,
+        registry=reg,
+        max_trains=args.max_trains,
+        max_loops=args.max_loops,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    if args.report:
+        write_report(report, args.report)
+        print(f"report -> {args.report}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        _write_metrics(report.metrics, args.metrics)
+    sat = sum(1 for r in report.records if r.verdicts.get("eager"))
+    print(f"fuzzed {len(report.records)} scenarios (seed {args.seed}): "
+          f"{sat} SAT / {len(report.records) - sat} UNSAT")
+    if report.ok:
+        print("all solver paths agree")
+        return 0
+    for record in report.disagreements:
+        where = f" -> {record.reproducer}" if record.reproducer else ""
+        print(f"DISAGREEMENT seed={record.seed} verdicts={record.verdicts} "
+              f"optima={record.optima}{where}", file=sys.stderr)
+    return 1
 
 
 def _run_command(args) -> int:
@@ -387,6 +481,9 @@ def _run_command(args) -> int:
             print(f"metrics -> {args.metrics}", file=sys.stderr)
         return 0
 
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+
     net, schedule, r_t = _scenario(args)
     if args.command == "export":
         from repro.encoding.encoder import EtcsEncoding
@@ -413,7 +510,8 @@ def _run_command(args) -> int:
         return 0
     if args.command == "verify":
         result = verify_schedule(net, schedule, r_t, with_proof=args.proof,
-                                 parallel=args.jobs, lazy=args.lazy)
+                                 parallel=args.jobs, lazy=args.lazy,
+                                 lazy_strategy=args.lazy_strategy)
         if args.proof and not result.satisfiable:
             status = "VALID" if result.proof_checked else "REJECTED"
             print(f"DRAT proof of infeasibility: {status}")
@@ -439,7 +537,8 @@ def _run_command(args) -> int:
                                  timeout_s=args.timeout,
                                  checkpoint_path=args.checkpoint,
                                  resume=args.resume,
-                                 lazy=args.lazy)
+                                 lazy=args.lazy,
+                                 lazy_strategy=args.lazy_strategy)
     else:
         if args.resume and not args.checkpoint:
             raise SystemExit("--resume requires --checkpoint")
@@ -454,6 +553,7 @@ def _run_command(args) -> int:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             lazy=args.lazy,
+            lazy_strategy=args.lazy_strategy,
         )
     if getattr(args, "metrics", None):
         _write_metrics(result.metrics, args.metrics)

@@ -51,6 +51,57 @@ class LazyRefinementError(RuntimeError):
     the model falsifies clauses that the solver should already have)."""
 
 
+#: Clause-selection strategy a fresh :class:`LazyRefiner` uses when none
+#: is given: instantiate exactly the falsified instances.  Best matrix
+#: cell for one-shot *verification*, where most deferred clauses are
+#: never needed (``bench_lazy.py``; see ``BENCH_lazy.json``).
+DEFAULT_LAZY_STRATEGY = "violation/all"
+
+#: Strategy cell the optimisation *descents* default to: a descent
+#: revisits many candidate models, so refinement rounds dominate and
+#: instantiating the whole violated family up front converges fastest —
+#: this cell is what recovers the historical lazy-generation slowdown
+#: (``bench.lazy.generation.speedup`` < 1) in the strategy matrix.
+DESCENT_LAZY_STRATEGY = "family/all"
+
+_GROUPINGS = ("violation", "pair", "family")
+
+
+def parse_lazy_strategy(strategy: str) -> tuple[str, int | None]:
+    """Split ``"<grouping>/<selection>"`` into ``(grouping, first_k)``.
+
+    Grouping picks how much of a family a violation instantiates:
+    ``violation`` (just the falsified (i, j, t) instance), ``pair`` (the
+    violated train pair over every time step), or ``family`` (the whole
+    violated clause family).  Selection is either ``all`` (every violated
+    group found this round, ``first_k = None``) or ``first-<k>`` (only
+    the first k fresh groups per round).
+    """
+    parts = strategy.split("/")
+    if len(parts) != 2:
+        raise ValueError(
+            f"bad lazy strategy {strategy!r}: expected "
+            "'<violation|pair|family>/<all|first-k>'"
+        )
+    grouping, selection = parts
+    if grouping not in _GROUPINGS:
+        raise ValueError(
+            f"bad lazy grouping {grouping!r}: expected one of {_GROUPINGS}"
+        )
+    if selection == "all":
+        return grouping, None
+    if selection.startswith("first-"):
+        try:
+            first_k = int(selection[len("first-"):])
+        except ValueError:
+            first_k = 0
+        if first_k >= 1:
+            return grouping, first_k
+    raise ValueError(
+        f"bad lazy selection {selection!r}: expected 'all' or 'first-<k>'"
+    )
+
+
 class LazyRefiner:
     """Check models against deferred families; add violated instances.
 
@@ -60,14 +111,27 @@ class LazyRefiner:
     ``cnf.clauses`` to their solver(s) after every :meth:`refine` that
     returns non-zero (the solver service does this automatically, since
     it holds ``cnf.clauses`` by reference).
+
+    ``strategy`` (``"<grouping>/<selection>"``, see
+    :func:`parse_lazy_strategy`) controls how a violated instance maps to
+    emitted clauses.  Every cell of the matrix yields the same verdicts
+    and optima — all of them reach a fixpoint exactly when the model
+    satisfies every deferred clause — but they trade rounds against
+    clauses: ``violation/all`` adds the fewest clauses and the most
+    rounds, ``family/all`` converges almost eagerly.  The default,
+    :data:`DEFAULT_LAZY_STRATEGY`, is the matrix cell that benchmarks
+    best for one-shot verification; the optimisation descents default to
+    :data:`DESCENT_LAZY_STRATEGY` instead, where fewer rounds win.
     """
 
-    def __init__(self, encoding):
+    def __init__(self, encoding, strategy: str = DEFAULT_LAZY_STRATEGY):
         if not encoding.deferred_families:
             raise ValueError(
                 "encoding has no deferred families; build(lazy=True) first"
             )
         self.encoding = encoding
+        self.strategy = strategy
+        self._grouping, self._first_k = parse_lazy_strategy(strategy)
         self.rounds = 0
         self.clauses_added = 0
         self.groups_added = 0
@@ -75,6 +139,57 @@ class LazyRefiner:
             family: 0 for family in encoding.deferred_families
         }
         self._emitted: set[tuple[str, int, int, int]] = set()
+
+    # -- strategy expansion -------------------------------------------
+
+    def _emit_key(self, key: tuple[str, int, int, int]) -> int:
+        """Emit one (family, i, j, t) instance if still fresh."""
+        if key in self._emitted:
+            return 0
+        self._emitted.add(key)
+        family, i, j, t = key
+        encoding = self.encoding
+        if family == "separation":
+            added = encoding.emit_separation_pair(i, j, t)
+        elif family == "collision":
+            added = encoding.emit_collision_pair(i, j, t)
+        else:
+            added = encoding.emit_swap_pair(i, j, t)
+        self.groups_added += 1
+        return added
+
+    def _expand(self, key: tuple[str, int, int, int]):
+        """All instance keys the strategy instantiates for ``key``."""
+        family, i, j, t = key
+        encoding = self.encoding
+        if self._grouping == "violation":
+            yield key
+            return
+        if self._grouping == "pair":
+            last = (
+                encoding.t_max if family == "separation"
+                else encoding.t_max - 1
+            )
+            for step in range(last):
+                yield (family, i, j, step)
+            return
+        # family: every pair instance of the violated family.  The
+        # emitters bound their own (i, j, t) ranges and return 0 outside
+        # them, so the loops only need to be supersets.
+        n = len(encoding.runs)
+        if family == "collision":
+            for a in range(n):
+                for b in range(n):
+                    if a == b:
+                        continue
+                    for step in range(encoding.t_max - 1):
+                        yield (family, a, b, step)
+            return
+        last = encoding.t_max if family == "separation" else encoding.t_max - 1
+        for a in range(n):
+            for b in range(a + 1, n):
+                for step in range(last):
+                    yield (family, a, b, step)
 
     def refine(self, model: list[int]) -> int:
         """Check ``model``; emit violated instances; return clauses added.
@@ -107,20 +222,18 @@ class LazyRefiner:
                     for key in find_swap_violations(encoding, positions)
                 )
             added = 0
-            fresh = 0
+            groups_before = self.groups_added
+            selected = 0
             for key in groups:
                 self.violations[key[0]] += 1
                 if key in self._emitted:
                     continue
-                self._emitted.add(key)
-                fresh += 1
-                family, i, j, t = key
-                if family == "separation":
-                    added += encoding.emit_separation_pair(i, j, t)
-                elif family == "collision":
-                    added += encoding.emit_collision_pair(i, j, t)
-                else:
-                    added += encoding.emit_swap_pair(i, j, t)
+                if self._first_k is not None and selected >= self._first_k:
+                    continue
+                selected += 1
+                for instance in self._expand(key):
+                    added += self._emit_key(instance)
+            fresh = self.groups_added - groups_before
             span.add(violations=len(groups), groups=fresh, clauses=added)
         if groups and not added:
             raise LazyRefinementError(
@@ -129,7 +242,6 @@ class LazyRefiner:
                 "is being probed without the refinement clauses"
             )
         self.clauses_added += added
-        self.groups_added += fresh
         if added:
             trace.event("lazy.refined", round=self.rounds, clauses=added)
         return added
@@ -175,6 +287,7 @@ def solve_lazy_verification(
     encoding,
     parallel: int = 1,
     members=None,
+    strategy: str = DEFAULT_LAZY_STRATEGY,
 ) -> LazyOutcome:
     """Run the solve→check→refine loop to a clean model or UNSAT.
 
@@ -182,9 +295,10 @@ def solve_lazy_verification(
     service (new clauses travel as the next probe's delta); if the
     service dies mid-loop the round is replayed through the one-shot
     portfolio.  ``parallel = 1`` keeps one incremental solver in
-    process.
+    process.  ``strategy`` selects the refiner's clause-selection cell
+    (see :class:`LazyRefiner`).
     """
-    refiner = LazyRefiner(encoding)
+    refiner = LazyRefiner(encoding, strategy=strategy)
     if parallel > 1:
         return _lazy_portfolio_loop(encoding, refiner, parallel, members)
     return _lazy_serial_loop(encoding, refiner)

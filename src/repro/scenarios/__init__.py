@@ -1,0 +1,69 @@
+"""Scenario diversity engine: generators, disruptions, fuzzing.
+
+Everything the four hand-built case studies provide — a network, a
+schedule, two resolutions — but minted by the thousands from seeds:
+
+* :mod:`repro.scenarios.spec` — the :class:`Scenario` object and its
+  reproducer JSON round-trip;
+* :mod:`repro.scenarios.generator` — seeded random networks/schedules
+  and the SAT/UNSAT difficulty ramp (:func:`ramp_until_flip`);
+* :mod:`repro.scenarios.disruptions` — delayed departures, added
+  trains, blocked tracks, shifted resolutions;
+* :mod:`repro.scenarios.workloads` — disruption families driving the
+  robustness/diagnosis tasks;
+* :mod:`repro.scenarios.fuzz` — the randomized differential harness
+  behind ``repro fuzz`` (import it directly; it pulls in the task
+  layer).
+"""
+
+from repro.scenarios.disruptions import (
+    DisruptionError,
+    blockable_tracks,
+    blocked_track,
+    delayed_departure,
+    delayed_schedule,
+    shifted_resolution,
+    with_added_train,
+)
+from repro.scenarios.generator import (
+    GradedPair,
+    generate_network,
+    generate_scenario,
+    ramp_until_flip,
+    with_headroom,
+)
+from repro.scenarios.spec import (
+    Scenario,
+    ScenarioSpec,
+    from_case_study,
+    scenario_from_json,
+)
+from repro.scenarios.workloads import (
+    DisruptionOutcome,
+    WorkloadReport,
+    disruption_family,
+    run_disruption_workload,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioSpec",
+    "scenario_from_json",
+    "from_case_study",
+    "GradedPair",
+    "generate_network",
+    "generate_scenario",
+    "ramp_until_flip",
+    "with_headroom",
+    "DisruptionError",
+    "blockable_tracks",
+    "blocked_track",
+    "delayed_departure",
+    "delayed_schedule",
+    "shifted_resolution",
+    "with_added_train",
+    "DisruptionOutcome",
+    "WorkloadReport",
+    "disruption_family",
+    "run_disruption_workload",
+]

@@ -1,0 +1,217 @@
+"""Disruption transforms over scenarios.
+
+Each transform maps a well-formed :class:`~repro.scenarios.spec.Scenario`
+to a disrupted copy, recording what changed in the scenario's ``meta``.
+They model the operational events a VSS design must survive — a late
+departure, an extra unplanned train, a blocked piece of infrastructure,
+a re-discretised plan — and feed the existing robustness and diagnosis
+tasks from a generated-scenario source instead of only the four
+hand-built case studies (:mod:`repro.scenarios.workloads`).
+
+Transforms either return a scenario that still discretises cleanly or
+raise :class:`DisruptionError`; they never return a scenario that the
+encoder would reject.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.encoding.cone import multi_source_distances
+from repro.network.topology import (
+    NetworkError,
+    Node,
+    NodeKind,
+    RailwayNetwork,
+)
+from repro.scenarios.spec import Scenario
+from repro.trains.discretize import discretize_schedule
+from repro.trains.schedule import Schedule, ScheduleError, TrainRun
+from repro.trains.train import Train
+
+
+class DisruptionError(Exception):
+    """Raised when a disruption cannot yield a well-formed scenario."""
+
+
+# -- schedule-level transforms ------------------------------------------
+
+
+def delayed_schedule(schedule: Schedule, train_name: str,
+                     delay_min: float) -> Schedule:
+    """Copy of ``schedule`` with one train's departure shifted later.
+
+    Deadlines stay fixed — a delayed train must still arrive on time.
+    Raises :class:`ScheduleError` when the shift pushes the departure
+    past its deadline or the scenario end (the robustness task uses that
+    as its search boundary).
+    """
+    runs = []
+    for run in schedule.runs:
+        if run.train.name == train_name:
+            run = dataclasses.replace(
+                run, departure_min=run.departure_min + delay_min
+            )
+        runs.append(run)
+    return Schedule(runs, schedule.duration_min)
+
+
+def delayed_departure(scenario: Scenario, train_name: str,
+                      delay_steps: int) -> Scenario:
+    """Disruption: one train departs ``delay_steps`` late."""
+    delay_min = delay_steps * scenario.r_t_min
+    try:
+        schedule = delayed_schedule(
+            scenario.schedule, train_name, delay_min
+        )
+    except ScheduleError as exc:
+        raise DisruptionError(str(exc)) from exc
+    return _checked(
+        scenario.with_schedule(
+            schedule, note=f"delay:{train_name}:+{delay_steps}"
+        )
+    )
+
+
+def with_added_train(scenario: Scenario, seed: int = 0) -> Scenario:
+    """Disruption: an unplanned extra train enters the network.
+
+    The extra train reuses the rolling stock of a seeded-random existing
+    run (so it is guaranteed to fit its start station) and runs the
+    *opposite* journey, departing at step 0 — the most contention it can
+    add without inventing new infrastructure.
+    """
+    rng = random.Random(f"added-train-{scenario.seed}-{seed}")
+    template = rng.choice(scenario.schedule.runs)
+    names = {run.train.name for run in scenario.schedule.runs}
+    n = len(names)
+    while f"x{n}" in names:
+        n += 1
+    train = Train(
+        f"x{n}",
+        length_m=template.train.length_m,
+        max_speed_kmh=template.train.max_speed_kmh,
+    )
+    extra = TrainRun(
+        train,
+        start=template.goal,
+        goal=template.start,
+        departure_min=0.0,
+        arrival_min=None,
+    )
+    schedule = Schedule(
+        list(scenario.schedule.runs) + [extra],
+        scenario.schedule.duration_min,
+    )
+    return _checked(
+        scenario.with_schedule(schedule, note=f"added-train:{train.name}")
+    )
+
+
+def shifted_resolution(scenario: Scenario, r_s_factor: float = 1.0,
+                       r_t_factor: float = 1.0) -> Scenario:
+    """Disruption: re-discretise the same physical scenario.
+
+    Scaling ``r_s`` or ``r_t`` leaves the physical plan untouched but
+    changes every discrete quantity — segment counts, speeds, horizons —
+    which is exactly the surface where discretisation bugs live.  The
+    transform with factor ``1/f`` is the inverse of the one with ``f``.
+    """
+    if r_s_factor <= 0 or r_t_factor <= 0:
+        raise DisruptionError("resolution factors must be positive")
+    shifted = dataclasses.replace(
+        scenario,
+        r_s_km=scenario.r_s_km * r_s_factor,
+        r_t_min=scenario.r_t_min * r_t_factor,
+        meta=dict(scenario.meta),
+    )
+    shifted.meta.setdefault("edits", []).append(
+        f"resolution:x{r_s_factor}:x{r_t_factor}"
+    )
+    return _checked(shifted)
+
+
+# -- network-level transforms -------------------------------------------
+
+
+def blocked_track(scenario: Scenario, track_name: str) -> Scenario:
+    """Disruption: ``track_name`` is out of service and removed.
+
+    Node kinds are recomputed from the post-removal degrees (a switch
+    losing its third leg becomes a link, a link losing one side becomes
+    a boundary), orphaned nodes and emptied stations are dropped, and
+    the result must still be a valid connected network on which every
+    scheduled run discretises and can reach its goal — otherwise
+    :class:`DisruptionError` is raised.
+    """
+    network = scenario.network
+    if track_name not in network.tracks:
+        raise DisruptionError(f"unknown track {track_name!r}")
+    tracks = [
+        track for name, track in network.tracks.items()
+        if name != track_name
+    ]
+    if not tracks:
+        raise DisruptionError("cannot block the only track")
+    degrees: dict[str, int] = {}
+    for track in tracks:
+        for end in (track.node_a, track.node_b):
+            degrees[end] = degrees.get(end, 0) + 1
+    kinds = {1: NodeKind.BOUNDARY, 2: NodeKind.LINK}
+    nodes = [
+        Node(name, kinds.get(degree, NodeKind.SWITCH))
+        for name, degree in sorted(degrees.items())
+    ]
+    stations = {}
+    for station, platform_tracks in network.stations.items():
+        kept = [t for t in platform_tracks if t != track_name]
+        if kept:
+            stations[station] = kept
+    try:
+        blocked = RailwayNetwork(nodes, tracks, stations)
+    except NetworkError as exc:
+        raise DisruptionError(str(exc)) from exc
+    return _checked(
+        scenario.with_network(blocked, note=f"blocked:{track_name}")
+    )
+
+
+def blockable_tracks(scenario: Scenario) -> list[str]:
+    """Track names whose blocking yields a well-formed scenario."""
+    names = []
+    for name in sorted(scenario.network.tracks):
+        try:
+            blocked_track(scenario, name)
+        except DisruptionError:
+            continue
+        names.append(name)
+    return names
+
+
+# -- well-formedness -----------------------------------------------------
+
+
+def _checked(scenario: Scenario) -> Scenario:
+    """``scenario`` if it discretises cleanly, else DisruptionError.
+
+    Checks everything short of solving: the network validates (already
+    enforced by its constructor), every run discretises (stations exist,
+    trains fit their start stations, departures precede the horizon) and
+    every goal is reachable from its start.
+    """
+    try:
+        net = scenario.discretize()
+        runs, _t_max = discretize_schedule(
+            net, scenario.schedule, scenario.r_t_min
+        )
+    except (ScheduleError, NetworkError) as exc:
+        raise DisruptionError(str(exc)) from exc
+    for run in runs:
+        distances = multi_source_distances(net, list(run.start_segments))
+        if not any(distances[g] >= 0 for g in run.goal_segments):
+            raise DisruptionError(
+                f"train {run.name!r}: goal {run.run.goal!r} unreachable "
+                f"from {run.run.start!r}"
+            )
+    return scenario

@@ -1,0 +1,346 @@
+"""Seeded random scenario generator with a difficulty ramp.
+
+Networks follow the shape of the paper's case studies: a main line
+between two boundary stations, single-track corridors, passing loops
+(a through track and a platform track between two switches, the
+platform doubling as a mid-line station), and optional branch spurs to
+further boundary stations.  Schedules mix directions so opposing
+traffic meets on the single-track parts — the structural source of the
+paper's interesting UNSAT verdicts.
+
+The difficulty ramp (:func:`ramp_until_flip`) follows the paired
+SAT/UNSAT benchmark-generation idea of the NeuroSAT line of work:
+starting from generous per-train arrival deadlines, shrink the headroom
+step by step until the verification verdict flips, and return the two
+scenarios straddling the flip.  The pair is maximally informative — the
+SAT member is barely feasible, the UNSAT member barely infeasible — and
+the number of ramp steps is a graded difficulty measure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.encoding.cone import multi_source_distances
+from repro.network.builder import NetworkBuilder
+from repro.network.topology import RailwayNetwork
+from repro.scenarios.spec import Scenario, ScenarioSpec, spec_to_meta
+from repro.trains.discretize import discretize_schedule
+from repro.trains.schedule import Schedule, TrainRun
+from repro.trains.train import Train
+
+#: Candidate rolling stock, (length_m, max_speed_kmh) — the paper's
+#: Fig. 1b fleet plus a slow freight profile.
+_STOCK = [
+    (100.0, 120.0),
+    (250.0, 180.0),
+    (400.0, 120.0),
+    (400.0, 180.0),
+    (700.0, 100.0),
+]
+
+
+@dataclass
+class _NetworkPlan:
+    """What the network builder produced, for the schedule generator."""
+
+    network: RailwayNetwork
+    #: Stations where trains may start (boundary stations; their
+    #: platform track lengths bound the train lengths that fit).
+    entry_stations: dict[str, float]
+    #: All station names (entry + mid-line loop platforms).
+    stations: list[str]
+
+
+def _corridor(builder: NetworkBuilder, rng: random.Random,
+              frm: str, to: str, idx: int, spec: ScenarioSpec) -> None:
+    """A run of 1..corridor_tracks single tracks from ``frm`` to ``to``.
+
+    Intermediate nodes are links, except that a node may become a switch
+    carrying a branch spur to a boundary station; spur nodes always
+    start a new TTD so switches stay on TTD borders.
+    """
+    k = rng.randint(1, max(1, spec.corridor_tracks))
+    nodes = [frm]
+    spurs: list[str] = []
+    for i in range(k - 1):
+        name = f"c{idx}n{i}"
+        if rng.random() < spec.spur_probability:
+            builder.switch(name)
+            spurs.append(name)
+        else:
+            builder.link(name)
+        nodes.append(name)
+    nodes.append(to)
+    ttd = f"C{idx}.0"
+    fresh = 0
+    for i in range(k):
+        # Each spur switch must sit on a TTD border.
+        if i > 0 and (nodes[i] in spurs or rng.random() < 0.5):
+            fresh += 1
+            ttd = f"C{idx}.{fresh}"
+        builder.track(nodes[i], nodes[i + 1],
+                      length_km=round(rng.uniform(0.5, 1.5), 2),
+                      ttd=ttd, name=f"c{idx}t{i}")
+    for n, node in enumerate(spurs):
+        end = f"D{idx}{n}"
+        track = f"spur{idx}{n}"
+        builder.boundary(end)
+        builder.track(node, end, length_km=round(rng.uniform(1.0, 1.5), 2),
+                      ttd=f"S{idx}{n}", name=track)
+        builder.station(end, [track])
+
+
+def generate_network(spec: ScenarioSpec) -> _NetworkPlan:
+    """Build the seeded random network of ``spec``."""
+    rng = random.Random(f"network-{spec.seed}")
+    builder = NetworkBuilder()
+    builder.boundary("A")
+    entry: dict[str, float] = {}
+
+    # End station A: its own TTD, long enough for any stock.
+    len_a = round(rng.uniform(1.0, 1.6), 2)
+    builder.link("a0")
+    builder.track("A", "a0", length_km=len_a, ttd="TA", name="staA")
+    builder.station("A", ["staA"])
+    entry["A"] = len_a
+
+    stations = ["A"]
+    prev = "a0"
+    loops = max(0, spec.loops)
+    for i in range(loops):
+        head, tail = f"w{i}a", f"w{i}b"
+        builder.switch(head)
+        builder.switch(tail)
+        _corridor(builder, rng, prev, head, idx=2 * i, spec=spec)
+        loop_len = round(rng.uniform(0.5, 1.5), 2)
+        builder.track(head, tail, length_km=loop_len,
+                      ttd=f"LT{i}", name=f"thr{i}")
+        builder.track(head, tail, length_km=loop_len,
+                      ttd=f"LP{i}", name=f"plt{i}")
+        builder.station(f"S{i}", [f"plt{i}"])
+        stations.append(f"S{i}")
+        prev = tail
+
+    builder.link("b0")
+    _corridor(builder, rng, prev, "b0", idx=2 * loops, spec=spec)
+    len_b = round(rng.uniform(1.0, 1.6), 2)
+    builder.boundary("B")
+    builder.track("b0", "B", length_km=len_b, ttd="TB", name="staB")
+    builder.station("B", ["staB"])
+    entry["B"] = len_b
+    stations.append("B")
+
+    network = builder.build()
+    for name in network.stations:
+        if name.startswith("D"):
+            entry[name] = network.station_tracks(name)[0].length_km
+            stations.append(name)
+    return _NetworkPlan(network, entry, stations)
+
+
+def _fitting_stock(rng: random.Random, station_len_km: float,
+                   r_s_km: float) -> tuple[float, float]:
+    """Pick (length_m, speed_kmh) stock that fits the start station.
+
+    ``discretize_run`` requires the train footprint (in segments) not to
+    exceed the start station's segment count.
+    """
+    capacity = max(1, math.ceil(station_len_km / r_s_km - 1e-9))
+    fitting = [
+        (length, speed) for length, speed in _STOCK
+        if math.ceil(length / 1000.0 / r_s_km) <= capacity
+    ]
+    if not fitting:
+        fitting = [(100, 120)]
+    return rng.choice(fitting)
+
+
+def generate_scenario(spec: ScenarioSpec) -> Scenario:
+    """The seeded scenario of ``spec`` (no arrival deadlines).
+
+    Trains alternate directions (A-side vs B-side starts) so fleets of
+    two or more always contain opposing traffic; goals are drawn from
+    every other station, loop platforms included.  Departures sit on the
+    ``r_t`` grid within the first few steps; the duration leaves
+    ``duration_factor`` headroom over the slowest train's direct journey.
+    Deadlines are left open — :func:`ramp_until_flip` adds them.
+    """
+    plan = generate_network(spec)
+    rng = random.Random(f"schedule-{spec.seed}")
+    network = plan.network
+    total_km = network.total_length_km
+    entries = sorted(plan.entry_stations)
+
+    runs: list[TrainRun] = []
+    latest_finish = spec.r_t_min
+    # Opposing traffic can only ever pass at a loop; without one it
+    # would be structurally infeasible on *any* layout, so loop-less
+    # lines get following traffic (the paper's running-example shape).
+    opposing = spec.loops > 0
+    # Departures are staggered per start station: a departing train is
+    # *placed* at its station at that step, so same-station departures
+    # too close together conflict structurally (no deadline slack or
+    # VSS layout can fix a hard departure).
+    departures_at: dict[str, int] = {}
+    for i in range(max(1, spec.trains)):
+        if i % 2 == 0 or not opposing:
+            start = "A"
+        elif "B" in entries:
+            start = "B"
+        else:
+            start = rng.choice(entries)
+        # Spur stations occasionally replace the main entry.
+        others = [s for s in entries if s != start]
+        if opposing and others and rng.random() < 0.2:
+            start = rng.choice(others)
+        goals = [s for s in plan.stations if s != start]
+        goal = rng.choice(goals)
+        length_m, speed_kmh = _fitting_stock(
+            rng, plan.entry_stations[start], spec.r_s_km
+        )
+        order = departures_at.get(start, 0)
+        departures_at[start] = order + 1
+        departure = (2 * order + rng.randint(0, 1)) * spec.r_t_min
+        runs.append(
+            TrainRun(
+                Train(f"t{i}", length_m=length_m, max_speed_kmh=speed_kmh),
+                start=start,
+                goal=goal,
+                departure_min=departure,
+                arrival_min=None,
+            )
+        )
+        journey_min = total_km / speed_kmh * 60.0
+        latest_finish = max(
+            latest_finish,
+            departure + journey_min * spec.duration_factor,
+        )
+    steps = math.ceil(latest_finish / spec.r_t_min) + 2
+    duration = steps * spec.r_t_min
+    schedule = Schedule(runs, duration_min=duration)
+    return Scenario(
+        name=f"gen-{spec.seed}",
+        network=network,
+        schedule=schedule,
+        r_s_km=spec.r_s_km,
+        r_t_min=spec.r_t_min,
+        seed=spec.seed,
+        meta=spec_to_meta(spec),
+    )
+
+
+def earliest_arrival_steps(scenario: Scenario) -> list[int]:
+    """Per-train earliest goal-arrival step (departure + direct travel),
+    mirroring the encoder's reachability arithmetic."""
+    net = scenario.discretize()
+    runs, _t_max = discretize_schedule(
+        net, scenario.schedule, scenario.r_t_min
+    )
+    earliest = []
+    for run in runs:
+        from_start = multi_source_distances(net, list(run.start_segments))
+        distances = [
+            from_start[g] for g in run.goal_segments if from_start[g] >= 0
+        ]
+        travel = math.ceil(min(distances) / run.speed_segments)
+        earliest.append(run.departure_step + travel)
+    return earliest
+
+
+def with_headroom(scenario: Scenario, headroom: int) -> Scenario:
+    """Copy of ``scenario`` whose deadlines allow ``headroom`` slack
+    steps over each train's earliest possible arrival."""
+    earliest = earliest_arrival_steps(scenario)
+    r_t = scenario.r_t_min
+    duration = scenario.schedule.duration_min
+    runs = []
+    for run, steps in zip(scenario.schedule.runs, earliest):
+        step = steps + headroom
+        arrival = min(duration, step * r_t)
+        arrival = max(arrival, run.departure_min + r_t)
+        runs.append(dc_replace(run, arrival_min=arrival))
+    schedule = Schedule(runs, duration)
+    return scenario.with_schedule(schedule, note=f"headroom={headroom}")
+
+
+@dataclass
+class GradedPair:
+    """A SAT/UNSAT scenario pair straddling the verdict flip.
+
+    ``difficulty`` is ``headroom_start - flip_headroom``: how many
+    tightening steps below the starting slack the scenario survived
+    (negative when it needed *extra* slack to become feasible at all).
+    ``sat`` is None when no probed headroom is feasible — the scenario
+    is structurally infeasible on the pure-TTD layout, deadlines are not
+    to blame; ``unsat`` is None when the ramp bottomed out without ever
+    flipping (rare: every train makes even the minimal deadline).
+    """
+
+    sat: Scenario | None
+    unsat: Scenario | None
+    difficulty: int
+    flip_headroom: int | None
+
+    @property
+    def flipped(self) -> bool:
+        return self.sat is not None and self.unsat is not None
+
+
+def ramp_until_flip(
+    scenario: Scenario,
+    headroom_start: int = 3,
+    headroom_max: int = 8,
+    verify=None,
+) -> GradedPair:
+    """Shrink deadline headroom until the verification verdict flips.
+
+    Starts at ``headroom_start`` slack steps per train.  Feasible there:
+    walk *down* until UNSAT.  Infeasible there: walk *up* to at most
+    ``headroom_max`` until SAT (the flip is then between ``h`` and
+    ``h-1``).  Either way the returned pair straddles the flip — the SAT
+    member barely feasible, the UNSAT member barely not.
+
+    ``verify`` maps a scenario to a bool (SAT?); the default runs the
+    serial eager verification task — the reference path of the
+    differential fuzz harness.
+    """
+    if verify is None:
+        def verify(candidate: Scenario) -> bool:
+            from repro.tasks.verification import verify_schedule
+
+            return verify_schedule(
+                candidate.discretize(), candidate.schedule,
+                candidate.r_t_min, lazy=False,
+            ).satisfiable
+
+    def pair(sat, unsat, flip):
+        return GradedPair(
+            sat=sat, unsat=unsat,
+            difficulty=headroom_start - flip if flip is not None else 0,
+            flip_headroom=flip,
+        )
+
+    first = with_headroom(scenario, headroom_start)
+    if verify(first):
+        # Downward walk; a deep-enough negative headroom always clamps
+        # every deadline to departure + one step, so the floor is safe.
+        floor = -max(earliest_arrival_steps(scenario)) - 1
+        previous = first
+        for headroom in range(headroom_start - 1, floor, -1):
+            candidate = with_headroom(scenario, headroom)
+            if not verify(candidate):
+                return pair(previous, candidate, headroom)
+            previous = candidate
+        return pair(previous, None, None)
+
+    previous = first
+    for headroom in range(headroom_start + 1, headroom_max + 1):
+        candidate = with_headroom(scenario, headroom)
+        if verify(candidate):
+            return pair(candidate, previous, headroom - 1)
+        previous = candidate
+    # Structurally infeasible: no deadline slack rescues it.
+    return pair(None, previous, None)

@@ -1,0 +1,156 @@
+"""Scenario objects and generator specifications.
+
+A :class:`Scenario` bundles what the four hand-built case studies bundle
+— a railway network, a schedule, and the two resolutions — but is cheap
+to mint by the thousands: the seeded generator
+(:mod:`repro.scenarios.generator`), the disruption transforms
+(:mod:`repro.scenarios.disruptions`), and the differential fuzz harness
+(:mod:`repro.scenarios.fuzz`) all trade in it.  The JSON round-trip
+(:meth:`Scenario.to_json` / :func:`scenario_from_json`) is the
+reproducer format the fuzz harness emits for failing seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.network.discretize import DiscreteNetwork
+from repro.network.io import network_from_json, network_to_json
+from repro.network.topology import RailwayNetwork
+from repro.trains.io import schedule_from_json, schedule_to_json
+from repro.trains.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Size/shape knobs of one generated scenario.
+
+    Everything random about the scenario derives from ``seed`` alone:
+    the same spec always produces byte-identical networks and schedules
+    (:func:`repro.scenarios.generator.generate_scenario`).
+    """
+
+    seed: int
+    #: Passing loops (two parallel tracks between switches) on the line.
+    loops: int = 1
+    #: Maximum tracks per single-track corridor between two anchors.
+    corridor_tracks: int = 2
+    #: Probability of hanging a branch spur off a corridor node.
+    spur_probability: float = 0.25
+    #: Fleet size.
+    trains: int = 3
+    r_s_km: float = 0.5
+    r_t_min: float = 1.0
+    #: Deadline slack (in steps over each train's earliest arrival) at
+    #: which the difficulty ramp starts.
+    headroom_steps: int = 3
+    #: Scenario duration as a multiple of the slowest train's journey.
+    duration_factor: float = 1.6
+
+    @classmethod
+    def sampled(cls, seed: int, max_trains: int = 4) -> "ScenarioSpec":
+        """Draw a small random spec (sizes included) from ``seed``."""
+        import random
+
+        # A string seed is hashed with SHA-512 by random.seed — stable
+        # across processes, unlike tuple hashing under PYTHONHASHSEED.
+        rng = random.Random(f"spec-{seed}")
+        return cls(
+            seed=seed,
+            loops=rng.randint(0, 2),
+            corridor_tracks=rng.randint(1, 3),
+            spur_probability=rng.choice([0.0, 0.25, 0.5]),
+            trains=rng.randint(2, max_trains),
+        )
+
+
+@dataclass
+class Scenario:
+    """A network + schedule + resolutions, generator- or file-born.
+
+    Duck-compatible with :class:`repro.casestudies.base.CaseStudy` where
+    the task layer is concerned (``network``, ``schedule``, ``r_s_km``,
+    ``r_t_min``, ``discretize()``).
+    """
+
+    name: str
+    network: RailwayNetwork
+    schedule: Schedule
+    r_s_km: float
+    r_t_min: float
+    #: Generator seed (None for hand-built or file-loaded scenarios).
+    seed: int | None = None
+    #: Free-form provenance (spec fields, applied disruptions, ...).
+    meta: dict = field(default_factory=dict)
+
+    def discretize(self) -> DiscreteNetwork:
+        """The segment graph at this scenario's spatial resolution."""
+        return DiscreteNetwork(self.network, self.r_s_km)
+
+    def build(self, lazy: bool = False):
+        """Encode this scenario (:class:`EtcsEncoding`, built)."""
+        from repro.encoding.encoder import EtcsEncoding
+
+        return EtcsEncoding(
+            self.discretize(), self.schedule, self.r_t_min
+        ).build(lazy=lazy)
+
+    def with_schedule(self, schedule: Schedule, note: str | None = None,
+                      ) -> "Scenario":
+        """Copy of this scenario with the schedule replaced."""
+        meta = dict(self.meta)
+        if note:
+            meta.setdefault("edits", []).append(note)
+        return replace(self, schedule=schedule, meta=meta)
+
+    def with_network(self, network: RailwayNetwork,
+                     note: str | None = None) -> "Scenario":
+        """Copy of this scenario with the network replaced."""
+        meta = dict(self.meta)
+        if note:
+            meta.setdefault("edits", []).append(note)
+        return replace(self, network=network, meta=meta)
+
+    def to_json(self) -> str:
+        """Serialise to the reproducer JSON format."""
+        payload = {
+            "name": self.name,
+            "seed": self.seed,
+            "r_s_km": self.r_s_km,
+            "r_t_min": self.r_t_min,
+            "meta": self.meta,
+            "network": json.loads(network_to_json(self.network)),
+            "schedule": json.loads(schedule_to_json(self.schedule)),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def scenario_from_json(text: str) -> Scenario:
+    """Deserialise a scenario written by :meth:`Scenario.to_json`."""
+    payload = json.loads(text)
+    return Scenario(
+        name=payload.get("name", "scenario"),
+        network=network_from_json(json.dumps(payload["network"])),
+        schedule=schedule_from_json(json.dumps(payload["schedule"])),
+        r_s_km=float(payload["r_s_km"]),
+        r_t_min=float(payload["r_t_min"]),
+        seed=payload.get("seed"),
+        meta=payload.get("meta", {}),
+    )
+
+
+def from_case_study(study) -> Scenario:
+    """Wrap a :class:`repro.casestudies.base.CaseStudy` as a Scenario."""
+    return Scenario(
+        name=study.name,
+        network=study.network,
+        schedule=study.schedule,
+        r_s_km=study.r_s_km,
+        r_t_min=study.r_t_min,
+    )
+
+
+def spec_to_meta(spec: ScenarioSpec) -> dict:
+    """Spec fields as the provenance ``meta`` dict of its scenario."""
+    return {"spec": asdict(spec)}

@@ -1,0 +1,143 @@
+"""Disruption workloads: generated scenarios driving analysis tasks.
+
+Bridges the scenario engine to the existing robustness and diagnosis
+tasks: take any scenario (generated, case-study-wrapped, or loaded from
+a reproducer file), derive a family of disrupted variants, and report
+how the plan holds up — which disruptions keep the schedule realisable,
+how much departure slack each train has, and, where a disruption breaks
+the plan, *which* trains' commitments conflict.
+
+The task layer is imported lazily so the :mod:`repro.scenarios` package
+stays importable from within :mod:`repro.tasks` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scenarios.disruptions import (
+    DisruptionError,
+    blockable_tracks,
+    blocked_track,
+    delayed_departure,
+    shifted_resolution,
+    with_added_train,
+)
+from repro.scenarios.spec import Scenario
+
+
+@dataclass
+class DisruptionOutcome:
+    """One disrupted variant and how the schedule fared on it."""
+
+    name: str
+    applicable: bool
+    satisfiable: bool | None = None
+    #: Minimal conflicting train set when unsatisfiable (diagnosis).
+    conflicting_trains: list[str] = field(default_factory=list)
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome of :func:`run_disruption_workload`."""
+
+    scenario: str
+    base_satisfiable: bool
+    #: Per-train largest tolerated departure delay, in steps (robustness).
+    delay_tolerance: dict[str, int] = field(default_factory=dict)
+    outcomes: list[DisruptionOutcome] = field(default_factory=list)
+
+    @property
+    def surviving(self) -> int:
+        return sum(
+            1 for o in self.outcomes if o.applicable and o.satisfiable
+        )
+
+
+def disruption_family(scenario: Scenario, seed: int = 0,
+                      delay_steps: int = 2,
+                      max_blocked: int = 2) -> list[tuple[str, Scenario]]:
+    """Named disrupted variants of ``scenario``.
+
+    One delayed departure per train, one added train, up to
+    ``max_blocked`` blocked tracks (preferring non-platform tracks,
+    where blocking is most often survivable), and both resolution
+    shifts.  Inapplicable disruptions are skipped silently — the family
+    is whatever the scenario supports.
+    """
+    family: list[tuple[str, Scenario]] = []
+    for run in scenario.schedule.runs:
+        name = run.train.name
+        try:
+            family.append((
+                f"delay:{name}",
+                delayed_departure(scenario, name, delay_steps),
+            ))
+        except DisruptionError:
+            pass
+    try:
+        family.append(("added-train", with_added_train(scenario, seed)))
+    except DisruptionError:
+        pass
+    platform = {
+        t for tracks in scenario.network.stations.values() for t in tracks
+    }
+    candidates = sorted(
+        blockable_tracks(scenario), key=lambda t: (t in platform, t)
+    )
+    for track in candidates[:max_blocked]:
+        family.append((f"block:{track}", blocked_track(scenario, track)))
+    for r_s_factor, r_t_factor in ((2.0, 1.0), (1.0, 2.0)):
+        try:
+            family.append((
+                f"resolution:{r_s_factor}x{r_t_factor}",
+                shifted_resolution(scenario, r_s_factor, r_t_factor),
+            ))
+        except DisruptionError:
+            pass
+    return family
+
+
+def run_disruption_workload(scenario: Scenario, seed: int = 0,
+                            delay_steps: int = 2,
+                            max_blocked: int = 2,
+                            max_delay_probe: int = 5,
+                            diagnose: bool = True) -> WorkloadReport:
+    """Verify every disrupted variant; diagnose the ones that break.
+
+    The base scenario's per-train delay tolerance comes from the
+    robustness task; each family member is verified on the pure-TTD
+    layout, and — when ``diagnose`` — unsatisfiable members are passed
+    to the diagnosis task for their minimal conflicting train set.
+    """
+    from repro.tasks.diagnosis import diagnose_infeasibility
+    from repro.tasks.robustness import robustness_report
+    from repro.tasks.verification import verify_schedule
+
+    net = scenario.discretize()
+    base = verify_schedule(net, scenario.schedule, scenario.r_t_min)
+    report = WorkloadReport(
+        scenario=scenario.name, base_satisfiable=base.satisfiable
+    )
+    if base.satisfiable:
+        report.delay_tolerance = robustness_report(
+            net, scenario.schedule, scenario.r_t_min,
+            max_steps=max_delay_probe,
+        )
+    for name, variant in disruption_family(
+        scenario, seed=seed, delay_steps=delay_steps,
+        max_blocked=max_blocked,
+    ):
+        result = verify_schedule(
+            variant.discretize(), variant.schedule, variant.r_t_min
+        )
+        outcome = DisruptionOutcome(
+            name=name, applicable=True, satisfiable=result.satisfiable
+        )
+        if not result.satisfiable and diagnose:
+            diagnosis = diagnose_infeasibility(
+                variant.discretize(), variant.schedule, variant.r_t_min
+            )
+            outcome.conflicting_trains = diagnosis.conflicting_trains
+        report.outcomes.append(outcome)
+    return report

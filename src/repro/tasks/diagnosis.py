@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.encoding.encoder import EncodingOptions, EtcsEncoding
 from repro.network.discretize import DiscreteNetwork
 from repro.network.sections import VSSLayout
+from repro.obs.metrics import MetricsRegistry
 from repro.sat import Solver, SolveResult
 from repro.trains.schedule import Schedule
 
@@ -37,6 +38,8 @@ class DiagnosisResult:
             deadlock); no deadline is to blame.
         solve_calls: SAT invocations used.
         runtime_s: wall-clock seconds.
+        metrics: flat ``diagnosis.*`` metrics of the run
+            (:class:`repro.obs.metrics.MetricsRegistry` export).
     """
 
     feasible: bool
@@ -45,6 +48,7 @@ class DiagnosisResult:
     structural: bool = False
     solve_calls: int = 0
     runtime_s: float = 0.0
+    metrics: dict = field(default_factory=dict)
 
 
 def diagnose_infeasibility(
@@ -80,13 +84,23 @@ def diagnose_infeasibility(
     selector_of = encoding.arrival_selectors
     name_of = {i: run.name for i, run in enumerate(encoding.runs)}
 
+    def _metrics(core_size: int, calls: int, runtime: float) -> dict:
+        reg = MetricsRegistry()
+        reg.inc("diagnosis.runs")
+        reg.inc("diagnosis.solve_calls", calls)
+        reg.set("diagnosis.core_size", core_size)
+        reg.set("diagnosis.runtime_s", runtime)
+        return reg.as_dict()
+
     all_selectors = [selector_of[i] for i in sorted(selector_of)]
     calls += 1
     if solver.solve(all_selectors) is SolveResult.SAT:
+        runtime = time.perf_counter() - start
         return DiagnosisResult(
             feasible=True,
             solve_calls=calls,
-            runtime_s=time.perf_counter() - start,
+            runtime_s=runtime,
+            metrics=_metrics(0, calls, runtime),
         )
 
     # Start from the solver's core, then shrink by iterative deletion.
@@ -118,11 +132,13 @@ def diagnose_infeasibility(
 
     index_of = {selector: i for i, selector in selector_of.items()}
     trains = sorted(name_of[index_of[lit]] for lit in core)
+    runtime = time.perf_counter() - start
     return DiagnosisResult(
         feasible=False,
         conflicting_trains=trains,
         relaxable=relaxable,
         structural=not trains,
         solve_calls=calls,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=runtime,
+        metrics=_metrics(len(trains), calls, runtime),
     )

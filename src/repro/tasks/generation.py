@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
-from repro.encoding.lazy import LazyRefiner
+from repro.encoding.lazy import DESCENT_LAZY_STRATEGY, LazyRefiner
 from repro.network.discretize import DiscreteNetwork
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
@@ -41,6 +41,7 @@ def generate_layout(
     checkpoint_path: str | None = None,
     resume: bool = False,
     lazy: bool = False,
+    lazy_strategy: str = DESCENT_LAZY_STRATEGY,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -71,10 +72,12 @@ def generate_layout(
     ``lazy`` defers the cross-train constraint families and lets the
     descent instantiate only the violated instances via the CEGAR check
     (:mod:`repro.encoding.lazy`) — the optimum is provably unchanged.
-    Off by default for generation (the descent revisits many models, so
-    the refinement rounds can cost more than the smaller formula saves;
-    measure with ``benchmarks/bench_lazy.py``).  The core-guided engine
-    drives its own assumption schedule and stays eager.
+    ``lazy_strategy`` selects the refiner's grouping/selection cell —
+    the optimum is the same in every cell, but descents revisit many
+    models, so coarse cells that need fewer refinement rounds win here;
+    the default is :data:`~repro.encoding.lazy.DESCENT_LAZY_STRATEGY`
+    (measure with ``benchmarks/bench_lazy.py``).  The core-guided
+    engine drives its own assumption schedule and stays eager.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -90,7 +93,10 @@ def generate_layout(
             )
             objective = encoding.border_objective()
         record_encoding(reg, encoding)
-        refiner = LazyRefiner(encoding) if use_lazy else None
+        refiner = (
+            LazyRefiner(encoding, strategy=lazy_strategy)
+            if use_lazy else None
+        )
         refine = refiner.refine if refiner is not None else None
 
         with trace.span("solve", strategy=strategy):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
-from repro.encoding.lazy import LazyRefiner
+from repro.encoding.lazy import DESCENT_LAZY_STRATEGY, LazyRefiner
 from repro.logic.totalizer import Totalizer
 from repro.network.discretize import DiscreteNetwork
 from repro.obs import trace
@@ -45,6 +45,7 @@ def optimize_schedule(
     checkpoint_path: str | None = None,
     resume: bool = False,
     lazy: bool = False,
+    lazy_strategy: str = DESCENT_LAZY_STRATEGY,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -84,8 +85,11 @@ def optimize_schedule(
 
     ``lazy`` defers the cross-train constraint families to the CEGAR
     check (:mod:`repro.encoding.lazy`), shared by the primary and every
-    follow-up pass; off by default (see :func:`generate_layout`).  The
-    core-guided engine stays eager.
+    follow-up pass; off by default (see :func:`generate_layout`).
+    ``lazy_strategy`` selects the refiner's grouping/selection cell
+    (default :data:`~repro.encoding.lazy.DESCENT_LAZY_STRATEGY`, the
+    matrix cell that wins for descents).  The core-guided engine stays
+    eager.
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -117,7 +121,10 @@ def optimize_schedule(
             else:
                 objective_lits = encoding.total_arrival_objective()
         record_encoding(reg, encoding)
-        refiner = LazyRefiner(encoding) if use_lazy else None
+        refiner = (
+            LazyRefiner(encoding, strategy=lazy_strategy)
+            if use_lazy else None
+        )
         lazy_refine = refiner.refine if refiner is not None else None
 
         with trace.span("solve", phase="primary"):

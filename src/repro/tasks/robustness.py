@@ -10,26 +10,14 @@ and :func:`robustness_report` does it for every train.
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.encoding.encoder import EncodingOptions
 from repro.network.discretize import DiscreteNetwork
 from repro.network.sections import VSSLayout
+from repro.scenarios.disruptions import delayed_schedule
 from repro.tasks.verification import verify_schedule
 from repro.trains.schedule import Schedule, ScheduleError
 
-
-def _delayed(schedule: Schedule, train_name: str,
-             delay_min: float) -> Schedule:
-    """Copy of ``schedule`` with one train's departure shifted later."""
-    runs = []
-    for run in schedule.runs:
-        if run.train.name == train_name:
-            run = dataclasses.replace(
-                run, departure_min=run.departure_min + delay_min
-            )
-        runs.append(run)
-    return Schedule(runs, schedule.duration_min)
+_delayed = delayed_schedule  # historical alias of the shared transform
 
 
 def delay_tolerance(
@@ -53,7 +41,7 @@ def delay_tolerance(
     tolerance = -1
     for delay in range(0, max_steps + 1):
         try:
-            delayed = _delayed(schedule, train_name, delay * r_t_min)
+            delayed = delayed_schedule(schedule, train_name, delay * r_t_min)
         except ScheduleError:
             break  # departure pushed past a deadline or scenario end
         result = verify_schedule(

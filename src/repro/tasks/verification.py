@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
-from repro.encoding.lazy import solve_lazy_verification
+from repro.encoding.lazy import DEFAULT_LAZY_STRATEGY, solve_lazy_verification
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.sat import (
@@ -46,6 +46,7 @@ def verify_schedule(
     presimplify: bool = False,
     parallel: int = 1,
     lazy: bool = True,
+    lazy_strategy: str = DEFAULT_LAZY_STRATEGY,
 ) -> TaskResult:
     """Verify ``schedule`` on ``layout`` (default: the pure TTD layout).
 
@@ -70,7 +71,9 @@ def verify_schedule(
     the CEGAR loop in :mod:`repro.encoding.lazy` — same verdict, usually
     far fewer clauses.  Proof logging and presimplification need the
     full clause set as fixed premises, so either of them forces the
-    eager encoder.
+    eager encoder.  ``lazy_strategy`` picks the refiner's
+    grouping/selection cell (see :class:`repro.encoding.lazy.LazyRefiner`);
+    every cell yields the same verdict.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -102,7 +105,7 @@ def verify_schedule(
         if use_lazy:
             with trace.span("solve", lazy=True, processes=parallel):
                 outcome = solve_lazy_verification(
-                    encoding, parallel=parallel
+                    encoding, parallel=parallel, strategy=lazy_strategy
                 )
             satisfiable = outcome.satisfiable
             solve_calls = outcome.solve_calls

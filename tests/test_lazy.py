@@ -165,3 +165,75 @@ class TestLazyParallel:
         assert parallel.satisfiable == serial.satisfiable
         assert parallel.portfolio is not None
         assert parallel.portfolio["calls"] >= 1
+
+
+class TestLazyStrategies:
+    """The grouping/selection strategy matrix of the refiner."""
+
+    def test_parse_valid_cells(self):
+        from repro.encoding.lazy import parse_lazy_strategy
+
+        assert parse_lazy_strategy("violation/all") == ("violation", None)
+        assert parse_lazy_strategy("pair/first-1") == ("pair", 1)
+        assert parse_lazy_strategy("family/first-32") == ("family", 32)
+
+    @pytest.mark.parametrize("bad", [
+        "nope/all", "pair/some", "pair/first-0", "pair/first-x",
+        "pair", "", "violation/all/extra",
+    ])
+    def test_parse_rejects_malformed_cells(self, bad):
+        from repro.encoding.lazy import parse_lazy_strategy
+
+        with pytest.raises(ValueError):
+            parse_lazy_strategy(bad)
+
+    @pytest.mark.parametrize("strategy", [
+        "violation/all", "violation/first-1", "pair/all",
+        "pair/first-1", "family/all", "family/first-1",
+    ])
+    def test_all_cells_agree_on_verdict(self, loop_net,
+                                        crossing_schedule, strategy):
+        reference = verify_schedule(
+            loop_net, crossing_schedule, 0.5, lazy=False
+        )
+        cell = verify_schedule(
+            loop_net, crossing_schedule, 0.5, lazy=True,
+            lazy_strategy=strategy,
+        )
+        assert cell.satisfiable == reference.satisfiable
+
+    @pytest.mark.parametrize("strategy", [
+        "violation/all", "pair/first-1", "family/all",
+    ])
+    def test_cells_agree_on_generation_optimum(
+        self, micro_net, crossing_schedule, strategy
+    ):
+        eager = generate_layout(micro_net, crossing_schedule, 0.5)
+        cell = generate_layout(
+            micro_net, crossing_schedule, 0.5, lazy=True,
+            lazy_strategy=strategy,
+        )
+        assert cell.satisfiable == eager.satisfiable
+        assert cell.objective_value == eager.objective_value
+
+    def test_coarser_grouping_needs_fewer_rounds(self, loop_net,
+                                                 crossing_schedule):
+        """Family grouping amortises a round's finding across the whole
+        family — it can never need *more* rounds than per-violation."""
+        fine = verify_schedule(
+            loop_net, crossing_schedule, 0.5, lazy=True,
+            lazy_strategy="violation/all",
+        )
+        coarse = verify_schedule(
+            loop_net, crossing_schedule, 0.5, lazy=True,
+            lazy_strategy="family/all",
+        )
+        assert coarse.metrics["lazy.rounds"] <= fine.metrics["lazy.rounds"]
+
+    def test_bad_strategy_surfaces_early(self, loop_net,
+                                         crossing_schedule):
+        with pytest.raises(ValueError):
+            verify_schedule(
+                loop_net, crossing_schedule, 0.5, lazy=True,
+                lazy_strategy="bogus/all",
+            )

@@ -1,0 +1,182 @@
+"""Disruption transforms: well-formedness, inverses, and workloads.
+
+Every transform must either return a scenario the encoder accepts or
+raise DisruptionError — never a scenario that blows up downstream.
+Where an inverse is defined (delay, resolution shift) applying it must
+restore the original quantities exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import NodeKind
+from repro.scenarios import (
+    DisruptionError,
+    ScenarioSpec,
+    blockable_tracks,
+    blocked_track,
+    delayed_departure,
+    delayed_schedule,
+    generate_scenario,
+    run_disruption_workload,
+    shifted_resolution,
+    with_added_train,
+    with_headroom,
+)
+from repro.trains.discretize import discretize_schedule
+
+seeds = st.integers(0, 2_000)
+
+
+def _scenario(seed: int = 9):
+    return generate_scenario(ScenarioSpec.sampled(seed))
+
+
+class TestDelay:
+    def test_delay_shifts_exactly_one_departure(self):
+        scenario = _scenario()
+        name = scenario.schedule.runs[0].train.name
+        delayed = delayed_departure(scenario, name, 2)
+        for before, after in zip(
+            scenario.schedule.runs, delayed.schedule.runs
+        ):
+            shift = after.departure_min - before.departure_min
+            expected = 2 * scenario.r_t_min if (
+                before.train.name == name
+            ) else 0.0
+            assert shift == expected
+        assert f"delay:{name}:+2" in delayed.meta["edits"]
+
+    @given(seeds, st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_delay_inverse_restores_departures(self, seed, steps):
+        scenario = _scenario(seed)
+        name = scenario.schedule.runs[-1].train.name
+        delay_min = steps * scenario.r_t_min
+        there = delayed_schedule(scenario.schedule, name, delay_min)
+        back = delayed_schedule(there, name, -delay_min)
+        assert [r.departure_min for r in back.runs] == [
+            r.departure_min for r in scenario.schedule.runs
+        ]
+
+    def test_delay_past_deadline_raises(self):
+        scenario = with_headroom(_scenario(), 0)
+        name = scenario.schedule.runs[0].train.name
+        with pytest.raises(DisruptionError):
+            delayed_departure(scenario, name, 10_000)
+
+
+class TestResolutionShift:
+    def test_shift_rescales_and_revalidates(self):
+        scenario = _scenario()
+        shifted = shifted_resolution(scenario, r_s_factor=2.0)
+        assert shifted.r_s_km == scenario.r_s_km * 2.0
+        assert shifted.r_t_min == scenario.r_t_min
+        # Fewer, coarser segments — but still discretisable.
+        assert (
+            shifted.discretize().num_segments
+            < scenario.discretize().num_segments
+        )
+
+    @given(seeds, st.sampled_from([2.0, 4.0]))
+    @settings(max_examples=15, deadline=None)
+    def test_shift_inverse_is_identity_on_resolutions(self, seed, factor):
+        scenario = _scenario(seed)
+        try:
+            there = shifted_resolution(scenario, r_s_factor=factor)
+            back = shifted_resolution(there, r_s_factor=1.0 / factor)
+        except DisruptionError:
+            return  # coarsening made a train outgrow its start station
+        assert back.r_s_km == pytest.approx(scenario.r_s_km)
+        assert back.r_t_min == pytest.approx(scenario.r_t_min)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(DisruptionError):
+            shifted_resolution(_scenario(), r_s_factor=0.0)
+
+
+class TestAddedTrain:
+    def test_added_train_is_wellformed_and_opposing(self):
+        scenario = _scenario()
+        disrupted = with_added_train(scenario, seed=1)
+        assert len(disrupted.schedule.runs) == (
+            len(scenario.schedule.runs) + 1
+        )
+        extra = disrupted.schedule.runs[-1]
+        assert extra.departure_min == 0.0
+        originals = {
+            (r.start, r.goal) for r in scenario.schedule.runs
+        }
+        assert (extra.goal, extra.start) in originals
+        discretize_schedule(
+            disrupted.discretize(), disrupted.schedule, disrupted.r_t_min
+        )
+
+    def test_added_train_is_seed_deterministic(self):
+        scenario = _scenario()
+        a = with_added_train(scenario, seed=2)
+        b = with_added_train(scenario, seed=2)
+        assert a.to_json() == b.to_json()
+
+
+class TestBlockedTrack:
+    def test_blocking_preserves_invariants(self):
+        scenario = _scenario(9)  # has a passing loop: blockable tracks
+        candidates = blockable_tracks(scenario)
+        assert candidates
+        for track in candidates[:2]:
+            blocked = blocked_track(scenario, track)
+            network = blocked.network  # constructor re-validated it
+            assert track not in network.tracks
+            for name, node in network.nodes.items():
+                degree = network.degree(name)
+                if node.kind is NodeKind.BOUNDARY:
+                    assert degree == 1
+                elif node.kind is NodeKind.LINK:
+                    assert degree == 2
+                else:
+                    assert degree >= 3
+            assert f"blocked:{track}" in blocked.meta["edits"]
+
+    def test_blocking_unknown_or_breaking_track_raises(self):
+        scenario = _scenario()
+        with pytest.raises(DisruptionError):
+            blocked_track(scenario, "no-such-track")
+        # Blocking a boundary station's only platform strands its
+        # trains: every generated scenario schedules from A.
+        with pytest.raises(DisruptionError):
+            blocked_track(scenario, "staA")
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_blockable_tracks_all_discretize(self, seed):
+        scenario = _scenario(seed)
+        for track in blockable_tracks(scenario):
+            blocked = blocked_track(scenario, track)
+            discretize_schedule(
+                blocked.discretize(), blocked.schedule, blocked.r_t_min
+            )
+
+
+class TestWorkload:
+    def test_workload_reports_all_family_members(self):
+        scenario = with_headroom(_scenario(9), 3)
+        report = run_disruption_workload(
+            scenario, delay_steps=1, max_blocked=1, max_delay_probe=2
+        )
+        assert report.scenario == scenario.name
+        assert report.base_satisfiable
+        assert set(report.delay_tolerance) == {
+            run.train.name for run in scenario.schedule.runs
+        }
+        assert report.outcomes
+        names = [o.name for o in report.outcomes]
+        assert any(n.startswith("delay:") for n in names)
+        assert any(n.startswith("resolution:") for n in names)
+        for outcome in report.outcomes:
+            assert outcome.satisfiable in (True, False)
+            if outcome.satisfiable:
+                assert outcome.conflicting_trains == []
+        assert 0 <= report.surviving <= len(report.outcomes)
