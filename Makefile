@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: tier1 test test-faults smoke fuzz lint check bench \
-	bench-portfolio bench-descent bench-lazy
+	bench-portfolio bench-descent bench-lazy bench-profile
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -70,3 +70,11 @@ bench-descent:
 bench-lazy:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_lazy.py \
 		--out BENCH_lazy.json
+
+# Phase-profiler overhead bound (<=5%) and attribution sanity on the
+# running example; writes BENCH_profile.json.  Every bench-* target
+# also appends a git-SHA-keyed record to BENCH_HISTORY.jsonl — render
+# the trajectories with `python -m repro trend`.
+bench-profile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_profile.py \
+		--out BENCH_profile.json

@@ -100,6 +100,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_descent.json",
                         help="output JSON path (MetricsRegistry format)")
+    parser.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                        help="bench history JSONL to append to "
+                             "('' disables)")
     args = parser.parse_args(argv)
 
     reg = MetricsRegistry()
@@ -116,6 +119,11 @@ def main(argv=None) -> int:
               f"{'win' if won else 'LOSS'})")
     reg.write_json(args.out)
     print(f"wrote {args.out}")
+    if args.history:
+        from history import append_history
+
+        append_history("descent", reg.as_dict(), path=args.history)
+        print(f"history -> {args.history}")
     return 0 if all_won else 1
 
 

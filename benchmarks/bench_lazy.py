@@ -161,6 +161,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_lazy.json",
                         help="output JSON path (MetricsRegistry format)")
+    parser.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                        help="bench history JSONL to append to "
+                             "('' disables)")
     args = parser.parse_args(argv)
 
     reg = MetricsRegistry()
@@ -171,6 +174,11 @@ def main(argv=None) -> int:
     bench_strategy_matrix(reg)
     reg.write_json(args.out)
     print(f"wrote {args.out}")
+    if args.history:
+        from history import append_history
+
+        append_history("lazy", reg.as_dict(), path=args.history)
+        print(f"history -> {args.history}")
     return 0
 
 

@@ -24,6 +24,16 @@ Usage::
     python benchmarks/check_regression.py \
         --baseline .bench-baseline/BENCH_lazy.json \
         --current BENCH_lazy.json --threshold 0.25
+
+With ``--history`` the baseline is instead the *rolling median* of the
+last ``--window`` runs of one bench recorded in ``BENCH_HISTORY.jsonl``
+(``benchmarks/history.py``), which resists one-off outlier runs better
+than any single committed file.  An empty or missing history passes
+(first run seeds the history)::
+
+    python benchmarks/check_regression.py \
+        --history BENCH_HISTORY.jsonl --bench descent \
+        --current BENCH_descent.json --window 5
 """
 
 from __future__ import annotations
@@ -82,18 +92,68 @@ def compare(baseline: dict, current: dict, threshold: float):
             yield key, "fail", f"{base} -> {cur} ({delta:.0%})"
 
 
+def history_baseline(path: str, bench: str | None,
+                     window: int) -> dict | None:
+    """Rolling-median baseline from a history file, or None when the
+    history has no usable records yet (first run: nothing to gate)."""
+    try:
+        from history import load_history, rolling_baseline
+    except ImportError:  # script run from another cwd
+        import importlib.util
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "history",
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "history.py"),
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        load_history = module.load_history
+        rolling_baseline = module.rolling_baseline
+    records = load_history(path, bench=bench)
+    if not records:
+        return None
+    baseline = rolling_baseline(records, window=window)
+    return baseline or None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline", default=None,
                         help="committed baseline BENCH_*.json")
     parser.add_argument("--current", required=True,
                         help="freshly produced BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed relative slack (default 0.25)")
+    parser.add_argument("--history", metavar="FILE", default=None,
+                        help="gate against the rolling median of "
+                             "BENCH_HISTORY.jsonl instead of --baseline")
+    parser.add_argument("--bench", metavar="NAME", default=None,
+                        help="history bench name to gate against "
+                             "(with --history)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="rolling-median window for --history "
+                             "(default 5)")
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
+    if bool(args.baseline) == bool(args.history):
+        parser.error("exactly one of --baseline or --history is required")
+
+    if args.history:
+        baseline = history_baseline(args.history, args.bench, args.window)
+        if baseline is None:
+            print(f"ok: no usable history in {args.history!r} yet — "
+                  "nothing to gate against (run recorded as the seed)")
+            return 0
+        reference = (
+            f"rolling median of {args.history}"
+            + (f" [{args.bench}]" if args.bench else "")
+        )
+    else:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        reference = args.baseline
     with open(args.current) as fh:
         current = json.load(fh)
 
@@ -106,10 +166,10 @@ def main(argv=None) -> int:
             print(f"warning    {key}: {message}")
     if failures:
         print(f"{failures} regression(s) beyond "
-              f"{args.threshold:.0%} vs {args.baseline}")
+              f"{args.threshold:.0%} vs {reference}")
         return 1
     print(f"ok: no regressions beyond {args.threshold:.0%} "
-          f"vs {args.baseline}")
+          f"vs {reference}")
     return 0
 
 

@@ -170,6 +170,19 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              ".json = Chrome trace for Perfetto)")
     parser.add_argument("--metrics", metavar="FILE",
                         help="write the run's metrics registry as JSON")
+    parser.add_argument("--events", metavar="FILE",
+                        help="record the structured event stream "
+                             "(restarts, refinement rounds, bound "
+                             "improvements, checkpoint writes, deadline "
+                             "hits, worker crashes) as JSON Lines")
+    parser.add_argument("--live", action="store_true",
+                        help="render a live single-line progress summary "
+                             "on stderr while the run is in flight")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute solver time to the CDCL phases "
+                             "(propagate/analyze/backtrack/decide/"
+                             "restart) via low-overhead sampling; "
+                             "see `repro top`")
 
 
 def _write_trace(tracer: trace.Tracer, path: str) -> None:
@@ -281,10 +294,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trace", metavar="FILE",
                         help="span trace (JSONL) written by --trace")
     report.add_argument("--metrics", metavar="FILE",
-                        help="metrics JSON written by --metrics")
+                        help="metrics JSON written by --metrics, or a "
+                             "fuzz-report artifact (fuzz --report)")
     report.add_argument("--export-chrome", metavar="FILE",
                         help="additionally convert the trace to Chrome "
                              "trace JSON (open in Perfetto)")
+
+    top = sub.add_parser(
+        "top", help="render the hot-path phase attribution table from a "
+                    "--metrics file of a --profile run"
+    )
+    top.add_argument("--metrics", metavar="FILE", required=True,
+                     help="metrics JSON written by a --profile run")
+
+    trend = sub.add_parser(
+        "trend", help="render per-key performance trajectories from a "
+                      "BENCH_HISTORY.jsonl file (benchmarks/history.py)"
+    )
+    trend.add_argument("--history", metavar="FILE",
+                       default="BENCH_HISTORY.jsonl",
+                       help="bench history JSONL "
+                            "(default BENCH_HISTORY.jsonl)")
+    trend.add_argument("--bench", metavar="NAME", default=None,
+                       help="restrict to one benchmark name")
+    trend.add_argument("--key", action="append", default=[],
+                       metavar="FRAGMENT",
+                       help="restrict to metric keys containing FRAGMENT "
+                            "(repeatable)")
+    trend.add_argument("--last", type=int, default=20, metavar="N",
+                       help="trajectory window: the N most recent runs "
+                            "(default 20)")
 
     export = sub.add_parser(
         "export", help="export a scenario's CNF encoding as DIMACS"
@@ -342,18 +381,78 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.metrics import read_json
+    from repro.obs.profile import format_top
+
+    print(format_top(read_json(args.metrics)))
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    from repro.obs.report import format_trend, read_history
+
+    try:
+        records = read_history(args.history)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"no history file at {args.history!r} — run a benchmark "
+            "(make bench-profile / bench-descent / bench-lazy) first"
+        ) from None
+    print(format_trend(records, bench=args.bench, keys=args.key or None,
+                       last=args.last))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "trend":
+        return _cmd_trend(args)
 
     tracer = None
     if getattr(args, "trace", None):
         tracer = trace.install(trace.Tracer())
+    events_path = getattr(args, "events", None)
+    live = getattr(args, "live", False)
+    event_log = None
+    live_line = None
+    if events_path or live:
+        from repro.obs import events as obs_events
+
+        listener = None
+        if live:
+            live_line = obs_events.LiveLine()
+            listener = obs_events.live_listener(
+                live_line, label=args.command
+            )
+        event_log = obs_events.install(
+            obs_events.EventLog(listener=listener)
+        )
     try:
         return _run_command(args)
     finally:
+        if live_line is not None:
+            live_line.close()
+        if event_log is not None:
+            from repro.obs import events as obs_events
+
+            if events_path:
+                records = event_log.export()
+                obs_events.write_jsonl(records, events_path)
+                dropped = (
+                    f" ({event_log.dropped} dropped)"
+                    if event_log.dropped else ""
+                )
+                print(
+                    f"events: {len(records)} -> {events_path}{dropped}",
+                    file=sys.stderr,
+                )
+            obs_events.reset()
         if tracer is not None:
             _write_trace(tracer, args.trace)
             trace.reset()
@@ -378,6 +477,12 @@ def _cmd_fuzz(args) -> int:
         return 1
 
     reg = MetricsRegistry()
+    # The per-scenario log lines would clobber the --live single-line
+    # renderer; the fuzz.scenario events feed it instead.
+    log = (
+        None if getattr(args, "live", False)
+        else lambda line: print(line, file=sys.stderr)
+    )
     report = run_fuzz(
         count=args.count,
         seed=args.seed,
@@ -387,7 +492,8 @@ def _cmd_fuzz(args) -> int:
         registry=reg,
         max_trains=args.max_trains,
         max_loops=args.max_loops,
-        log=lambda line: print(line, file=sys.stderr),
+        log=log,
+        profile=getattr(args, "profile", False),
     )
     if args.report:
         write_report(report, args.report)
@@ -453,13 +559,17 @@ def _run_command(args) -> int:
             grouped = [rows[i:i + 3] for i in range(0, len(rows), 3)]
         else:
             grouped = []
+            profile = getattr(args, "profile", False)
             for study in studies:
                 net = study.discretize()
                 grouped.append([
-                    verify_schedule(net, study.schedule, study.r_t_min),
-                    generate_layout(net, study.schedule, study.r_t_min),
+                    verify_schedule(net, study.schedule, study.r_t_min,
+                                    profile=profile),
+                    generate_layout(net, study.schedule, study.r_t_min,
+                                    profile=profile),
                     optimize_schedule(net, study.schedule, study.r_t_min,
-                                      minimize_borders_secondary=True),
+                                      minimize_borders_secondary=True,
+                                      profile=profile),
                 ])
         groups = []
         for study, results in zip(studies, grouped):
@@ -511,7 +621,8 @@ def _run_command(args) -> int:
     if args.command == "verify":
         result = verify_schedule(net, schedule, r_t, with_proof=args.proof,
                                  parallel=args.jobs, lazy=args.lazy,
-                                 lazy_strategy=args.lazy_strategy)
+                                 lazy_strategy=args.lazy_strategy,
+                                 profile=args.profile)
         if args.proof and not result.satisfiable:
             status = "VALID" if result.proof_checked else "REJECTED"
             print(f"DRAT proof of infeasibility: {status}")
@@ -538,7 +649,8 @@ def _run_command(args) -> int:
                                  checkpoint_path=args.checkpoint,
                                  resume=args.resume,
                                  lazy=args.lazy,
-                                 lazy_strategy=args.lazy_strategy)
+                                 lazy_strategy=args.lazy_strategy,
+                                 profile=args.profile)
     else:
         if args.resume and not args.checkpoint:
             raise SystemExit("--resume requires --checkpoint")
@@ -554,6 +666,7 @@ def _run_command(args) -> int:
             resume=args.resume,
             lazy=args.lazy,
             lazy_strategy=args.lazy_strategy,
+            profile=args.profile,
         )
     if getattr(args, "metrics", None):
         _write_metrics(result.metrics, args.metrics)

@@ -39,11 +39,12 @@ from repro.encoding.validate import (
     find_separation_violations,
     find_swap_violations,
 )
+from repro.obs import events as obs_events
 from repro.obs import trace
 from repro.sat.portfolio import diversified_members, solve_portfolio
 from repro.sat.service import ServiceError, SolverService
 from repro.sat.solver import Solver
-from repro.sat.types import SolveResult
+from repro.sat.types import SolveResult, SolverConfig
 
 
 class LazyRefinementError(RuntimeError):
@@ -244,6 +245,12 @@ class LazyRefiner:
         self.clauses_added += added
         if added:
             trace.event("lazy.refined", round=self.rounds, clauses=added)
+        obs_events.emit(
+            "lazy.round",
+            round=self.rounds,
+            violations=len(groups),
+            clauses=added,
+        )
         return added
 
     def stats(self, include_saved: bool = True) -> dict:
@@ -288,6 +295,7 @@ def solve_lazy_verification(
     parallel: int = 1,
     members=None,
     strategy: str = DEFAULT_LAZY_STRATEGY,
+    profile: bool = False,
 ) -> LazyOutcome:
     """Run the solve→check→refine loop to a clean model or UNSAT.
 
@@ -296,21 +304,28 @@ def solve_lazy_verification(
     service dies mid-loop the round is replayed through the one-shot
     portfolio.  ``parallel = 1`` keeps one incremental solver in
     process.  ``strategy`` selects the refiner's clause-selection cell
-    (see :class:`LazyRefiner`).
+    (see :class:`LazyRefiner`).  ``profile`` turns on the hot-path
+    phase profiler in every solver the loop creates; the resulting
+    ``profile.*`` counters ride in ``solver_stats``.
     """
     refiner = LazyRefiner(encoding, strategy=strategy)
     if parallel > 1:
-        return _lazy_portfolio_loop(encoding, refiner, parallel, members)
-    return _lazy_serial_loop(encoding, refiner)
-
-
-def _lazy_serial_loop(encoding, refiner: LazyRefiner) -> LazyOutcome:
-    cnf = encoding.cnf
-    solver = Solver()
-    if trace.enabled():
-        solver.on_progress(
-            lambda snap: trace.counter("solver.progress", **snap)
+        return _lazy_portfolio_loop(
+            encoding, refiner, parallel, members, profile=profile
         )
+    return _lazy_serial_loop(encoding, refiner, profile=profile)
+
+
+def _lazy_serial_loop(
+    encoding, refiner: LazyRefiner, profile: bool = False
+) -> LazyOutcome:
+    cnf = encoding.cnf
+    solver = Solver(SolverConfig(profile=profile))
+    progress = obs_events.progress_callback()
+    if progress is not None:
+        solver.on_progress(progress)
+    if obs_events.enabled():
+        solver.on_event(obs_events.emit)
     solver.ensure_var(max(cnf.num_vars, 1))
     shipped = 0
     calls = 0
@@ -348,10 +363,16 @@ def _lazy_serial_loop(encoding, refiner: LazyRefiner) -> LazyOutcome:
 
 
 def _lazy_portfolio_loop(
-    encoding, refiner: LazyRefiner, parallel: int, members
+    encoding,
+    refiner: LazyRefiner,
+    parallel: int,
+    members,
+    profile: bool = False,
 ) -> LazyOutcome:
     cnf = encoding.cnf
-    members = members or diversified_members(parallel)
+    if members is None:
+        base = SolverConfig(profile=True) if profile else None
+        members = diversified_members(parallel, base=base)
     merged: dict = {}
     winners: dict[str, int] = {}
     wall = 0.0

@@ -1,6 +1,6 @@
-"""Observability: span tracing, a metrics registry, and run reports.
+"""Observability: spans, metrics, events, the phase profiler, reports.
 
-Three cooperating pieces, all dependency-free and off by default:
+Cooperating pieces, all dependency-free and off by default:
 
 * :mod:`repro.obs.trace` — hierarchical span tracing (``trace.span("solve")``,
   nestable, ~zero overhead when disabled) with JSONL and Chrome-trace/
@@ -9,15 +9,27 @@ Three cooperating pieces, all dependency-free and off by default:
 * :mod:`repro.obs.metrics` — counters/gauges/histograms under stable dotted
   names, absorbing solver statistics, encoder constraint-family sizes,
   preprocessing effects, and portfolio race telemetry.
+* :mod:`repro.obs.profile` — the hot-path phase profiler: attributes CDCL
+  search time to propagate/analyze/backtrack/decide/restart via sampled
+  conflict intervals; exported as ``profile.*`` keys and rendered by
+  ``repro top``.
+* :mod:`repro.obs.events` — a bounded, monotonically-sequenced structured
+  event stream (restarts, clause exchange, refinement rounds, descent
+  improvements, checkpoints, deadline hits, worker crashes) with JSONL
+  export (``--events``) and the ``--live`` single-line renderer.
+* :mod:`repro.obs.keys` — the metric-key namespace catalog guarded by a
+  lint-style test.
 * :mod:`repro.obs.report` — :class:`RunReport`, a human-readable
   timing/metrics breakdown (the ``repro report`` subcommand).
 
-The CLI exposes the layer as ``--trace FILE`` / ``--metrics FILE`` on the
-task subcommands; library users install a tracer with
-``trace.install(trace.Tracer())`` and read ``TaskResult.metrics``.
+The CLI exposes the layer as ``--trace``/``--metrics``/``--events``/
+``--profile``/``--live`` on the task subcommands; library users install a
+tracer with ``trace.install(trace.Tracer())``, an event log with
+``events.install(events.EventLog())``, and read ``TaskResult.metrics``.
 """
 
-from repro.obs import trace
+from repro.obs import events, keys, profile, trace
+from repro.obs.events import EventLog, LiveLine
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -25,12 +37,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     read_json,
 )
+from repro.obs.profile import PhaseProfiler
 from repro.obs.report import RunReport
 from repro.obs.trace import Tracer
 
 __all__ = [
     "trace",
+    "events",
+    "keys",
+    "profile",
     "Tracer",
+    "EventLog",
+    "LiveLine",
+    "PhaseProfiler",
     "Counter",
     "Gauge",
     "Histogram",

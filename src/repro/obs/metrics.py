@@ -123,8 +123,39 @@ class MetricsRegistry:
     def absorb_solver_stats(
         self, stats: dict, prefix: str = "solver."
     ) -> None:
-        """Absorb a :meth:`SolverStats.as_dict` payload."""
-        self.absorb_counters(stats, prefix)
+        """Absorb a :meth:`SolverStats.as_dict` payload.
+
+        Embedded hot-path profiler counters (``profile.*`` keys, present
+        when ``SolverConfig.profile`` is on) keep their own namespace
+        instead of being nested under ``prefix``, and the throughput
+        gauges ``profile.props_per_s`` / ``profile.conflicts_per_s`` are
+        derived from the accumulated solver totals.
+        """
+        plain = {
+            key: value
+            for key, value in stats.items()
+            if not key.startswith("profile.")
+        }
+        self.absorb_counters(plain, prefix)
+        if len(plain) == len(stats):
+            return
+        self.absorb_counters(
+            {
+                key: value
+                for key, value in stats.items()
+                if key.startswith("profile.")
+            }
+        )
+        solve_time = self.counter(f"{prefix}solve_time").value
+        if solve_time > 0:
+            self.set(
+                "profile.props_per_s",
+                self.counter(f"{prefix}propagations").value / solve_time,
+            )
+            self.set(
+                "profile.conflicts_per_s",
+                self.counter(f"{prefix}conflicts").value / solve_time,
+            )
 
     def absorb_encoder(
         self, family_stats: dict[str, dict], prefix: str = "encoder."

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import zlib
 
+from repro.obs import events as obs_events
 from repro.obs import trace
 from repro.testing import faults
 
@@ -218,6 +219,11 @@ class DescentCheckpoint:
             self._fail(exc)
         else:
             self.writes += 1
+            obs_events.emit(
+                "checkpoint.write",
+                type=record.get("type", "?"),
+                seq=self._seq,
+            )
 
     def _fail(self, exc: OSError) -> None:
         self.write_failures += 1

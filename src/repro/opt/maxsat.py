@@ -21,7 +21,7 @@ import time
 from repro.logic.cnf import CNF
 from repro.opt.result import STATUS_TIMEOUT, MinimizeResult
 from repro.sat.solver import Solver
-from repro.sat.types import SolveResult
+from repro.sat.types import SolveResult, SolverConfig
 
 
 def minimize_sum_core_guided(
@@ -30,6 +30,7 @@ def minimize_sum_core_guided(
     solver: Solver | None = None,
     max_iterations: int = 10_000,
     wall_deadline_s: float | None = None,
+    profile: bool = False,
 ) -> MinimizeResult:
     """Minimise the number of true ``objective_lits`` via Fu–Malik relaxation.
 
@@ -40,7 +41,12 @@ def minimize_sum_core_guided(
     ``wall_deadline_s`` bounds the whole search; on expiry the result is an
     unconstrained model (any model, cost unoptimised) with ``lower_bound``
     set to the rounds proven so far and ``status="timeout"``.
+
+    ``profile`` turns on the hot-path phase profiler in the engine's
+    solver (ignored when an explicit ``solver`` is given).
     """
+    if solver is None and profile:
+        solver = Solver(SolverConfig(profile=True))
     solver = cnf.to_solver(solver)
     deadline = (
         time.perf_counter() + wall_deadline_s

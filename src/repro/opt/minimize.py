@@ -36,6 +36,7 @@ from typing import Callable
 
 from repro.logic.cnf import CNF
 from repro.logic.totalizer import Totalizer
+from repro.obs import events as obs_events
 from repro.obs import trace
 from repro.opt.checkpoint import (
     CheckpointState,
@@ -57,7 +58,7 @@ from repro.sat.portfolio import (
 )
 from repro.sat.service import ProbeOutcome, ServiceError, SolverService
 from repro.sat.solver import Solver
-from repro.sat.types import SolveResult
+from repro.sat.types import SolveResult, SolverConfig
 
 
 class _DescentBudget:
@@ -101,6 +102,17 @@ def _descent_status(
     if resumed and not improved:
         return STATUS_RESUMED
     return STATUS_FEASIBLE
+
+
+def _note_improved(cost: int) -> None:
+    """Record a bound improvement on the trace and the event stream."""
+    trace.event("descent.improved", cost=cost)
+    obs_events.emit("descent.improved", cost=cost)
+
+
+def _note_timeout() -> None:
+    """Record a descent that ended on its wall budget."""
+    obs_events.emit("deadline.hit", scope="descent")
 
 
 def _checkpoint_summary(
@@ -153,6 +165,7 @@ def minimize_sum(
     checkpoint_path: str | None = None,
     resume: bool = False,
     refine: Callable[[list[int]], int] | None = None,
+    profile: bool = False,
 ) -> DescentResult:
     """Minimise the number of true literals among ``objective_lits``.
 
@@ -188,6 +201,11 @@ def minimize_sum(
     O(delta) service probe or a re-hoisted one-shot race on the parallel
     paths — so only *clean* models are ever accepted as improvements,
     and relaxation UNSATs remain sound lower bounds.
+
+    ``profile`` turns on the hot-path phase profiler
+    (:mod:`repro.obs.profile`) in every solver the descent creates —
+    ignored when an explicit ``solver`` or ``portfolio_members`` already
+    fixes the configuration.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -212,6 +230,13 @@ def minimize_sum(
         ckpt.open(fingerprint, resumed=state is not None)
 
     budget = _DescentBudget(wall_deadline_s)
+    if profile:
+        if parallel > 1 and portfolio_members is None:
+            portfolio_members = diversified_members(
+                parallel, base=SolverConfig(profile=True)
+            )
+        elif parallel <= 1 and solver is None:
+            solver = Solver(SolverConfig(profile=True))
     try:
         if parallel > 1:
             return _minimize_sum_portfolio(
@@ -242,10 +267,11 @@ def _minimize_sum_serial(
 ) -> DescentResult:
     """The serial incremental descent (one solver, bounds as assumptions)."""
     solver = cnf.to_solver(solver)
-    if trace.enabled():
-        solver.on_progress(
-            lambda snap: trace.counter("solver.progress", **snap)
-        )
+    progress = obs_events.progress_callback()
+    if progress is not None:
+        solver.on_progress(progress)
+    if obs_events.enabled():
+        solver.on_event(obs_events.emit)
     model_cost = _cost_counter(objective_lits)
     configured_deadline = solver.config.wall_deadline_s
     unit_keys: set[tuple[int, ...]] = set()
@@ -329,6 +355,8 @@ def _minimize_sum_serial(
             # An UNSAT first solve is a *proven* conclusion; only a
             # timed-out one leaves feasibility genuinely open.
             status = STATUS_TIMEOUT if timed_out else STATUS_OPTIMAL
+        if status == STATUS_TIMEOUT:
+            _note_timeout()
         if ckpt is not None:
             ckpt.done(status, cost if feasible else None)
         return DescentResult(
@@ -365,7 +393,7 @@ def _minimize_sum_serial(
                 return finish(False, 0, [], False)
             best_model = solver.model()
             best_cost = model_cost(best_model)
-            trace.event("descent.improved", cost=best_cost)
+            _note_improved(best_cost)
             improved = True
             # Checkpoint before notifying: a callback that dies (or kills
             # the process) never loses the improvement it was told about.
@@ -404,7 +432,7 @@ def _minimize_sum_serial(
                 if verdict is SolveResult.SAT:
                     best_model = solver.model()
                     best_cost = model_cost(best_model)
-                    trace.event("descent.improved", cost=best_cost)
+                    _note_improved(best_cost)
                     improved = True
                     if ckpt is not None:
                         ckpt.improved(best_cost, best_model, calls)
@@ -444,7 +472,7 @@ def _minimize_sum_serial(
                     best_model = solver.model()
                     high = model_cost(best_model)
                     best_cost = high
-                    trace.event("descent.improved", cost=best_cost)
+                    _note_improved(best_cost)
                     improved = True
                     if ckpt is not None:
                         ckpt.improved(best_cost, best_model, calls)
@@ -607,6 +635,8 @@ def _minimize_sum_portfolio(
             status = _descent_status(proven, timed_out, resumed, improved)
         else:
             status = STATUS_TIMEOUT if timed_out else STATUS_OPTIMAL
+        if status == STATUS_TIMEOUT:
+            _note_timeout()
         if ckpt is not None:
             ckpt.done(status, cost if feasible else None)
         return DescentResult(
@@ -678,7 +708,7 @@ def _minimize_sum_portfolio(
                 return finish(False, 0, [], False)
             best_model = first.model or []
             best_cost = model_cost(best_model)
-            trace.event("descent.improved", cost=best_cost)
+            _note_improved(best_cost)
             improved = True
             if ckpt is not None:
                 ckpt.improved(best_cost, best_model, calls)
@@ -717,7 +747,7 @@ def _minimize_sum_portfolio(
                 if probe.verdict is SolveResult.SAT:
                     best_model = probe.model or []
                     best_cost = model_cost(best_model)
-                    trace.event("descent.improved", cost=best_cost)
+                    _note_improved(best_cost)
                     improved = True
                     if ckpt is not None:
                         ckpt.improved(best_cost, best_model, calls)
@@ -758,7 +788,7 @@ def _minimize_sum_portfolio(
                     best_model = probe.model or []
                     high = model_cost(best_model)
                     best_cost = high
-                    trace.event("descent.improved", cost=best_cost)
+                    _note_improved(best_cost)
                     improved = True
                     if ckpt is not None:
                         ckpt.improved(best_cost, best_model, calls)

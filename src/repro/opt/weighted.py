@@ -35,6 +35,7 @@ def minimize_weighted_sum(
     persistent: bool = False,
     wall_deadline_s: float | None = None,
     refine=None,
+    profile: bool = False,
 ) -> MinimizeResult:
     """Minimise ``Σ weight * [lit is true]``.
 
@@ -46,7 +47,8 @@ def minimize_weighted_sum(
     ``wall_deadline_s`` bounds the whole minimisation; stratified runs give
     each stratum the remaining budget and propagate a timeout outcome.
     ``refine`` is the lazy-encoding check callback, forwarded to every
-    underlying descent (see :func:`repro.opt.minimize.minimize_sum`).
+    underlying descent (see :func:`repro.opt.minimize.minimize_sum`);
+    so is ``profile`` (the hot-path phase profiler).
     """
     for lit, weight in weighted_lits:
         if weight <= 0 or not isinstance(weight, int):
@@ -62,7 +64,7 @@ def minimize_weighted_sum(
         result = minimize_sum(
             cnf, duplicated, strategy=strategy, parallel=parallel,
             persistent=persistent, wall_deadline_s=wall_deadline_s,
-            refine=refine,
+            refine=refine, profile=profile,
         )
         return result
 
@@ -100,7 +102,7 @@ def minimize_weighted_sum(
         result = minimize_sum(
             cnf, lits, strategy=strategy, parallel=parallel,
             persistent=persistent, wall_deadline_s=remaining,
-            refine=refine,
+            refine=refine, profile=profile,
         )
         calls += result.solve_calls
         timed_out = timed_out or result.status == STATUS_TIMEOUT

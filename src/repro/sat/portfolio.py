@@ -40,6 +40,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import events as obs_events
 from repro.obs import trace
 from repro.sat.simplify import simplify_clauses
 from repro.sat.solver import Solver
@@ -49,6 +50,10 @@ from repro.testing import faults
 
 #: Poll interval while waiting for worker results (seconds).
 _POLL_S = 0.02
+
+#: Conflicts between progress events a member emits while the event
+#: stream is enabled (tests shrink this to observe delivery quickly).
+_PROGRESS_EVERY = 2000
 
 #: Large co-prime stride decorrelating the per-member derived seeds.
 _SEED_STRIDE = 0x9E3779B1
@@ -266,10 +271,23 @@ def _run_member(
     """
     if child_trace and trace.enabled():
         trace.install(trace.fork_child(tid=member.name))
+    if child_trace and obs_events.enabled():
+        obs_events.install(obs_events.fork_child(source=member.name))
     start = time.perf_counter()
     with trace.span("portfolio.member", member=member.name) as span:
         factory = member.solver_factory or Solver
         solver = factory(_member_config(member, timeout_s))
+        if obs_events.enabled():
+            name = member.name
+
+            def emit_event(kind, **args):
+                obs_events.emit(kind, member=name, **args)
+
+            def emit_progress(snapshot):
+                obs_events.emit("progress", member=name, **snapshot)
+
+            solver.on_event(emit_event)
+            solver.on_progress(emit_progress, _PROGRESS_EVERY)
         logger = None
         if with_proof:
             logger = ProofLogger()
@@ -299,6 +317,8 @@ def _run_member(
     }
     if child_trace and trace.enabled():
         outcome["spans"] = trace.export_spans()
+    if child_trace and obs_events.enabled():
+        outcome["events"] = obs_events.drain_events()
     return outcome
 
 
@@ -338,6 +358,11 @@ def _record_message(msg, reports, outcomes) -> None:
         if not reports[index].error:
             reports[index].error = msg["error"]
             reports[index].traceback = msg.get("traceback", "")
+            obs_events.emit(
+                "worker.crash",
+                member=reports[index].name,
+                error=msg["error"],
+            )
     elif index not in outcomes:
         outcomes[index] = msg
         reports[index].verdict = msg["verdict"]
@@ -345,6 +370,7 @@ def _record_message(msg, reports, outcomes) -> None:
         reports[index].solve_time_s = msg["time"]
         reports[index].stats = msg["stats"]
         trace.merge(msg.get("spans"))
+        obs_events.merge(msg.get("events"))
 
 
 def _await_flagged_reports(out, reports, outcomes, flags) -> None:
@@ -526,6 +552,11 @@ def solve_portfolio(
                         reports[i].error = (
                             f"worker died with exit code {proc.exitcode}"
                         )
+                        obs_events.emit(
+                            "worker.crash",
+                            member=reports[i].name,
+                            error=reports[i].error,
+                        )
                 if all(
                     i in outcomes or reports[i].error
                     for i in range(len(procs))
@@ -537,6 +568,11 @@ def solve_portfolio(
             if "error" in msg:
                 reports[index].error = msg["error"]
                 reports[index].traceback = msg.get("traceback", "")
+                obs_events.emit(
+                    "worker.crash",
+                    member=reports[index].name,
+                    error=msg["error"],
+                )
                 if all(
                     i in outcomes or reports[i].error
                     for i in range(len(procs))
@@ -550,6 +586,7 @@ def solve_portfolio(
             reports[index].solve_time_s = msg["time"]
             reports[index].stats = msg["stats"]
             trace.merge(msg.get("spans"))
+            obs_events.merge(msg.get("events"))
             verdicts_seen[index] = msg["verdict"]
             definitive = {
                 v for v in verdicts_seen.values()

@@ -51,6 +51,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 
+from repro.obs import events as obs_events
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.sat.portfolio import (
@@ -76,6 +77,10 @@ _CANCEL_CHECK_CONFLICTS = 128
 #: How long a cancelled worker may take to flush its reply before it is
 #: presumed wedged and terminated (seconds).
 _CANCEL_GRACE_S = 10.0
+
+#: Cancellation checks between progress events a worker emits while the
+#: event stream is enabled (128 conflicts per check; tests shrink this).
+_PROGRESS_EVENT_CHECKS = 16
 
 
 class ServiceError(RuntimeError):
@@ -122,7 +127,7 @@ class _ProbeCancelled(Exception):
 
 
 def _service_worker(index, member, num_vars, clauses, conn, cancel,
-                    child_trace):
+                    child_trace, child_events=False):
     """Worker entry point: build one incremental solver, serve probes.
 
     The CNF snapshot arrives through ``fork`` (no pickling); afterwards
@@ -132,10 +137,20 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
     """
     if child_trace:
         trace.install(trace.fork_child(tid=f"service:{member.name}"))
+    if child_events:
+        obs_events.install(
+            obs_events.fork_child(source=f"service:{member.name}")
+        )
     try:
         faults.on_worker_start(member.name)
         factory = member.solver_factory or Solver
         solver = factory(member.config)
+        if child_events:
+            solver.on_event(
+                lambda kind, **args: obs_events.emit(
+                    kind, member=member.name, **args
+                )
+            )
         solver.ensure_var(max(num_vars, 1))
         with trace.span("service.load", member=member.name,
                         clauses=len(clauses)):
@@ -151,10 +166,21 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
         return
 
     exported_keys: set[tuple[int, ...]] = set()
+    checks_seen = 0
 
-    def check_cancel(_snapshot) -> None:
+    def check_cancel(snapshot) -> None:
         if cancel.is_set():
             raise _ProbeCancelled
+        if child_events:
+            # The cancel hook doubles as the worker's progress feed: one
+            # event every _PROGRESS_EVENT_CHECKS checks (the hook itself
+            # fires every _CANCEL_CHECK_CONFLICTS conflicts).
+            nonlocal checks_seen
+            checks_seen += 1
+            if checks_seen % _PROGRESS_EVENT_CHECKS == 0:
+                obs_events.emit(
+                    "progress", member=member.name, **snapshot
+                )
 
     while True:
         try:
@@ -213,6 +239,8 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
             if tracer is not None:
                 reply["spans"] = tracer.export()
                 tracer.spans.clear()
+        if child_events:
+            reply["events"] = obs_events.drain_events()
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -288,13 +316,14 @@ class SolverService:
         ctx = multiprocessing.get_context("fork")
         self._shipped = len(self._clauses)
         child_trace = trace.enabled()
+        child_events = obs_events.enabled()
         for i, member in enumerate(self._members):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             cancel = ctx.Event()
             proc = ctx.Process(
                 target=_service_worker,
                 args=(i, member, self._num_vars, self._clauses,
-                      child_conn, cancel, child_trace),
+                      child_conn, cancel, child_trace, child_events),
                 daemon=True,
             )
             proc.start()
@@ -444,6 +473,12 @@ class SolverService:
             met.inc("service.probe_timeouts")
             trace.event("deadline.probe_timeout", probe=probe_id,
                         budget_s=timeout_s)
+            obs_events.emit("deadline.hit", scope="probe", probe=probe_id,
+                            budget_s=timeout_s)
+        obs_events.emit("probe.done", probe=probe_id,
+                        verdict=outcome.verdict.value,
+                        winner=outcome.winner_name,
+                        wall_s=outcome.wall_time_s)
         return outcome
 
     # -- internals -----------------------------------------------------
@@ -458,6 +493,8 @@ class SolverService:
         self.metrics.inc("service.worker_crashes")
         trace.event("service.worker_crash",
                     member=self._members[index].name, error=error)
+        obs_events.emit("worker.crash",
+                        member=self._members[index].name, error=error)
         proc = self._procs[index]
         if proc.is_alive():
             proc.terminate()
@@ -493,6 +530,7 @@ class SolverService:
             replies[i] = msg
             pending.discard(i)
             trace.merge(msg.get("spans"))
+            obs_events.merge(msg.get("events"))
             report = self.reports[i]
             report.finished = True
             report.verdict = msg["verdict"]
@@ -552,6 +590,7 @@ class SolverService:
                 if msg.get("probe") != probe_id:
                     continue  # stale flush from an earlier probe
                 if "error" in msg:
+                    obs_events.merge(msg.get("events"))
                     self._mark_dead(i, msg["error"],
                                     msg.get("traceback", ""))
                     pending.discard(i)
@@ -601,6 +640,7 @@ class SolverService:
                     merged[key] = merged.get(key, 0) + value
         if imported:
             self.metrics.inc("share.imported", imported)
+            obs_events.emit("share.import", clauses=imported)
 
         self._broadcast(replies, winner)
 
@@ -655,6 +695,7 @@ class SolverService:
                 harvest.append((i, lits))
         if not harvest:
             return
+        obs_events.emit("share.export", clauses=len(harvest))
         alive = [i for i, ok in enumerate(self._alive) if ok]
         primary = min(alive, default=-1)
         for j in alive:

@@ -13,7 +13,9 @@ architecture (MiniSat lineage):
 
 The solver is the satisfiability oracle substituting for Z3 in the paper's
 methodology (see DESIGN.md §2).  It is deliberately self-contained: the only
-imports are the sibling modules of this package.
+imports are the sibling modules of this package plus the dependency-free
+hot-path profiler (:mod:`repro.obs.profile`, enabled via
+``SolverConfig.profile``).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import heapq
 import random
 import time
 
+from repro.obs.profile import PhaseProfiler
 from repro.sat.clause import Clause
 from repro.sat.luby import LubyGenerator
 from repro.sat.types import (
@@ -60,6 +63,14 @@ class Solver:
         self._rng = random.Random(self.config.random_seed)
         self._progress_cb = None  # optional periodic progress hook
         self._progress_interval = 0
+        self._event_cb = None  # optional structured-event hook
+        #: Hot-path phase profiler (None unless ``config.profile``); its
+        #: counters are published as ``stats.profile`` after each solve.
+        self._profiler = (
+            PhaseProfiler(self.config.profile_sample_period)
+            if self.config.profile
+            else None
+        )
 
         # Variable state, indexed by variable number (index 0 unused).
         self._assigns: list[int] = [0]  # 1 = true, -1 = false, 0 = unassigned
@@ -230,6 +241,8 @@ class Solver:
         result = self._search(list(assumptions))
         self._backtrack(0)
         self.stats.solve_time += time.perf_counter() - start
+        if self._profiler is not None:
+            self.stats.profile = self._profiler.as_counters()
         self.last_stats = self.stats.delta(before)
         return result
 
@@ -271,6 +284,18 @@ class Solver:
             )
         self._progress_cb = callback
         self._progress_interval = interval_conflicts
+
+    def on_event(self, callback) -> None:
+        """Invoke ``callback(kind, **args)`` at notable search events.
+
+        Emitted kinds: ``"restart"`` (with the conflict interval that
+        triggered it) and ``"deadline.hit"`` (wall budget expired
+        mid-search).  Pass None to detach; the detached hook costs one
+        attribute check per event.  The observability layers attach this
+        to feed the structured event stream (:mod:`repro.obs.events`) —
+        the solver itself stays import-free of it.
+        """
+        self._event_cb = callback
 
     def progress_snapshot(self) -> dict:
         """A cheap point-in-time view of the search state."""
@@ -726,8 +751,16 @@ class Solver:
             deadline_at = self._solve_started + config.wall_deadline_s
             if time.perf_counter() >= deadline_at:
                 self.stats.deadline_hits += 1
+                if self._event_cb is not None:
+                    self._event_cb(
+                        "deadline.hit", conflicts=self.stats.conflicts
+                    )
                 return SolveResult.UNKNOWN
         deadline_interval = max(1, config.deadline_check_interval)
+        # Local alias: the profiling-off hot path pays one None check per
+        # operation; when on, PhaseProfiler.run counts every op and reads
+        # the clock only during sampled conflict intervals.
+        prof = self._profiler
         events_since_check = 0
         max_learned = max(
             config.learned_clause_min_limit,
@@ -735,10 +768,15 @@ class Solver:
         )
 
         while True:
-            conflict = self._propagate()
+            if prof is None:
+                conflict = self._propagate()
+            else:
+                conflict = prof.run("propagate", self._propagate)
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
+                if prof is not None:
+                    prof.on_conflict()
                 if (
                     self._progress_cb is not None
                     and self.stats.conflicts % self._progress_interval == 0
@@ -750,6 +788,11 @@ class Solver:
                         events_since_check = 0
                         if time.perf_counter() >= deadline_at:
                             self.stats.deadline_hits += 1
+                            if self._event_cb is not None:
+                                self._event_cb(
+                                    "deadline.hit",
+                                    conflicts=self.stats.conflicts,
+                                )
                             return SolveResult.UNKNOWN
                 if self._decision_level() == 0:
                     self._ok = False
@@ -760,13 +803,21 @@ class Solver:
                     # Conflict entirely inside the assumption prefix.
                     self._conflict_core = self._core_from_conflict(conflict)
                     return SolveResult.UNSAT
-                learned, backtrack_level, lbd = self._analyze(conflict)
+                if prof is None:
+                    learned, backtrack_level, lbd = self._analyze(conflict)
+                else:
+                    learned, backtrack_level, lbd = prof.run(
+                        "analyze", self._analyze, conflict
+                    )
                 if self._proof is not None:
                     self._proof.add(list(learned))
                 backtrack_level = max(
                     backtrack_level, self._n_assumptions_assigned()
                 )
-                self._backtrack(backtrack_level)
+                if prof is None:
+                    self._backtrack(backtrack_level)
+                else:
+                    prof.run("backtrack", self._backtrack, backtrack_level)
                 if len(learned) == 1:
                     self._enqueue(learned[0], None)
                 else:
@@ -797,9 +848,23 @@ class Solver:
                 self.stats.restart_conflict_deltas.append(
                     conflicts_since_restart
                 )
+                if self._event_cb is not None:
+                    self._event_cb(
+                        "restart",
+                        restarts=self.stats.restarts,
+                        conflicts=self.stats.conflicts,
+                        interval=conflicts_since_restart,
+                    )
                 conflicts_since_restart = 0
                 restart_limit = luby_gen.next_limit()
-                self._backtrack(self._n_assumptions_assigned())
+                if prof is None:
+                    self._backtrack(self._n_assumptions_assigned())
+                else:
+                    prof.run(
+                        "restart",
+                        self._backtrack,
+                        self._n_assumptions_assigned(),
+                    )
                 continue
 
             if (
@@ -825,7 +890,10 @@ class Solver:
                     self._enqueue(lit, None)
                 continue
 
-            var = self._pick_branch_var()
+            if prof is None:
+                var = self._pick_branch_var()
+            else:
+                var = prof.run("decide", self._pick_branch_var)
             if var == 0:
                 # All variables assigned: model found.
                 self._model = list(self._assigns)
@@ -838,6 +906,11 @@ class Solver:
                     events_since_check = 0
                     if time.perf_counter() >= deadline_at:
                         self.stats.deadline_hits += 1
+                        if self._event_cb is not None:
+                            self._event_cb(
+                                "deadline.hit",
+                                conflicts=self.stats.conflicts,
+                            )
                         return SolveResult.UNKNOWN
             self.stats.decisions += 1
             phase = (

@@ -8,7 +8,7 @@ positive integer ``v >= 1`` and a literal is ``v`` (positive phase) or ``-v``
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 class SolveResult(enum.Enum):
@@ -31,25 +31,11 @@ class InvalidLiteralError(SatError):
     """A clause contained literal 0 or a non-integer literal."""
 
 
-#: Additive SolverStats fields (snapshot deltas subtract these).
-_ADDITIVE_FIELDS = (
-    "decisions",
-    "random_decisions",
-    "propagations",
-    "conflicts",
-    "restarts",
-    "learned_clauses",
-    "learned_literals",
-    "sum_lbd",
-    "deleted_clauses",
-    "minimized_literals",
-    "solve_calls",
-    "solve_time",
-    "deadline_hits",
-)
-
 #: High-water-mark fields (deltas report the current value).
 _MAX_FIELDS = ("max_decision_level", "max_lbd")
+
+#: Fields with bespoke snapshot/delta handling (not plain additive scalars).
+_SPECIAL_FIELDS = ("restart_conflict_deltas", "profile")
 
 
 @dataclass
@@ -60,6 +46,11 @@ class SolverStats:
     calls on one instance; per-solve figures are obtained with
     :meth:`snapshot` before the call and :meth:`delta` after (the solver
     does this itself and publishes the result as ``Solver.last_stats``).
+
+    Every scalar field added here is *automatically* additive (included
+    in snapshot/delta/as_dict) unless listed in :data:`_MAX_FIELDS`
+    (high-water marks) or :data:`_SPECIAL_FIELDS` (bespoke handling) —
+    new counters cannot be silently dropped from per-solve deltas.
     """
 
     decisions: int = 0
@@ -80,26 +71,24 @@ class SolverStats:
     deadline_hits: int = 0
     #: Conflicts between consecutive restarts (appended at each restart).
     restart_conflict_deltas: list[int] = field(default_factory=list)
+    #: Flat additive hot-path profiler counters (``propagate.time_s`` ...),
+    #: published by the solver when ``SolverConfig.profile`` is on; exported
+    #: by :meth:`as_dict` under ``profile.*`` keys.
+    profile: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, float]:
-        """Return the scalar statistics as a plain dictionary."""
-        return {
-            "decisions": self.decisions,
-            "random_decisions": self.random_decisions,
-            "propagations": self.propagations,
-            "conflicts": self.conflicts,
-            "restarts": self.restarts,
-            "learned_clauses": self.learned_clauses,
-            "learned_literals": self.learned_literals,
-            "sum_lbd": self.sum_lbd,
-            "max_lbd": self.max_lbd,
-            "deleted_clauses": self.deleted_clauses,
-            "minimized_literals": self.minimized_literals,
-            "max_decision_level": self.max_decision_level,
-            "solve_calls": self.solve_calls,
-            "solve_time": self.solve_time,
-            "deadline_hits": self.deadline_hits,
-        }
+        """Return the scalar statistics as a plain dictionary.
+
+        Profiler counters, when present, are flattened in as
+        ``profile.<counter>`` keys — additive like everything else, so
+        portfolio/service merges need no special casing.
+        """
+        out = {name: getattr(self, name) for name in _ADDITIVE_FIELDS}
+        for name in _MAX_FIELDS:
+            out[name] = getattr(self, name)
+        for key, value in self.profile.items():
+            out[f"profile.{key}"] = value
+        return out
 
     def snapshot(self) -> "SolverStats":
         """An independent copy of the current counter values."""
@@ -109,6 +98,7 @@ class SolverStats:
         for name in _MAX_FIELDS:
             setattr(clone, name, getattr(self, name))
         clone.restart_conflict_deltas = list(self.restart_conflict_deltas)
+        clone.profile = dict(self.profile)
         return clone
 
     def delta(self, before: "SolverStats") -> "SolverStats":
@@ -116,7 +106,9 @@ class SolverStats:
 
         Additive counters are subtracted; high-water marks
         (``max_decision_level``, ``max_lbd``) keep their current value,
-        which is an upper bound for the window.
+        which is an upper bound for the window.  Profiler counters are
+        subtracted per key, so per-probe service deltas never
+        double-count profile time.
         """
         diff = SolverStats(
             **{
@@ -130,7 +122,21 @@ class SolverStats:
         diff.restart_conflict_deltas = list(
             self.restart_conflict_deltas[skip:]
         )
+        diff.profile = {
+            key: value - before.profile.get(key, 0)
+            for key, value in self.profile.items()
+        }
         return diff
+
+
+#: Additive SolverStats fields (snapshot deltas subtract these).  Derived
+#: from the dataclass fields so that newly added counters are additive by
+#: default and can never be forgotten here.
+_ADDITIVE_FIELDS = tuple(
+    f.name
+    for f in fields(SolverStats)
+    if f.name not in _MAX_FIELDS + _SPECIAL_FIELDS
+)
 
 
 @dataclass
@@ -164,4 +170,11 @@ class SolverConfig:
     #: Conflicts/decisions between wall-clock checks; the check costs one
     #: ``perf_counter`` call per interval, invisible in the solve profile.
     deadline_check_interval: int = 256
+    #: Enable the hot-path phase profiler (:mod:`repro.obs.profile`):
+    #: attributes search time to propagate/analyze/backtrack/decide/restart
+    #: and publishes ``profile.*`` counters through :class:`SolverStats`.
+    profile: bool = False
+    #: Conflict intervals between timed samples when profiling (1 = time
+    #: everything; the default keeps overhead well under 5%).
+    profile_sample_period: int = 16
     extra_checks: bool = field(default=False, repr=False)

@@ -28,6 +28,7 @@ import os
 import random
 from dataclasses import asdict, dataclass, field
 
+from repro.obs import events as obs_events
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.scenarios.disruptions import DisruptionError, blocked_track
@@ -39,7 +40,8 @@ from repro.trains.schedule import Schedule
 PATHS = ("eager", "lazy", "portfolio", "service")
 
 
-def solve_path(scenario: Scenario, path: str, jobs: int = 2):
+def solve_path(scenario: Scenario, path: str, jobs: int = 2,
+               profile: bool = False):
     """Run the verification task of ``scenario`` along one path."""
     from repro.tasks.verification import verify_schedule
 
@@ -47,31 +49,34 @@ def solve_path(scenario: Scenario, path: str, jobs: int = 2):
     if path == "eager":
         return verify_schedule(
             net, scenario.schedule, scenario.r_t_min,
-            lazy=False, parallel=1,
+            lazy=False, parallel=1, profile=profile,
         )
     if path == "lazy":
         return verify_schedule(
             net, scenario.schedule, scenario.r_t_min,
-            lazy=True, parallel=1,
+            lazy=True, parallel=1, profile=profile,
         )
     if path == "portfolio":
         return verify_schedule(
             net, scenario.schedule, scenario.r_t_min,
-            lazy=False, parallel=jobs,
+            lazy=False, parallel=jobs, profile=profile,
         )
     if path == "service":
         return verify_schedule(
             net, scenario.schedule, scenario.r_t_min,
-            lazy=True, parallel=jobs,
+            lazy=True, parallel=jobs, profile=profile,
         )
     raise ValueError(f"unknown path {path!r}")
 
 
 def path_verdicts(scenario: Scenario, jobs: int = 2,
-                  paths: tuple[str, ...] = PATHS) -> dict[str, bool]:
+                  paths: tuple[str, ...] = PATHS,
+                  profile: bool = False) -> dict[str, bool]:
     """The verification verdict of every path on ``scenario``."""
     return {
-        path: bool(solve_path(scenario, path, jobs).satisfiable)
+        path: bool(
+            solve_path(scenario, path, jobs, profile=profile).satisfiable
+        )
         for path in paths
     }
 
@@ -227,6 +232,7 @@ def run_fuzz(
     max_loops: int = 1,
     paths: tuple[str, ...] = PATHS,
     log=None,
+    profile: bool = False,
 ) -> FuzzReport:
     """Differentially fuzz ``count`` seeded scenarios across all paths.
 
@@ -235,7 +241,9 @@ def run_fuzz(
     optimum must additionally agree between the eager and lazy descents.
     Disagreeing scenarios are shrunk and written to ``out_dir`` as
     reproducer JSON files (``out_dir`` is created on the first failure).
-    The whole run is a pure function of ``seed``.
+    The whole run is a pure function of ``seed``.  ``profile`` turns on
+    the hot-path phase profiler in every solve (attribution is summed
+    into the report's ``profile.*`` metrics).
     """
     reg = registry if registry is not None else MetricsRegistry()
     report = FuzzReport(seed=seed, count=count)
@@ -252,7 +260,30 @@ def run_fuzz(
             tracks=len(scenario.network.tracks),
         )
         with trace.span("fuzz.scenario", scenario=scenario.name):
-            record.verdicts = path_verdicts(scenario, jobs, paths)
+            if profile:
+                results = {
+                    path: solve_path(scenario, path, jobs, profile=True)
+                    for path in paths
+                }
+                record.verdicts = {
+                    path: bool(result.satisfiable)
+                    for path, result in results.items()
+                }
+                for result in results.values():
+                    # Sum the additive profile counters across paths;
+                    # the throughput gauges (``*_per_s``) are per-run
+                    # rates and would not survive summation.
+                    reg.absorb_counters({
+                        key: value
+                        for key, value in result.metrics.items()
+                        if key.startswith("profile.")
+                        and not key.endswith("_per_s")
+                        and isinstance(value, (int, float))
+                    })
+            else:
+                # Late-bound module call: tests inject lying oracles by
+                # monkeypatching ``path_verdicts``.
+                record.verdicts = path_verdicts(scenario, jobs, paths)
             record.verdicts_agree = len(set(record.verdicts.values())) == 1
             verdict = record.verdicts[paths[0]]
             reg.inc("scenario.verdict.sat" if verdict
@@ -271,6 +302,14 @@ def run_fuzz(
             record = _handle_disagreement(
                 scenario, record, jobs, check_optimum, out_dir, reg, paths
             )
+        obs_events.emit(
+            "fuzz.scenario",
+            index=index + 1,
+            count=count,
+            name=scenario.name,
+            verdict="SAT" if verdict else "UNSAT",
+            agree=record.agree,
+        )
         report.records.append(record)
         if log:
             log(f"[{index + 1}/{count}] {scenario.name} "

@@ -42,6 +42,7 @@ def generate_layout(
     resume: bool = False,
     lazy: bool = False,
     lazy_strategy: str = DESCENT_LAZY_STRATEGY,
+    profile: bool = False,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -78,6 +79,10 @@ def generate_layout(
     the default is :data:`~repro.encoding.lazy.DESCENT_LAZY_STRATEGY`
     (measure with ``benchmarks/bench_lazy.py``).  The core-guided
     engine drives its own assumption schedule and stays eager.
+
+    ``profile`` turns on the hot-path phase profiler in every solver the
+    descent creates; attribution lands as ``profile.*`` metrics (see
+    :mod:`repro.obs.profile`).
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -111,10 +116,12 @@ def generate_layout(
                     strategy=strategy if strategy != "core" else "linear",
                     parallel=parallel, persistent=persistent,
                     wall_deadline_s=timeout_s, refine=refine,
+                    profile=profile,
                 )
             elif strategy == "core":
                 result = minimize_sum_core_guided(
-                    encoding.cnf, objective, wall_deadline_s=timeout_s
+                    encoding.cnf, objective, wall_deadline_s=timeout_s,
+                    profile=profile,
                 )
             else:
                 result = minimize_sum(
@@ -122,7 +129,7 @@ def generate_layout(
                     parallel=parallel, persistent=persistent,
                     wall_deadline_s=timeout_s,
                     checkpoint_path=checkpoint_path, resume=resume,
-                    refine=refine,
+                    refine=refine, profile=profile,
                 )
         record_descent(reg, result)
         if refiner is not None:

@@ -46,6 +46,7 @@ def optimize_schedule(
     resume: bool = False,
     lazy: bool = False,
     lazy_strategy: str = DESCENT_LAZY_STRATEGY,
+    profile: bool = False,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -90,6 +91,10 @@ def optimize_schedule(
     (default :data:`~repro.encoding.lazy.DESCENT_LAZY_STRATEGY`, the
     matrix cell that wins for descents).  The core-guided engine stays
     eager.
+
+    ``profile`` turns on the hot-path phase profiler in every solver of
+    every pass; attribution lands as ``profile.*`` metrics (see
+    :mod:`repro.obs.profile`).
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -131,7 +136,7 @@ def optimize_schedule(
             if strategy == "core":
                 result = minimize_sum_core_guided(
                     encoding.cnf, objective_lits,
-                    wall_deadline_s=remaining(),
+                    wall_deadline_s=remaining(), profile=profile,
                 )
             else:
                 result = minimize_sum(
@@ -139,7 +144,7 @@ def optimize_schedule(
                     parallel=parallel, persistent=persistent,
                     wall_deadline_s=remaining(),
                     checkpoint_path=checkpoint_path, resume=resume,
-                    refine=lazy_refine,
+                    refine=lazy_refine, profile=profile,
                 )
         record_descent(reg, result)
         solve_calls = result.solve_calls
@@ -177,6 +182,7 @@ def optimize_schedule(
                     encoding.cnf, arrival_lits, strategy=strategy,
                     parallel=parallel, persistent=persistent,
                     wall_deadline_s=budget, refine=lazy_refine,
+                    profile=profile,
                 )
             record_descent(reg, refined)
             _merge_counts(stats_total, refined.solver_stats)
@@ -219,6 +225,7 @@ def optimize_schedule(
                     strategy=strategy, parallel=parallel,
                     persistent=persistent,
                     wall_deadline_s=budget, refine=lazy_refine,
+                    profile=profile,
                 )
             record_descent(reg, secondary)
             _merge_counts(stats_total, secondary.solver_stats)

@@ -17,6 +17,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sat import (
     ProofLogger,
     Solver,
+    SolverConfig,
     check_rup_proof,
     diversified_members,
     simplify_clauses,
@@ -47,6 +48,7 @@ def verify_schedule(
     parallel: int = 1,
     lazy: bool = True,
     lazy_strategy: str = DEFAULT_LAZY_STRATEGY,
+    profile: bool = False,
 ) -> TaskResult:
     """Verify ``schedule`` on ``layout`` (default: the pure TTD layout).
 
@@ -74,10 +76,16 @@ def verify_schedule(
     eager encoder.  ``lazy_strategy`` picks the refiner's
     grouping/selection cell (see :class:`repro.encoding.lazy.LazyRefiner`);
     every cell yields the same verdict.
+
+    ``profile`` turns on the hot-path phase profiler in every solver the
+    task creates (serial, portfolio members, lazy rounds); the
+    attribution lands as ``profile.*`` metrics (see
+    :mod:`repro.obs.profile`), with ≤5 % wall overhead.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
     use_lazy = lazy and not with_proof and not presimplify
+    member_base = SolverConfig(profile=True) if profile else None
     with trace.span("verify", parallel=parallel, lazy=use_lazy) as task_span:
         if layout is None:
             layout = VSSLayout.pure_ttd(net)
@@ -105,7 +113,8 @@ def verify_schedule(
         if use_lazy:
             with trace.span("solve", lazy=True, processes=parallel):
                 outcome = solve_lazy_verification(
-                    encoding, parallel=parallel, strategy=lazy_strategy
+                    encoding, parallel=parallel, strategy=lazy_strategy,
+                    profile=profile,
                 )
             satisfiable = outcome.satisfiable
             solve_calls = outcome.solve_calls
@@ -128,7 +137,7 @@ def verify_schedule(
             with trace.span("solve", processes=parallel):
                 race = solve_portfolio(
                     encoding.cnf.num_vars, clauses,
-                    members=diversified_members(parallel),
+                    members=diversified_members(parallel, base=member_base),
                     processes=parallel, with_proof=with_proof,
                 )
             satisfiable = bool(race)
@@ -155,7 +164,7 @@ def verify_schedule(
             reg.absorb_solver_stats(solver_stats)
         else:
             logger = None
-            solver = Solver()
+            solver = Solver(SolverConfig(profile=profile))
             if with_proof:
                 logger = ProofLogger()
                 solver.attach_proof(logger)

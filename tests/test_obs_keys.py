@@ -1,0 +1,122 @@
+"""Metric-key catalog (repro.obs.keys) and its lint-style enforcement.
+
+AST-scans ``src/`` and ``benchmarks/`` for literal metric-key
+registrations — ``reg.inc("lazy.rounds")``, ``met.observe(...)``,
+``trace.counter(...)`` and friends — and checks every dotted key's first
+component against :data:`repro.obs.keys.PREFIXES`.  A new ``foo.*``
+family therefore has to be registered in the catalog (one deliberate
+line with an owner comment) before it can land.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.obs.keys import PREFIXES, check_keys, is_catalogued, prefix_of
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Method names whose first string argument is a metric key.
+KEY_METHODS = frozenset({
+    "inc", "set", "observe", "counter", "gauge", "histogram",
+})
+
+
+def _leading_literal(node: ast.expr) -> str | None:
+    """The literal text a key argument starts with, or None.
+
+    Plain string constants return themselves; f-strings return their
+    leading constant segment (``f"lazy.{n}"`` → ``"lazy."``), which is
+    enough to classify the namespace.  Anything fully dynamic is skipped.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def _registered_keys(path: Path) -> list[tuple[str, int]]:
+    """All literal dotted metric keys registered in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in KEY_METHODS
+            and node.args
+        ):
+            continue
+        text = _leading_literal(node.args[0])
+        # Undotted strings are not namespaced metric keys (e.g. an
+        # unrelated ``.set("flag")`` call) — only dotted keys are lintable.
+        if text and "." in text:
+            found.append((text, node.lineno))
+    return found
+
+
+class TestCatalogHelpers:
+    def test_prefix_of(self):
+        assert prefix_of("solver.conflicts") == "solver"
+        assert prefix_of("profile.propagate.time_s") == "profile"
+        assert prefix_of("undotted") == "undotted"
+
+    def test_is_catalogued(self):
+        assert is_catalogued("lazy.rounds")
+        assert is_catalogued("bench.profile.overhead")
+        assert not is_catalogued("rogue.counter")
+
+    def test_check_keys_returns_sorted_offenders(self):
+        keys = ["solver.conflicts", "zzz.x", "aaa.y", "zzz.x"]
+        assert check_keys(keys) == ["aaa.y", "zzz.x"]
+
+    def test_prefixes_are_sorted_and_lowercase(self):
+        listed = sorted(PREFIXES)
+        assert all(p == p.lower() for p in listed)
+        assert "profile" in PREFIXES and "events" in PREFIXES
+
+
+class TestSourceTreeLint:
+    def test_every_registered_metric_key_is_catalogued(self):
+        offenders: list[str] = []
+        for root in ("src", "benchmarks"):
+            for path in sorted((REPO / root).rglob("*.py")):
+                for key, lineno in _registered_keys(path):
+                    if not is_catalogued(key):
+                        offenders.append(
+                            f"{path.relative_to(REPO)}:{lineno}: {key!r}"
+                        )
+        assert not offenders, (
+            "metric keys outside the catalog (add the namespace to "
+            "repro/obs/keys.py PREFIXES with an owner comment):\n"
+            + "\n".join(offenders)
+        )
+
+    def test_scanner_actually_sees_the_tree(self):
+        """Guard against the lint silently scanning nothing."""
+        total = sum(
+            len(_registered_keys(path))
+            for root in ("src", "benchmarks")
+            for path in (REPO / root).rglob("*.py")
+        )
+        assert total > 50, f"only {total} registrations found — scan broken?"
+
+    def test_solver_stats_keys_are_catalogued_when_absorbed(self):
+        """The solver.*/profile.* families produced at runtime stay in
+        catalog, not just the literal registrations."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.sat.solver import Solver
+        from repro.sat.types import SolverConfig
+
+        solver = Solver(SolverConfig(profile=True))
+        solver.ensure_var(2)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1])
+        solver.solve()
+        reg = MetricsRegistry()
+        reg.absorb_solver_stats(solver.stats.as_dict())
+        assert check_keys(reg.as_dict()) == []
