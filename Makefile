@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: tier1 test test-faults smoke fuzz lint check bench \
-	bench-portfolio bench-descent bench-lazy bench-profile
+	bench-portfolio bench-descent bench-lazy bench-profile bench-core
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -78,3 +78,10 @@ bench-lazy:
 bench-profile:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_profile.py \
 		--out BENCH_profile.json
+
+# Raw CDCL throughput (props/s) of every available engine — legacy,
+# interpreted kernel, compiled kernel when built — on the running
+# example and Nordlandsbanen; writes BENCH_core.json.
+bench-core:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py \
+		--out BENCH_core.json

@@ -1,0 +1,155 @@
+"""CDCL core throughput: legacy object-graph loop vs the array kernel.
+
+Times the raw solver — clause loading plus one search — on the eager
+verification CNFs of the running example and Nordlandsbanen, once per
+available engine (``legacy``, ``interpreted``, and ``compiled`` when the
+optional extension is built), and records propagations per second of
+search under stable ``bench.core.*`` keys.
+
+Because the kernel is trace-lockstep with the legacy engine (same
+decisions, same conflicts, same learned clauses under a fixed seed),
+the propagation *count* is identical across engines and the props/s
+ratio is a pure interpreter-overhead measurement; the benchmark asserts
+that lockstep (verdict + search counters) on every instance, so it
+doubles as an end-to-end differential check.
+
+Run via ``make bench-core`` (writes ``BENCH_core.json``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_core.py --out out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.casestudies.base import all_case_studies
+from repro.obs.metrics import MetricsRegistry
+from repro.sat.kernel import kernel_build
+from repro.sat.solver import Solver
+from repro.sat.types import SolverConfig
+from repro.tasks.common import build_encoding
+
+#: Case studies the acceptance gate names; the remaining two are close
+#: cousins of Nordlandsbanen and would only slow the CI lane down.
+INSTANCES = ("Running Example", "Nordlandsbanen")
+
+REPEAT = 3
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "-")
+
+
+def available_engines() -> list[str]:
+    """Engines this host can run: legacy, interpreted, compiled-if-built."""
+    engines = ["legacy", "interpreted"]
+    if kernel_build() == "compiled":
+        engines.append("compiled")
+    return engines
+
+
+def run_engine(kind: str, num_vars: int, clauses: list[list[int]]) -> dict:
+    """Best-of-``REPEAT`` load/solve timings for one engine."""
+    best_load = best_solve = None
+    fingerprint = None
+    for __ in range(REPEAT):
+        solver = Solver(SolverConfig(kernel=kind))
+        start = time.perf_counter()
+        solver.ensure_var(max(num_vars, 1))
+        for clause in clauses:
+            solver.add_clause(clause)
+        load_s = time.perf_counter() - start
+        start = time.perf_counter()
+        verdict = solver.solve()
+        solve_s = time.perf_counter() - start
+        best_load = load_s if best_load is None else min(best_load, load_s)
+        best_solve = (
+            solve_s if best_solve is None else min(best_solve, solve_s)
+        )
+        stats = solver.stats
+        fingerprint = (
+            verdict,
+            stats.propagations,
+            stats.conflicts,
+            stats.decisions,
+            stats.restarts,
+        )
+    return {
+        "load_s": best_load,
+        "solve_s": best_solve,
+        "fingerprint": fingerprint,
+        "props_per_s": fingerprint[1] / best_solve if best_solve else 0.0,
+    }
+
+
+def bench_instance(reg: MetricsRegistry, study, engines) -> None:
+    encoding = build_encoding(
+        study.discretize(), study.schedule, study.r_t_min, None
+    )
+    clauses = encoding.cnf.clauses
+    num_vars = encoding.cnf.num_vars
+    prefix = f"bench.core.{_slug(study.name)}."
+    reg.set(f"{prefix}vars", num_vars)
+    reg.set(f"{prefix}clauses", len(clauses))
+
+    results = {}
+    # Interleave the engines per repeat? The engines run back to back,
+    # best-of-3 each; load drift over a <10 s window is below the gate's
+    # noise threshold.
+    for kind in engines:
+        results[kind] = run_engine(kind, num_vars, clauses)
+
+    reference = results["legacy"]["fingerprint"]
+    for kind, result in results.items():
+        # Lockstep: every engine must search the exact same tree.
+        assert result["fingerprint"] == reference, (
+            study.name, kind, result["fingerprint"], reference
+        )
+        reg.set(f"{prefix}{kind}.load_s", round(result["load_s"], 4))
+        reg.set(f"{prefix}{kind}.solve_s", round(result["solve_s"], 4))
+        reg.set(f"{prefix}{kind}.props_per_s",
+                round(result["props_per_s"], 1))
+        if kind != "legacy":
+            speedup = (
+                result["props_per_s"] / results["legacy"]["props_per_s"]
+            )
+            reg.set(f"{prefix}{kind}.speedup", round(speedup, 3))
+    verdict, props = reference[0], reference[1]
+    print(f"{study.name}: {num_vars} vars, {len(clauses)} clauses, "
+          f"{verdict.value}, {props} propagations")
+    for kind, result in results.items():
+        print(f"  {kind:12s} load {result['load_s']:.3f}s  "
+              f"solve {result['solve_s']:.3f}s  "
+              f"{result['props_per_s']:>12,.0f} props/s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="output JSON path (MetricsRegistry format)")
+    parser.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                        help="bench history JSONL to append to "
+                             "('' disables)")
+    args = parser.parse_args(argv)
+
+    engines = available_engines()
+    reg = MetricsRegistry()
+    reg.set("bench.host_cpus", os.cpu_count())
+    reg.set(f"bench.core.build.{kernel_build()}", 1)
+    for study in all_case_studies():
+        if study.name in INSTANCES:
+            bench_instance(reg, study, engines)
+    reg.write_json(args.out)
+    print(f"wrote {args.out}")
+    if args.history:
+        from history import append_history
+
+        append_history("core", reg.as_dict(), path=args.history)
+        print(f"history -> {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

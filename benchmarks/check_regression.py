@@ -10,8 +10,9 @@ Which direction is "bad" is inferred from the key name:
 
 * lower-is-better: wall-clock (``..._s``), formula size (``..._clauses``,
   ``...constraints_added``) and refinement effort (``...rounds``);
-* higher-is-better: ``speedup``, ``probes_per_s``, ``clauses_saved``,
-  ``clauses_skipped`` and the boolean ``_beats_`` wins;
+* higher-is-better: ``speedup``, ``probes_per_s``, ``props_per_s``,
+  ``clauses_saved``, ``clauses_skipped`` and the boolean ``_beats_``
+  wins;
 * anything else (environment facts like ``bench.host_cpus``, raw
   ``probes`` counts) is informational and never gated.
 
@@ -45,8 +46,8 @@ LOWER_IS_BETTER_SUFFIXES = (
     "_s", "_clauses", "constraints_added", ".rounds",
 )
 HIGHER_IS_BETTER_TOKENS = (
-    "speedup", "probes_per_s", "clauses_saved", "clauses_skipped",
-    "_beats_",
+    "speedup", "probes_per_s", "props_per_s", "clauses_saved",
+    "clauses_skipped", "_beats_",
 )
 
 

@@ -1,9 +1,31 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setup shim: legacy installs plus the optional compiled SAT kernel.
 
-``pip install -e . --no-build-isolation --no-use-pep517`` uses this legacy
-path; all real metadata lives in pyproject.toml.
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this
+legacy path; all real metadata lives in pyproject.toml.
+
+Setting ``REPRO_BUILD_KERNEL=1`` compiles the CDCL hot path
+(``src/repro/sat/_kernel.py``, written in a mypyc-compilable subset)
+into a C extension whose ``.so`` shadows the source module — see
+:mod:`repro.sat.kernel` for how the solver picks it up at runtime::
+
+    pip install mypy
+    REPRO_BUILD_KERNEL=1 python setup.py build_ext --inplace
+
+Without the flag (the default) nothing is compiled and the package
+stays dependency-free pure Python.
 """
+
+import os
 
 from setuptools import setup
 
-setup()
+ext_modules = []
+if os.environ.get("REPRO_BUILD_KERNEL") == "1":
+    from mypyc.build import mypycify  # needs `pip install mypy`
+
+    ext_modules = mypycify(
+        ["src/repro/sat/_kernel.py"],
+        opt_level="3",
+    )
+
+setup(ext_modules=ext_modules)

@@ -171,6 +171,21 @@ class RunReport:
         if self.metrics:
             if lines:
                 lines.append("")
+            kernels = {
+                key[len("solver.kernel."):]: value
+                for key, value in self.metrics.items()
+                if key.startswith("solver.kernel.")
+            }
+            if kernels:
+                # Which CDCL engine(s) answered (the dual-build kernel
+                # selection, see repro.sat.kernel), counted per solve.
+                lines.append(
+                    "SAT engine: " + ", ".join(
+                        f"{kind} ({int(count)} solve call(s))"
+                        for kind, count in sorted(kernels.items())
+                    )
+                )
+                lines.append("")
             lines.append(f"Metrics: {len(self.metrics)} keys")
             lines.append("")
             for name, value in sorted(self.metrics.items()):

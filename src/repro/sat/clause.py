@@ -18,15 +18,19 @@ class Clause:
         lbd: literal block distance at learning time (quality measure;
             lower is better, "glue" clauses have lbd <= 2).
         activity: bump-decayed usefulness score used by clause deletion.
+        deleted: lazy tombstone set by ``Solver._detach``; propagation
+            drops the clause's watcher entries the next time it visits
+            them, so detaching never scans a watcher list.
     """
 
-    __slots__ = ("lits", "learned", "lbd", "activity")
+    __slots__ = ("lits", "learned", "lbd", "activity", "deleted")
 
     def __init__(self, lits: list[int], learned: bool = False, lbd: int = 0):
         self.lits = lits
         self.learned = learned
         self.lbd = lbd
         self.activity = 0.0
+        self.deleted = False
 
     def __len__(self) -> int:
         return len(self.lits)

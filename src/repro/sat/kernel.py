@@ -1,0 +1,108 @@
+"""Kernel selection for the SAT solver's dual-build hot path.
+
+The array-based CDCL engine lives in :mod:`repro.sat._kernel`, written
+in a restricted, fully-annotated subset of Python so the same source
+compiles with mypyc (or Cython in pure-Python mode) into a C extension.
+When the extension has been built (``REPRO_BUILD_KERNEL=1 pip install
+-e .``), the ``.so`` shadows ``_kernel.py`` on import and every solver
+silently runs compiled; otherwise the interpreted module loads and
+behaviour is identical, just slower.
+
+This module is the single place that decides which engine a
+:class:`repro.sat.Solver` uses:
+
+* ``resolve_kind(configured)`` maps a :attr:`SolverConfig.kernel` value
+  (``"auto"``, ``"interpreted"``, ``"compiled"``, ``"legacy"``) to the
+  concrete engine kind, honouring the ``REPRO_KERNEL`` environment
+  variable override (useful to force the fallback path for a whole
+  test run, as CI does).
+* ``load_kernel(kind)`` returns the module providing ``Kernel`` for a
+  concrete kind.  Forcing ``"interpreted"`` while a compiled build is
+  installed loads ``_kernel.py`` from source explicitly, so the
+  fallback path stays testable on machines that have the extension.
+* ``kernel_build()`` reports which build a plain import gets — surfaced
+  by ``repro report`` and recorded in benchmark metadata.
+
+Forcing ``"compiled"`` when no extension is built raises, so a CI leg
+that expects the compiled kernel fails loudly instead of silently
+benchmarking the interpreted one.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+
+#: Accepted values of ``SolverConfig.kernel`` / ``REPRO_KERNEL``.
+VALID_KINDS = ("auto", "interpreted", "compiled", "legacy")
+
+#: Environment override consulted by :func:`resolve_kind`.
+ENV_VAR = "REPRO_KERNEL"
+
+_interpreted_module = None
+
+
+def kernel_build() -> str:
+    """The engine kind a plain ``import repro.sat._kernel`` provides.
+
+    ``"compiled"`` when the optional extension is installed (the ``.so``
+    shadows the source file), else ``"interpreted"``.
+    """
+    module = importlib.import_module("repro.sat._kernel")
+    return module.KERNEL_KIND
+
+
+def resolve_kind(configured: str = "auto") -> str:
+    """Map a config/env kernel request to a concrete engine kind.
+
+    Returns ``"legacy"``, ``"interpreted"``, or ``"compiled"``.  The
+    ``REPRO_KERNEL`` environment variable, when set and non-empty,
+    overrides ``configured`` — it is the process-wide switch CI and
+    debugging sessions use without threading config through every
+    layer.
+    """
+    kind = os.environ.get(ENV_VAR, "").strip().lower() or configured
+    if kind not in VALID_KINDS:
+        raise ValueError(
+            f"unknown kernel kind {kind!r}; expected one of {VALID_KINDS}"
+        )
+    if kind == "auto":
+        return kernel_build()
+    return kind
+
+
+def load_kernel(kind: str):
+    """Return the module providing ``Kernel`` for a concrete kind.
+
+    ``kind`` must be ``"interpreted"`` or ``"compiled"`` (``"legacy"``
+    has no kernel module — the caller keeps the object-graph engine).
+    """
+    if kind == "compiled":
+        module = importlib.import_module("repro.sat._kernel")
+        if module.KERNEL_KIND != "compiled":
+            raise RuntimeError(
+                "kernel 'compiled' was forced but no compiled build is "
+                "installed; build it with REPRO_BUILD_KERNEL=1 pip "
+                "install -e . or use kernel='auto'"
+            )
+        return module
+    if kind != "interpreted":
+        raise ValueError(f"no kernel module for kind {kind!r}")
+    module = importlib.import_module("repro.sat._kernel")
+    if module.KERNEL_KIND == "interpreted":
+        return module
+    # A compiled build shadows _kernel.py; load the source explicitly
+    # so the interpreted path stays forceable (and testable) anywhere.
+    global _interpreted_module
+    if _interpreted_module is None:
+        path = os.path.join(os.path.dirname(__file__), "_kernel.py")
+        spec = importlib.util.spec_from_file_location(
+            "repro.sat._kernel_interpreted", path
+        )
+        if spec is None or spec.loader is None:
+            raise RuntimeError(f"cannot load interpreted kernel from {path}")
+        loaded = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(loaded)
+        _interpreted_module = loaded
+    return _interpreted_module

@@ -147,6 +147,9 @@ class WorkerReport:
     solve_time_s: float = 0.0
     stats: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)  # the member's SolverConfig
+    #: The engine that answered: "legacy" / "interpreted" / "compiled".
+    #: Cross-kernel disagreements are diagnosable from the report alone.
+    kernel: str = ""
 
 
 @dataclass
@@ -313,6 +316,7 @@ def _run_member(
             else None
         ),
         "stats": solver.stats.as_dict(),
+        "kernel": solver.kernel,
         "time": time.perf_counter() - start,
     }
     if child_trace and trace.enabled():
@@ -369,6 +373,7 @@ def _record_message(msg, reports, outcomes) -> None:
         reports[index].finished = True
         reports[index].solve_time_s = msg["time"]
         reports[index].stats = msg["stats"]
+        reports[index].kernel = msg.get("kernel", "")
         trace.merge(msg.get("spans"))
         obs_events.merge(msg.get("events"))
 
@@ -585,6 +590,7 @@ def solve_portfolio(
             reports[index].finished = True
             reports[index].solve_time_s = msg["time"]
             reports[index].stats = msg["stats"]
+            reports[index].kernel = msg.get("kernel", "")
             trace.merge(msg.get("spans"))
             obs_events.merge(msg.get("events"))
             verdicts_seen[index] = msg["verdict"]

@@ -17,7 +17,9 @@ This module keeps the portfolio *resident* instead:
   probe ships only the assumption literals plus the clause *delta* (for
   example newly built totalizer layers) over a pipe — O(delta) traffic
   instead of O(|CNF|) per probe (``service.clauses_shipped`` vs
-  ``service.clauses_skipped``).
+  ``service.clauses_skipped``).  Deltas, shared clauses, and harvested
+  exports travel as flat ``array('i')`` buffers (:mod:`repro.sat.wire`),
+  one pickled blob per probe instead of one object per literal.
 * Every worker holds one incremental :class:`~repro.sat.Solver`, so
   learned clauses, activities, and phases persist across probes.
 * Between probes the parent harvests low-LBD clauses from the probe's
@@ -64,6 +66,7 @@ from repro.sat.portfolio import (
 )
 from repro.sat.solver import Solver
 from repro.sat.types import SolveResult
+from repro.sat.wire import pack_clauses, unpack_clauses
 from repro.testing import faults
 
 #: Poll interval while waiting for worker replies (seconds).
@@ -189,15 +192,20 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
             return
         if msg[0] == "quit":
             return
-        __, probe_id, assumptions, delta, imports, share_spec, timeout_s = msg
+        __, probe_id, assumptions, delta_buf, imports_buf, share_spec, \
+            timeout_s = msg
         start = time.perf_counter()
         reply: dict = {"index": index, "probe": probe_id}
         try:
             faults.on_probe(member.name, probe_id)
             before = solver.stats.snapshot()
+            # Deltas and shared clauses arrive as one flat int buffer
+            # (:mod:`repro.sat.wire`) — one pickled blob per probe
+            # instead of one object per literal.
+            delta = unpack_clauses(delta_buf)
             for clause in delta:
                 solver.add_clause(clause)
-            imported = solver.import_clauses(imports)
+            imported = solver.import_clauses(unpack_clauses(imports_buf))
             # The parent ships the probe's *remaining* wall budget; the
             # solver then gives up cooperatively even on searches that
             # never conflict (where the cancel hook below cannot fire).
@@ -227,9 +235,10 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
                 core=(solver.unsat_core()
                       if verdict is SolveResult.UNSAT else []),
                 stats=solver.stats.delta(before).as_dict(),
+                kernel=solver.kernel,
                 time=time.perf_counter() - start,
                 imported=imported,
-                learned=learned,
+                learned=pack_clauses(learned),
             )
         except BaseException as exc:  # noqa: BLE001
             reply.update(error=f"{type(exc).__name__}: {exc}",
@@ -390,7 +399,8 @@ class SolverService:
         return {
             "counters": self.metrics.as_dict(),
             "workers": [
-                {"name": r.name, "error": r.error, "alive": alive}
+                {"name": r.name, "error": r.error, "alive": alive,
+                 "kernel": r.kernel}
                 for r, alive in zip(self.reports, self._alive)
             ],
         }
@@ -438,8 +448,9 @@ class SolverService:
             self._pending_imports[i] = []
             try:
                 self._conns[i].send(
-                    ("probe", probe_id, tuple(assumptions), delta,
-                     imports, share_spec, timeout_s)
+                    ("probe", probe_id, tuple(assumptions),
+                     pack_clauses(delta), pack_clauses(imports),
+                     share_spec, timeout_s)
                 )
                 sent.add(i)
             except (BrokenPipeError, OSError):
@@ -536,6 +547,10 @@ class SolverService:
             report.verdict = msg["verdict"]
             report.solve_time_s += msg.get("time", 0.0)
             report.stats = msg.get("stats", {})
+            kernel = msg.get("kernel", "")
+            if kernel and kernel != report.kernel:
+                report.kernel = kernel
+                self.metrics.inc(f"service.kernel.{kernel}")
             if msg.get("cancelled"):
                 return
             definitive = {
@@ -682,7 +697,7 @@ class SolverService:
         ]
         harvest: list[tuple[int, list[int]]] = []
         for i in order:
-            for lits in replies[i].get("learned") or []:
+            for lits in unpack_clauses(replies[i].get("learned") or b""):
                 met.inc("share.exported")
                 key = tuple(sorted(lits))
                 if key in self._seen_shared:

@@ -16,6 +16,19 @@ methodology (see DESIGN.md §2).  It is deliberately self-contained: the only
 imports are the sibling modules of this package plus the dependency-free
 hot-path profiler (:mod:`repro.obs.profile`, enabled via
 ``SolverConfig.profile``).
+
+Since the array-kernel PR this class is also a *facade*: unless
+``SolverConfig.kernel`` (or the ``REPRO_KERNEL`` environment variable)
+selects ``"legacy"``, the public methods delegate to the flat-array
+engine in :mod:`repro.sat._kernel`, which runs the same algorithms over
+an integer clause arena several times faster — and, when the optional
+compiled extension is built, faster still.  The object-graph engine in
+this file remains the readable reference implementation and the only
+one that supports proof logging (:meth:`Solver.attach_proof` falls back
+to it automatically).  Both engines implement the *identical* search —
+same watcher scheme (blocker pairs, lazy tombstones), same heap order,
+same RNG stream — so fixed seeds give byte-identical trails, verdicts,
+and counters on either; ``tests/test_sat_kernel.py`` certifies this.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ import time
 
 from repro.obs.profile import PhaseProfiler
 from repro.sat.clause import Clause
+from repro.sat.kernel import load_kernel, resolve_kind
 from repro.sat.luby import LubyGenerator
 from repro.sat.types import (
     InvalidLiteralError,
@@ -56,10 +70,17 @@ class Solver:
 
     def __init__(self, config: SolverConfig | None = None):
         self.config = config or SolverConfig()
-        self.stats = SolverStats()
-        #: Counters of the most recent :meth:`solve` call only (the
-        #: lifetime counters in :attr:`stats` keep accumulating).
-        self.last_stats = SolverStats()
+        kind = resolve_kind(self.config.kernel)
+        #: The array-kernel engine backing this solver, or None when the
+        #: legacy object-graph engine (this class's own methods) is in
+        #: charge.  All public methods check this first and delegate.
+        self._k = (
+            load_kernel(kind).Kernel(self.config)
+            if kind != "legacy"
+            else None
+        )
+        self._stats = SolverStats(kernel="legacy")
+        self._last_stats = SolverStats(kernel="legacy")
         self._rng = random.Random(self.config.random_seed)
         self._progress_cb = None  # optional periodic progress hook
         self._progress_interval = 0
@@ -81,7 +102,10 @@ class Solver:
         self._seen: bytearray = bytearray(1)
 
         # Watch lists, indexed by literal index (2v for v, 2v+1 for -v).
-        self._watches: list[list[Clause]] = [[], []]
+        # Each list is flat pairs ``[clause, blocker, clause, blocker,
+        # ...]``: the blocker is a literal of the clause checked before
+        # the clause object is touched at all (MiniSat's blocker trick).
+        self._watches: list[list] = [[], []]
 
         # Clause database.
         self._clauses: list[Clause] = []
@@ -110,18 +134,54 @@ class Solver:
     # ------------------------------------------------------------------
 
     @property
+    def kernel(self) -> str:
+        """The engine answering this solver's queries: ``"legacy"``,
+        ``"interpreted"``, or ``"compiled"``."""
+        return self._k.kind if self._k is not None else "legacy"
+
+    @property
+    def stats(self) -> SolverStats:
+        """Lifetime counters (accumulate across :meth:`solve` calls)."""
+        return self._k.stats if self._k is not None else self._stats
+
+    @stats.setter
+    def stats(self, value: SolverStats) -> None:
+        if self._k is not None:
+            self._k.stats = value
+        else:
+            self._stats = value
+
+    @property
+    def last_stats(self) -> SolverStats:
+        """Counters of the most recent :meth:`solve` call only."""
+        return self._k.last_stats if self._k is not None else self._last_stats
+
+    @last_stats.setter
+    def last_stats(self, value: SolverStats) -> None:
+        if self._k is not None:
+            self._k.last_stats = value
+        else:
+            self._last_stats = value
+
+    @property
     def num_vars(self) -> int:
         """Number of variables known to the solver."""
+        if self._k is not None:
+            return self._k.num_vars
         return len(self._assigns) - 1
 
     @property
     def num_clauses(self) -> int:
         """Number of problem (non-learned) clauses currently stored."""
+        if self._k is not None:
+            return self._k.num_clauses
         return len(self._clauses)
 
     @property
     def num_learned(self) -> int:
         """Number of learned clauses currently stored."""
+        if self._k is not None:
+            return self._k.num_learned
         return len(self._learned)
 
     def attach_proof(self, logger) -> None:
@@ -132,11 +192,43 @@ class Solver:
         clause, yielding a complete DRAT refutation checkable with
         :func:`repro.sat.proof.check_rup_proof`.  Attach before adding
         clauses for a clean proof.
+
+        Proof logging is a legacy-engine feature: when an array kernel
+        is active, this method retires it and replays its surviving
+        formula — problem clauses plus level-0 facts, logically
+        equivalent to everything added so far — into the legacy engine,
+        which handles the solve from here on.  Kernel-learned clauses
+        are dropped (they would be unlogged proof steps); the replayed
+        facts are logged as proof additions, so attaching before the
+        first solve still yields a complete checkable refutation.
         """
+        k = self._k
+        if k is None:
+            self._proof = logger
+            return
+        self._k = None
+        self._stats = k.stats.snapshot()
+        self._stats.kernel = "legacy"
+        self._last_stats = k.last_stats
         self._proof = logger
+        if not k._ok:
+            self._ok = False
+            self._proof.add([])
+            return
+        if k.num_vars:
+            self.ensure_var(k.num_vars)
+        for lits in k.problem_clauses():
+            if not self.add_clause(lits):
+                return
+        for lit in k.root_literals():
+            self._proof.add([lit])  # level-0 facts are UP-derivable
+            if not self.add_clause([lit]):
+                return
 
     def new_var(self) -> int:
         """Create a fresh variable and return its (positive) number."""
+        if self._k is not None:
+            return self._k.new_var()
         var = len(self._assigns)
         self._assigns.append(0)
         self._level.append(0)
@@ -151,6 +243,9 @@ class Solver:
 
     def ensure_var(self, var: int) -> None:
         """Make sure variable ``var`` (and all below it) exist."""
+        if self._k is not None:
+            self._k.ensure_var(var)
+            return
         if var <= 0:
             raise InvalidLiteralError(f"variables must be positive, got {var}")
         while self.num_vars < var:
@@ -164,6 +259,8 @@ class Solver:
         ignored.  Adding an empty (or fully falsified) clause makes the solver
         permanently UNSAT.
         """
+        if self._k is not None:
+            return self._k.add_clause(lits)
         if not self._ok:
             return False
         self._backtrack(0)
@@ -222,6 +319,8 @@ class Solver:
         the model; after UNSAT under assumptions, :meth:`unsat_core` lists
         the failed subset.
         """
+        if self._k is not None:
+            return self._k.solve(assumptions)
         start = time.perf_counter()
         self._solve_started = start
         before = self.stats.snapshot()
@@ -248,6 +347,8 @@ class Solver:
 
     def model_value(self, lit: int) -> bool | None:
         """Value of ``lit`` in the last model (None if never assigned)."""
+        if self._k is not None:
+            return self._k.model_value(lit)
         if self._model is None:
             raise RuntimeError("no model available: last solve was not SAT")
         var = abs(lit)
@@ -258,6 +359,8 @@ class Solver:
 
     def model(self) -> list[int]:
         """The last model as a list of true literals (DIMACS convention)."""
+        if self._k is not None:
+            return self._k.model()
         if self._model is None:
             raise RuntimeError("no model available: last solve was not SAT")
         return [
@@ -268,7 +371,18 @@ class Solver:
 
     def unsat_core(self) -> list[int]:
         """Subset of the assumptions responsible for the last UNSAT answer."""
+        if self._k is not None:
+            return self._k.unsat_core()
         return list(self._conflict_core)
+
+    def root_literals(self) -> list[int]:
+        """The level-0 trail (facts derived unconditionally), in order."""
+        if self._k is not None:
+            return self._k.root_literals()
+        boundary = (
+            self._trail_lim[0] if self._trail_lim else len(self._trail)
+        )
+        return list(self._trail[:boundary])
 
     def on_progress(self, callback, interval_conflicts: int = 2000) -> None:
         """Invoke ``callback(snapshot)`` every ``interval_conflicts``
@@ -278,6 +392,9 @@ class Solver:
         ``callback=None`` to detach.  The hook costs one attribute check
         per conflict when detached.
         """
+        if self._k is not None:
+            self._k.on_progress(callback, interval_conflicts)
+            return
         if callback is not None and interval_conflicts < 1:
             raise ValueError(
                 f"interval_conflicts must be >= 1, got {interval_conflicts}"
@@ -295,10 +412,15 @@ class Solver:
         to feed the structured event stream (:mod:`repro.obs.events`) —
         the solver itself stays import-free of it.
         """
+        if self._k is not None:
+            self._k.on_event(callback)
+            return
         self._event_cb = callback
 
     def progress_snapshot(self) -> dict:
         """A cheap point-in-time view of the search state."""
+        if self._k is not None:
+            return self._k.progress_snapshot()
         return {
             "conflicts": self.stats.conflicts,
             "propagations": self.stats.propagations,
@@ -331,6 +453,8 @@ class Solver:
         updated*, so repeated calls on the same set only return clauses
         not exported before.  ``limit`` bounds the number returned.
         """
+        if self._k is not None:
+            return self._k.export_learned(max_lbd, max_len, limit, skip_keys)
         out: list[list[int]] = []
 
         def take(lits) -> None:
@@ -365,6 +489,8 @@ class Solver:
         processed; stops early if the formula becomes unconditionally
         UNSAT.
         """
+        if self._k is not None:
+            return self._k.import_clauses(clauses)
         count = 0
         for lits in clauses:
             self.add_clause(lits)
@@ -375,6 +501,8 @@ class Solver:
 
     def simplify(self) -> bool:
         """Remove clauses satisfied at level 0; False if already UNSAT."""
+        if self._k is not None:
+            return self._k.simplify()
         if not self._ok:
             return False
         self._backtrack(0)
@@ -442,16 +570,18 @@ class Solver:
 
     def _attach(self, clause: Clause) -> None:
         lits = clause.lits
-        self._watches[self._lit_index(lits[0])].append(clause)
-        self._watches[self._lit_index(lits[1])].append(clause)
+        watchers = self._watches[self._lit_index(lits[0])]
+        watchers.append(clause)
+        watchers.append(lits[1])
+        watchers = self._watches[self._lit_index(lits[1])]
+        watchers.append(clause)
+        watchers.append(lits[0])
 
     def _detach(self, clause: Clause) -> None:
-        for lit in clause.lits[:2]:
-            watchers = self._watches[self._lit_index(lit)]
-            try:
-                watchers.remove(clause)
-            except ValueError:
-                pass  # already moved away by propagation
+        # Lazy tombstone: propagation reaps the watcher entries the next
+        # time it visits them, so clause-DB reduction is O(1) per clause
+        # instead of an O(watchers) remove scan.
+        clause.deleted = True
 
     def _propagate(self) -> Clause | None:
         """Unit-propagate the trail; return a conflicting clause or None."""
@@ -472,7 +602,18 @@ class Solver:
             i = 0
             while i < n_watchers:
                 clause = watchers[i]
-                i += 1
+                blocker = watchers[i + 1]
+                i += 2
+                blocker_val = (assigns[blocker] if blocker > 0
+                               else -assigns[-blocker])
+                if blocker_val == 1:
+                    # Blocker satisfied: clause untouched, entry kept.
+                    watchers[keep] = clause
+                    watchers[keep + 1] = blocker
+                    keep += 2
+                    continue
+                if clause.deleted:
+                    continue  # tombstone: reap the entry
                 lits = clause.lits
                 # Normalize: the falsified watch sits at position 1.
                 if lits[0] == false_lit:
@@ -482,7 +623,8 @@ class Solver:
                 first_val = assigns[first] if first > 0 else -assigns[-first]
                 if first_val == 1:
                     watchers[keep] = clause
-                    keep += 1
+                    watchers[keep + 1] = first
+                    keep += 2
                     continue
                 # Look for a new literal to watch.
                 found = False
@@ -494,20 +636,24 @@ class Solver:
                         lits[1] = other
                         lits[k] = false_lit
                         other_idx = 2 * other if other > 0 else -2 * other + 1
-                        watches[other_idx].append(clause)
+                        other_watchers = watches[other_idx]
+                        other_watchers.append(clause)
+                        other_watchers.append(first)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
                 watchers[keep] = clause
-                keep += 1
+                watchers[keep + 1] = first
+                keep += 2
                 if first_val == -1:
                     # Conflict: keep remaining watchers, stop propagating.
                     while i < n_watchers:
                         watchers[keep] = watchers[i]
-                        keep += 1
-                        i += 1
+                        watchers[keep + 1] = watchers[i + 1]
+                        keep += 2
+                        i += 2
                     self._qhead = len(trail)
                     conflict = clause
                 else:

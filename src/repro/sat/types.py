@@ -35,7 +35,7 @@ class InvalidLiteralError(SatError):
 _MAX_FIELDS = ("max_decision_level", "max_lbd")
 
 #: Fields with bespoke snapshot/delta handling (not plain additive scalars).
-_SPECIAL_FIELDS = ("restart_conflict_deltas", "profile")
+_SPECIAL_FIELDS = ("restart_conflict_deltas", "profile", "kernel")
 
 
 @dataclass
@@ -75,6 +75,14 @@ class SolverStats:
     #: published by the solver when ``SolverConfig.profile`` is on; exported
     #: by :meth:`as_dict` under ``profile.*`` keys.
     profile: dict[str, float] = field(default_factory=dict)
+    #: The engine that produced these counters: ``"legacy"`` (object-graph
+    #: solver), ``"interpreted"`` (pure-Python array kernel) or
+    #: ``"compiled"`` (mypyc/Cython-built kernel).  Exported by
+    #: :meth:`as_dict` as ``kernel.<kind> = solve_calls`` — additive like
+    #: every other counter, so portfolio/service merges count the solve
+    #: calls answered per engine and cross-kernel disagreements stay
+    #: diagnosable.
+    kernel: str = ""
 
     def as_dict(self) -> dict[str, float]:
         """Return the scalar statistics as a plain dictionary.
@@ -88,6 +96,8 @@ class SolverStats:
             out[name] = getattr(self, name)
         for key, value in self.profile.items():
             out[f"profile.{key}"] = value
+        if self.kernel:
+            out[f"kernel.{self.kernel}"] = self.solve_calls
         return out
 
     def snapshot(self) -> "SolverStats":
@@ -99,6 +109,7 @@ class SolverStats:
             setattr(clone, name, getattr(self, name))
         clone.restart_conflict_deltas = list(self.restart_conflict_deltas)
         clone.profile = dict(self.profile)
+        clone.kernel = self.kernel
         return clone
 
     def delta(self, before: "SolverStats") -> "SolverStats":
@@ -126,6 +137,7 @@ class SolverStats:
             key: value - before.profile.get(key, 0)
             for key, value in self.profile.items()
         }
+        diff.kernel = self.kernel
         return diff
 
 
@@ -177,4 +189,12 @@ class SolverConfig:
     #: Conflict intervals between timed samples when profiling (1 = time
     #: everything; the default keeps overhead well under 5%).
     profile_sample_period: int = 16
+    #: Which search engine backs the solver: ``"auto"`` picks the compiled
+    #: array kernel when built, else the interpreted array kernel;
+    #: ``"interpreted"``/``"compiled"`` force one kernel build;
+    #: ``"legacy"`` forces the object-graph reference engine.  The
+    #: ``REPRO_KERNEL`` environment variable overrides this for a whole
+    #: process tree (CI exercises the fallback this way).  Attaching a
+    #: proof logger always falls back to the legacy engine.
+    kernel: str = "auto"
     extra_checks: bool = field(default=False, repr=False)

@@ -1,0 +1,72 @@
+"""Flat-buffer CNF shipping for the solver service's probe payloads.
+
+The resident portfolio (:mod:`repro.sat.service`) ships clause *deltas*
+and shared learned clauses over a pipe on every probe.  Pickling a
+``list[list[int]]`` costs one object header per clause plus one per
+literal; for the totalizer layers a descent appends between probes that
+is most of the traffic.  This module packs a clause block into one flat
+``array('i')`` buffer instead — mirroring the kernel's clause arena
+(:mod:`repro.sat._kernel`): each clause is ``[length, lit0, lit1, ...]``
+and the block is the concatenation, sent as a single ``bytes`` object
+that pickles as one opaque blob.
+
+The format is symmetric and self-delimiting, so no side channel is
+needed::
+
+    buf = pack_clauses(clauses)     # parent, before conn.send
+    clauses = unpack_clauses(buf)   # worker, after conn.recv
+
+Literal values follow the DIMACS convention of the rest of the package;
+anything that fits a C ``int`` round-trips exactly.  An empty clause
+list packs to ``b""``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+#: Typecode of the wire buffers — C ``int``, matching the arena's
+#: literal width.  (``array`` guarantees at least 2 bytes; every
+#: platform this runs on has 4.)
+TYPECODE = "i"
+
+_ITEMSIZE = array(TYPECODE).itemsize
+
+
+def pack_clauses(clauses: list[list[int]]) -> bytes:
+    """Pack a clause block into one flat ``[len, lits...]*`` buffer."""
+    flat = array(TYPECODE)
+    for lits in clauses:
+        flat.append(len(lits))
+        flat.extend(lits)
+    return flat.tobytes()
+
+
+def unpack_clauses(buf: bytes) -> list[list[int]]:
+    """Invert :func:`pack_clauses`.
+
+    Raises ``ValueError`` on a truncated or misaligned buffer, so a
+    corrupted pipe message fails loudly instead of yielding a mangled
+    clause set.
+    """
+    if len(buf) % _ITEMSIZE:
+        raise ValueError(
+            f"wire buffer length {len(buf)} is not a multiple of the "
+            f"item size {_ITEMSIZE}"
+        )
+    flat = array(TYPECODE)
+    flat.frombytes(buf)
+    clauses: list[list[int]] = []
+    i = 0
+    end = len(flat)
+    while i < end:
+        n = flat[i]
+        i += 1
+        if n < 0 or i + n > end:
+            raise ValueError(
+                f"wire buffer is corrupt: clause length {n} at word "
+                f"{i - 1} overruns the buffer ({end} words)"
+            )
+        clauses.append(list(flat[i:i + n]))
+        i += n
+    return clauses

@@ -40,7 +40,9 @@ class _LyingSolver(Solver):
     """Claims SAT without solving — simulates an unsound member."""
 
     def solve(self, assumptions=()):
-        self._model = [0] + [1] * self.num_vars
+        num_vars = self.num_vars
+        self._k = None  # lie through the legacy state, whatever the kernel
+        self._model = [0] + [1] * num_vars
         return SolveResult.SAT
 
 
