@@ -1,7 +1,8 @@
 PYTHON ?= python
 
-.PHONY: tier1 test test-faults smoke fuzz lint check bench \
-	bench-portfolio bench-descent bench-lazy bench-profile bench-core
+.PHONY: tier1 test test-faults test-gateway smoke fuzz lint check bench \
+	bench-portfolio bench-descent bench-lazy bench-profile bench-core \
+	bench-gateway
 
 # Tier-1 gate: the full test suite plus a 2-process portfolio/batch smoke
 # on the running example, so the parallel paths are exercised on every run.
@@ -14,6 +15,12 @@ test:
 # checkpoint write failures (REPRO_FAULTS plans; see repro.testing.faults).
 test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m faults
+
+# Solve-gateway suite incl. chaos drills (cache hit, warm-start, deadline
+# expiry, worker kill); REPRO_GATEWAY_FAULTS arms the inject hooks.
+test-gateway:
+	PYTHONPATH=src REPRO_GATEWAY_FAULTS=1 $(PYTHON) -m pytest -x -q \
+		-m gateway
 
 # The running-example verification is UNSAT by design, so exit 1 is the
 # expected outcome; any other code (0 = unexpectedly SAT, >=2 = crash) is
@@ -85,3 +92,10 @@ bench-profile:
 bench-core:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py \
 		--out BENCH_core.json
+
+# Gateway economics — cold solve vs fingerprint-cache hit vs delta-close
+# warm start through a real in-process gateway; fails unless the cached
+# hit is >=20x faster than the cold solve.  Writes BENCH_gateway.json.
+bench-gateway:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py \
+		--out BENCH_gateway.json

@@ -361,6 +361,69 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--reproduce", metavar="FILE", default=None,
                       help="replay one reproducer JSON instead of fuzzing")
     _add_obs_args(fuzz)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on solve gateway (persistent "
+                      "workers + fingerprint-keyed result cache)"
+    )
+    serve.add_argument("--socket", metavar="PATH",
+                       default="repro-gateway.sock",
+                       help="unix socket to listen on "
+                            "(default repro-gateway.sock)")
+    serve.add_argument("--http", type=int, metavar="PORT", default=None,
+                       help="additionally serve HTTP/JSON on "
+                            "127.0.0.1:PORT (POST /solve, GET /status)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="persistent solve workers (default 2)")
+    serve.add_argument("--cache", type=int, default=256, metavar="N",
+                       help="result-cache capacity in entries "
+                            "(default 256)")
+    serve.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                       help="requests solved concurrently (default 2)")
+    serve.add_argument("--max-queue", type=int, default=8, metavar="N",
+                       help="admitted requests waiting beyond the "
+                            "inflight limit; more are rejected as "
+                            "overloaded (default 8)")
+    serve.add_argument("--drain", type=float, default=10.0, metavar="S",
+                       help="seconds to let inflight requests finish on "
+                            "shutdown (default 10)")
+
+    client = sub.add_parser(
+        "client", help="send one request to a running solve gateway"
+    )
+    client.add_argument("--socket", metavar="PATH",
+                        default="repro-gateway.sock",
+                        help="gateway unix socket "
+                             "(default repro-gateway.sock)")
+    client.add_argument("--http", metavar="HOST:PORT", default=None,
+                        help="talk HTTP to HOST:PORT instead of the "
+                             "unix socket")
+    client.add_argument("--op", choices=["status", "shutdown"],
+                        default=None,
+                        help="administrative operation instead of a "
+                             "solve request")
+    client.add_argument("--task", default=None,
+                        choices=["verify", "generate", "optimize", "fuzz"],
+                        help="task to request")
+    client.add_argument("--case", default=None,
+                        help="case-study scenario (see `repro list`)")
+    client.add_argument("--json", metavar="FILE", default=None,
+                        help="read the full request payload from a JSON "
+                             "file (inline scenarios; overrides --task/"
+                             "--case/--param)")
+    client.add_argument("--param", action="append", default=[],
+                        metavar="K=V",
+                        help="task parameter, e.g. strategy=binary "
+                             "(repeatable; values parsed as JSON when "
+                             "possible)")
+    client.add_argument("--deadline", type=float, metavar="S",
+                        default=None,
+                        help="per-request deadline in seconds")
+    client.add_argument("--no-cache", action="store_true",
+                        help="bypass the gateway's result cache")
+    client.add_argument("--timeout", type=float, metavar="S",
+                        default=300.0,
+                        help="client-side socket timeout (default 300)")
     return parser
 
 
@@ -404,6 +467,78 @@ def _cmd_trend(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.gateway import GatewayConfig, serve
+
+    config = GatewayConfig(
+        socket_path=args.socket,
+        http_port=args.http,
+        workers=args.workers,
+        cache_entries=args.cache,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        drain_s=args.drain,
+    )
+    where = f"unix:{args.socket}"
+    if args.http:
+        where += f" + http:127.0.0.1:{args.http}"
+    print(f"gateway listening on {where} "
+          f"({args.workers} workers, cache {args.cache})",
+          file=sys.stderr)
+    return serve(config)
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.gateway import GatewayClient, GatewayError
+
+    if args.http:
+        host, _, port = args.http.rpartition(":")
+        try:
+            client = GatewayClient(host=host or "127.0.0.1",
+                                   port=int(port), timeout_s=args.timeout)
+        except ValueError:
+            raise SystemExit(f"bad --http {args.http!r}; need HOST:PORT")
+    else:
+        client = GatewayClient(socket_path=args.socket,
+                               timeout_s=args.timeout)
+
+    if args.op:
+        payload = {"op": args.op}
+    elif args.json:
+        with open(args.json, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        if not args.task:
+            raise SystemExit("client needs --op, --json, or --task")
+        params = {}
+        for spec in args.param:
+            key, sep, value = spec.partition("=")
+            if not sep:
+                raise SystemExit(f"bad --param {spec!r}; need K=V")
+            try:
+                params[key] = json.loads(value)
+            except json.JSONDecodeError:
+                params[key] = value
+        payload = {"task": args.task}
+        if args.case:
+            payload["case"] = args.case
+        if params:
+            payload["params"] = params
+    if args.deadline is not None:
+        payload.setdefault("deadline_s", args.deadline)
+    if args.no_cache:
+        payload["no_cache"] = True
+
+    try:
+        response = client.request(payload)
+    except GatewayError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -413,6 +548,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_top(args)
     if args.command == "trend":
         return _cmd_trend(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
 
     tracer = None
     if getattr(args, "trace", None):

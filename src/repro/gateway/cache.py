@@ -1,0 +1,120 @@
+"""Bounded LRU result cache keyed by instance fingerprints.
+
+The gateway stores every successful response under its
+:func:`repro.gateway.fingerprint.exact_key`, and indexes the same
+entries by :func:`~repro.gateway.fingerprint.family_key` so a request
+that misses exactly can still pick up the most recent *delta-close*
+result as a warm-start hint.  Exact hits are served verbatim
+(``cached=True``); family hits only ever contribute a model + descent
+fingerprint — the solve path re-certifies the model before using it, so
+the cache can be wrong about relevance but never about correctness.
+
+Eviction is LRU over exact entries (lookups refresh recency); the
+family index drops keys as their entries leave.  All counters land in
+the gateway's metrics registry under ``gateway.cache.*``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class CacheEntry:
+    """One cached response plus the warm-start payload derived from it."""
+
+    response: dict
+    model: list[int] = field(default_factory=list)
+    fingerprint: dict | None = None
+    task: str = ""
+    hits: int = 0
+
+
+class ResultCache:
+    """LRU cache with an exact index and a family (delta-close) index."""
+
+    def __init__(self, max_entries: int = 256,
+                 registry: MetricsRegistry | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.registry = registry if registry is not None else (
+            MetricsRegistry()
+        )
+        self._exact: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._family: dict[str, list[str]] = {}
+        self._family_of: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    def lookup_exact(self, key: str) -> CacheEntry | None:
+        """The entry stored under ``key``, refreshing its recency."""
+        entry = self._exact.get(key)
+        if entry is None:
+            self.registry.inc("gateway.cache.misses")
+            return None
+        self._exact.move_to_end(key)
+        entry.hits += 1
+        self.registry.inc("gateway.cache.hits")
+        return entry
+
+    def lookup_family(
+        self, family: str, exclude: str | None = None
+    ) -> CacheEntry | None:
+        """Most recent delta-close entry carrying a model, if any.
+
+        ``exclude`` skips the requester's own exact key (an exact miss
+        should not warm-start from itself).  A hit counts as
+        ``gateway.cache.warm_hits``; a family miss is silent — the
+        exact miss was already counted.
+        """
+        for key in reversed(self._family.get(family, [])):
+            if key == exclude:
+                continue
+            entry = self._exact.get(key)
+            if entry is not None and entry.model:
+                self.registry.inc("gateway.cache.warm_hits")
+                return entry
+        return None
+
+    def put(self, key: str, family: str, entry: CacheEntry) -> None:
+        """Store ``entry``, evicting the least recently used if full."""
+        if key in self._exact:
+            self._exact.pop(key)
+            self._unindex(key)
+        self._exact[key] = entry
+        self._family.setdefault(family, []).append(key)
+        self._family_of[key] = family
+        while len(self._exact) > self.max_entries:
+            evicted, _ = self._exact.popitem(last=False)
+            self._unindex(evicted)
+            self.registry.inc("gateway.cache.evictions")
+
+    def stats(self) -> dict:
+        """Counter snapshot for status responses."""
+        payload = self.registry.as_dict()
+        return {
+            "entries": len(self._exact),
+            "max_entries": self.max_entries,
+            "hits": payload.get("gateway.cache.hits", 0),
+            "misses": payload.get("gateway.cache.misses", 0),
+            "warm_hits": payload.get("gateway.cache.warm_hits", 0),
+            "evictions": payload.get("gateway.cache.evictions", 0),
+        }
+
+    def _unindex(self, key: str) -> None:
+        family = self._family_of.pop(key, None)
+        if family is None:
+            return
+        keys = self._family.get(family)
+        if keys is not None:
+            try:
+                keys.remove(key)
+            except ValueError:
+                pass
+            if not keys:
+                del self._family[family]

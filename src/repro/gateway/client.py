@@ -1,0 +1,94 @@
+"""Synchronous client for the solve gateway.
+
+Speaks the unix-socket NDJSON transport by default; pass ``host`` and
+``port`` to use the HTTP transport instead (``POST /solve``).  One
+client holds no connection state — each request opens, exchanges, and
+closes, so a client object can be shared across threads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class GatewayError(RuntimeError):
+    """Transport-level failure talking to the gateway."""
+
+
+class GatewayClient:
+    """Blocking request/response client (unix socket or HTTP)."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout_s: float = 300.0,
+    ):
+        if socket_path is None and (host is None or port is None):
+            raise ValueError("need socket_path, or host + port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def request(self, payload: dict) -> dict:
+        """Send one request payload; return the decoded response."""
+        if self.socket_path is not None:
+            return self._request_unix(payload)
+        return self._request_http(payload)
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def shutdown_server(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def _request_unix(self, payload: dict) -> dict:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.socket_path)
+                sock.sendall(json.dumps(payload).encode() + b"\n")
+                chunks = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    if chunk.endswith(b"\n"):
+                        break
+        except OSError as exc:
+            raise GatewayError(
+                f"gateway at {self.socket_path!r} unreachable: {exc}"
+            ) from exc
+        line = b"".join(chunks)
+        if not line:
+            raise GatewayError("gateway closed the connection mid-request")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise GatewayError(f"bad response: {exc}") from exc
+
+    def _request_http(self, payload: dict) -> dict:
+        from http.client import HTTPConnection
+
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            body = json.dumps(payload)
+            conn.request(
+                "POST", "/solve", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            raw = conn.getresponse().read()
+        except OSError as exc:
+            raise GatewayError(
+                f"gateway at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise GatewayError(f"bad response: {exc}") from exc

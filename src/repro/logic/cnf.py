@@ -123,3 +123,24 @@ class CNF:
     def literals_size(self) -> int:
         """Total number of literal occurrences (encoding size measure)."""
         return sum(len(clause) for clause in self.clauses)
+
+
+def clauses_satisfied(
+    clauses: Iterable[Iterable[int]], true_vars: set[int]
+) -> bool:
+    """Whether an assignment satisfies every clause.
+
+    ``true_vars`` is the set of variables assigned true; every other
+    variable counts as false (the closed-world reading of a true-literal
+    model).  This is the O(formula) certificate check behind warm
+    starts: a cached model is only ever *reused* after it has been
+    re-evaluated against the current clause set, so replaying a witness
+    from a delta-close instance can never smuggle in a stale verdict.
+    """
+    for clause in clauses:
+        for lit in clause:
+            if (lit > 0) == (abs(lit) in true_vars):
+                break
+        else:
+            return False
+    return True

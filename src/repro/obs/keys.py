@@ -23,6 +23,7 @@ PREFIXES = frozenset({
     "encoder",      # encoding/encoder.py — encoding size counters
     "events",       # obs/events.py — event-stream bookkeeping
     "fuzz",         # scenarios/fuzz.py — fuzz-harness events
+    "gateway",      # gateway/server.py — always-on solve gateway
     "lazy",         # encoding/lazy.py — CEGAR refinement counters
     "portfolio",    # sat/portfolio.py — one-shot portfolio counters
     "profile",      # obs/profile.py — hot-path phase profiler

@@ -43,6 +43,34 @@ class CheckpointError(RuntimeError):
     """A checkpoint exists but cannot be resumed from."""
 
 
+#: Fingerprint keys that pin the *variable space* of an instance.  A
+#: cached model is a list of variable numbers; replaying it on another
+#: instance is only meaningful when both number their variables
+#: identically, which (deterministic :class:`repro.logic.cnf.VarPool`)
+#: the variable count pins.  Clause counts are deliberately excluded:
+#: delta-close instances differ in clauses, and the warm-start paths
+#: re-certify the model clause-by-clause anyway.
+WARM_COMPAT_KEYS = ("version", "num_vars")
+
+
+def warm_compatible(cached: dict | None, current: dict) -> bool:
+    """Whether a cached fingerprint's model maps onto ``current``.
+
+    Compares only :data:`WARM_COMPAT_KEYS` (via
+    :meth:`CheckpointState.check`).  A missing cached fingerprint
+    passes — the clause-level re-certification downstream remains the
+    actual soundness gate.
+    """
+    if not cached:
+        return True
+    reduce = lambda fp: {k: fp.get(k) for k in WARM_COMPAT_KEYS}  # noqa: E731
+    try:
+        CheckpointState(reduce(cached)).check(reduce(current))
+    except CheckpointError:
+        return False
+    return True
+
+
 def descent_fingerprint(
     num_vars: int,
     num_clauses: int,
@@ -81,6 +109,23 @@ class CheckpointState:
         self.units: list[int] = []
         self.probes: int = 0  # probes recorded by the previous run(s)
         self.done_status: str | None = None
+
+    @classmethod
+    def warm(cls, cost: int, model: list[int],
+             fingerprint: dict | None = None) -> "CheckpointState":
+        """A warm-start seed that is *not* a resume.
+
+        The solve gateway (:mod:`repro.gateway`) replays a cached model
+        from a delta-close instance as the descent's starting incumbent:
+        the descent then skips its initial unconstrained probe and
+        descends straight from ``cost``.  Unlike a checkpoint resume it
+        carries no lower bound and no learned units — those are facts
+        about a *different* formula and would be unsound to replay.
+        """
+        state = cls(dict(fingerprint or {}))
+        state.best_cost = cost
+        state.best_model = list(model)
+        return state
 
     def check(self, fingerprint: dict) -> None:
         """Raise :class:`CheckpointError` unless the fingerprints match."""

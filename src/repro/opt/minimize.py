@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-from repro.logic.cnf import CNF
+from repro.logic.cnf import CNF, clauses_satisfied
 from repro.logic.totalizer import Totalizer
 from repro.obs import events as obs_events
 from repro.obs import trace
@@ -43,6 +43,7 @@ from repro.opt.checkpoint import (
     DescentCheckpoint,
     descent_fingerprint,
     load_checkpoint,
+    warm_compatible,
 )
 from repro.opt.result import (
     STATUS_FEASIBLE,
@@ -166,6 +167,8 @@ def minimize_sum(
     resume: bool = False,
     refine: Callable[[list[int]], int] | None = None,
     profile: bool = False,
+    warm_model: list[int] | None = None,
+    warm_fingerprint: dict | None = None,
 ) -> DescentResult:
     """Minimise the number of true literals among ``objective_lits``.
 
@@ -206,16 +209,29 @@ def minimize_sum(
     (:mod:`repro.obs.profile`) in every solver the descent creates —
     ignored when an explicit ``solver`` or ``portfolio_members`` already
     fixes the configuration.
+
+    ``warm_model`` seeds the descent with a model cached from a
+    delta-close instance (the solve gateway's warm-start path,
+    :mod:`repro.gateway`): when it still satisfies this formula —
+    re-checked literally, clause by clause, plus one ``refine`` round
+    for lazily deferred families — the descent skips its initial
+    unconstrained probe and descends straight from the replayed cost.
+    A model that no longer satisfies is silently discarded (cold
+    start).  ``warm_fingerprint`` optionally carries the cached
+    descent's :func:`~repro.opt.checkpoint.descent_fingerprint`; a
+    mismatch against this formula's fingerprint rejects the model
+    before the clause check (variables may have been renumbered).
+    Ignored while resuming from a checkpoint.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
 
+    fingerprint = descent_fingerprint(
+        cnf.num_vars, cnf.num_clauses, objective_lits, strategy
+    )
     state: CheckpointState | None = None
     ckpt: DescentCheckpoint | None = None
     if checkpoint_path:
-        fingerprint = descent_fingerprint(
-            cnf.num_vars, cnf.num_clauses, objective_lits, strategy
-        )
         if resume:
             state = load_checkpoint(checkpoint_path)
             if state is not None:
@@ -229,6 +245,13 @@ def minimize_sum(
         ckpt = DescentCheckpoint(checkpoint_path)
         ckpt.open(fingerprint, resumed=state is not None)
 
+    warm: CheckpointState | None = None
+    if warm_model is not None and state is None:
+        warm = _validated_warm_state(
+            cnf, objective_lits, warm_model, warm_fingerprint,
+            fingerprint, refine,
+        )
+
     budget = _DescentBudget(wall_deadline_s)
     if profile:
         if parallel > 1 and portfolio_members is None:
@@ -239,18 +262,54 @@ def minimize_sum(
             solver = Solver(SolverConfig(profile=True))
     try:
         if parallel > 1:
-            return _minimize_sum_portfolio(
+            result = _minimize_sum_portfolio(
                 cnf, objective_lits, strategy, on_improvement,
                 parallel, portfolio_members, descent_timeout_s, persistent,
-                budget, ckpt, state, refine,
+                budget, ckpt, state, refine, warm,
             )
-        return _minimize_sum_serial(
-            cnf, objective_lits, strategy, solver, on_improvement,
-            descent_timeout_s, budget, ckpt, state, refine,
-        )
+        else:
+            result = _minimize_sum_serial(
+                cnf, objective_lits, strategy, solver, on_improvement,
+                descent_timeout_s, budget, ckpt, state, refine, warm,
+            )
+        result.fingerprint = fingerprint
+        return result
     finally:
         if ckpt is not None:
             ckpt.close()
+
+
+def _validated_warm_state(
+    cnf: CNF,
+    objective_lits: list[int],
+    warm_model: list[int],
+    warm_fingerprint: dict | None,
+    fingerprint: dict,
+    refine: Callable[[list[int]], int] | None,
+) -> CheckpointState | None:
+    """Re-certify a cached model against *this* formula, or reject it.
+
+    The ladder: fingerprint compatibility (cheap, catches renumbered
+    variables), then one lazy-refinement round (deferred families are
+    not in ``cnf.clauses`` yet — clauses a dirty model provokes stay in
+    the CNF, they are valid constraints either way), then the literal
+    clause-by-clause check.  Only a model that passes all three seeds
+    the descent.
+    """
+    if not warm_compatible(warm_fingerprint, fingerprint):
+        trace.event("descent.warm_rejected", reason="fingerprint mismatch")
+        return None
+    if refine is not None and refine(warm_model) > 0:
+        trace.event("descent.warm_rejected", reason="deferred violations")
+        return None
+    true_vars = {lit for lit in warm_model if lit > 0}
+    if not clauses_satisfied(cnf.clauses, true_vars):
+        trace.event("descent.warm_rejected", reason="clause check failed")
+        return None
+    cost = _cost_counter(objective_lits)(warm_model)
+    trace.event("descent.warm_start", cost=cost)
+    obs_events.emit("descent.warm_start", cost=cost)
+    return CheckpointState.warm(cost, warm_model, warm_fingerprint)
 
 
 def _minimize_sum_serial(
@@ -264,6 +323,7 @@ def _minimize_sum_serial(
     ckpt: DescentCheckpoint | None,
     state: CheckpointState | None,
     refine: Callable[[list[int]], int] | None = None,
+    warm: CheckpointState | None = None,
 ) -> DescentResult:
     """The serial incremental descent (one solver, bounds as assumptions)."""
     solver = cnf.to_solver(solver)
@@ -344,6 +404,7 @@ def _minimize_sum_serial(
 
     calls = 0
     resumed = state is not None
+    start_state = state if state is not None else warm
     improved = False
     timed_out = False
     lower = state.lower_bound if state else 0
@@ -371,12 +432,13 @@ def _minimize_sum_serial(
             lower_bound=lower,
             resumed=resumed,
             checkpoint=_checkpoint_summary(ckpt, state),
+            warm_started=warm is not None,
         )
 
     try:
-        if state is not None and state.best_cost is not None:
-            best_model = list(state.best_model)
-            best_cost = state.best_cost
+        if start_state is not None and start_state.best_cost is not None:
+            best_model = list(start_state.best_model)
+            best_cost = start_state.best_cost
             trace.event("descent.restored", cost=best_cost, lower=lower)
             if on_improvement:
                 on_improvement(best_cost)
@@ -529,6 +591,7 @@ def _minimize_sum_portfolio(
     ckpt: DescentCheckpoint | None,
     state: CheckpointState | None,
     refine: Callable[[list[int]], int] | None = None,
+    warm: CheckpointState | None = None,
 ) -> DescentResult:
     """Portfolio-routed descent: every solve is a race over diversified
     configurations; the deterministic portfolio keeps the result a pure
@@ -626,6 +689,7 @@ def _minimize_sum_portfolio(
 
     calls = 0
     resumed = state is not None
+    start_state = state if state is not None else warm
     improved = False
     timed_out = False
     lower = state.lower_bound if state else 0
@@ -652,6 +716,7 @@ def _minimize_sum_portfolio(
             lower_bound=lower,
             resumed=resumed,
             checkpoint=_checkpoint_summary(ckpt, state),
+            warm_started=warm is not None,
         )
 
     def probe_timed_out(outcome, had_timeout: bool) -> bool:
@@ -687,9 +752,9 @@ def _minimize_sum_portfolio(
         return outcome
 
     try:
-        if state is not None and state.best_cost is not None:
-            best_model = list(state.best_model)
-            best_cost = state.best_cost
+        if start_state is not None and start_state.best_cost is not None:
+            best_model = list(start_state.best_model)
+            best_cost = start_state.best_cost
             trace.event("descent.restored", cost=best_cost, lower=lower)
             if on_improvement:
                 on_improvement(best_cost)

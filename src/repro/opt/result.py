@@ -45,6 +45,14 @@ class DescentResult:
         checkpoint: checkpoint-writer summary (path, writes,
             write_failures, restored bounds); None when checkpointing was
             off.
+        warm_started: the descent skipped its initial probe because a
+            cached model from a delta-close instance re-validated
+            against this formula (see :mod:`repro.gateway`).
+        fingerprint: the descent's identity
+            (:func:`repro.opt.checkpoint.descent_fingerprint`), recorded
+            whenever checkpointing or warm-starting computed it; the
+            gateway stores it with cached results so a later warm-start
+            can reject incompatible instances up front.
     """
 
     feasible: bool
@@ -60,6 +68,8 @@ class DescentResult:
     upper_bound: int | None = None
     resumed: bool = False
     checkpoint: dict | None = None
+    warm_started: bool = False
+    fingerprint: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.status:

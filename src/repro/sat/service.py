@@ -48,6 +48,7 @@ falling back to the one-shot portfolio for the remaining probes.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
@@ -170,10 +171,16 @@ def _service_worker(index, member, num_vars, clauses, conn, cancel,
 
     exported_keys: set[tuple[int, ...]] = set()
     checks_seen = 0
+    parent_pid = os.getppid()
 
     def check_cancel(snapshot) -> None:
         if cancel.is_set():
             raise _ProbeCancelled
+        if os.getppid() != parent_pid:
+            # The parent died mid-probe (e.g. a gateway pool worker was
+            # SIGKILLed): the pipe will never be read again, so exit
+            # instead of solving for nobody and leaking a process.
+            os._exit(1)
         if child_events:
             # The cancel hook doubles as the worker's progress feed: one
             # event every _PROGRESS_EVENT_CHECKS checks (the hook itself

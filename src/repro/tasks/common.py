@@ -33,8 +33,18 @@ def build_encoding(
 
     With ``lazy`` the cross-train families are deferred for the CEGAR
     loop (:mod:`repro.encoding.lazy`) to instantiate on demand.
+
+    With ``options.guarded_arrivals`` every arrival selector is pinned
+    true, so the timetable commitments stay enforced and the verdict
+    matches the unguarded encoding — tasks gain a deadline-independent
+    variable space (the gateway's warm-start requirement) without the
+    diagnosis semantics, which builds its own encoding and drives the
+    selectors as assumptions instead.
     """
-    return EtcsEncoding(net, schedule, r_t_min, options).build(lazy=lazy)
+    encoding = EtcsEncoding(net, schedule, r_t_min, options).build(lazy=lazy)
+    for selector in encoding.arrival_selectors.values():
+        encoding.cnf.add_unit(selector)
+    return encoding
 
 
 def checked_decode(encoding: EtcsEncoding, true_vars: set[int]) -> Solution:

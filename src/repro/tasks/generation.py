@@ -43,6 +43,8 @@ def generate_layout(
     lazy: bool = False,
     lazy_strategy: str = DESCENT_LAZY_STRATEGY,
     profile: bool = False,
+    warm_model: list[int] | None = None,
+    warm_fingerprint: dict | None = None,
 ) -> TaskResult:
     """Generate a minimum-VSS layout realising ``schedule``.
 
@@ -83,6 +85,13 @@ def generate_layout(
     ``profile`` turns on the hot-path phase profiler in every solver the
     descent creates; attribution lands as ``profile.*`` metrics (see
     :mod:`repro.obs.profile`).
+
+    ``warm_model`` / ``warm_fingerprint`` seed the linear/binary descent
+    with a cached model from a delta-close instance (the solve
+    gateway's result cache): after re-certification against this
+    formula the descent starts from the cached layout's cost instead of
+    an unconstrained probe (see :func:`repro.opt.minimize.minimize_sum`).
+    The core-guided and weighted engines ignore the hint.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -130,6 +139,8 @@ def generate_layout(
                     wall_deadline_s=timeout_s,
                     checkpoint_path=checkpoint_path, resume=resume,
                     refine=refine, profile=profile,
+                    warm_model=warm_model,
+                    warm_fingerprint=warm_fingerprint,
                 )
         record_descent(reg, result)
         if refiner is not None:
@@ -164,4 +175,7 @@ def generate_layout(
         lower_bound=result.lower_bound,
         upper_bound=result.upper_bound,
         resumed=result.resumed,
+        model=sorted(result.true_set()) if result.feasible else [],
+        warm_started=result.warm_started,
+        fingerprint=result.fingerprint,
     )

@@ -47,6 +47,8 @@ def optimize_schedule(
     lazy: bool = False,
     lazy_strategy: str = DESCENT_LAZY_STRATEGY,
     profile: bool = False,
+    warm_model: list[int] | None = None,
+    warm_fingerprint: dict | None = None,
 ) -> TaskResult:
     """Find layout + routes optimising ``schedule`` (deadlines dropped).
 
@@ -95,6 +97,12 @@ def optimize_schedule(
     ``profile`` turns on the hot-path phase profiler in every solver of
     every pass; attribution lands as ``profile.*`` metrics (see
     :mod:`repro.obs.profile`).
+
+    ``warm_model`` / ``warm_fingerprint`` seed the *primary* descent
+    with a cached model from a delta-close instance (the solve
+    gateway's result cache; see
+    :func:`repro.opt.minimize.minimize_sum`).  Follow-up passes
+    optimise different objectives and always run cold.
     """
     if objective not in ("makespan", "total-arrival"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -145,6 +153,8 @@ def optimize_schedule(
                     wall_deadline_s=remaining(),
                     checkpoint_path=checkpoint_path, resume=resume,
                     refine=lazy_refine, profile=profile,
+                    warm_model=warm_model,
+                    warm_fingerprint=warm_fingerprint,
                 )
         record_descent(reg, result)
         solve_calls = result.solve_calls
@@ -152,6 +162,10 @@ def optimize_schedule(
         stats_total = dict(result.solver_stats)
         timed_out = result.status == STATUS_TIMEOUT
         was_resumed = result.resumed
+        # The follow-up passes rebuild ``result`` without the gateway
+        # fields; pin the primary descent's identity and warm verdict.
+        warm_hit = result.warm_started
+        primary_fingerprint = result.fingerprint
 
         def pass_budget(phase: str) -> tuple[float | None, bool]:
             """Remaining budget for a follow-up pass, or (0, True) to
@@ -280,6 +294,9 @@ def optimize_schedule(
         lower_bound=result.lower_bound,
         upper_bound=result.upper_bound,
         resumed=result.resumed,
+        model=sorted(result.true_set()) if result.feasible else [],
+        warm_started=warm_hit,
+        fingerprint=primary_fingerprint,
     )
 
 

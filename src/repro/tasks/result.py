@@ -43,6 +43,16 @@ class TaskResult:
         lower_bound / upper_bound: proven objective bounds (meaningful
             when ``status`` is set and the task optimised something).
         resumed: the optimisation restarted from a checkpoint.
+
+    Gateway detail (see :mod:`repro.gateway`):
+        model: the accepted model's true literals, sorted ascending
+            (empty when UNSAT/infeasible) — the payload a result cache
+            replays as warm hints on delta-close instances.
+        warm_started: the task reused a cached model (witness replay on
+            verification, descent seeding on generation/optimization).
+        fingerprint: the instance's descent fingerprint
+            (:func:`repro.opt.checkpoint.descent_fingerprint`), used by
+            the gateway cache to validate warm-starts.
     """
 
     task: str
@@ -65,6 +75,9 @@ class TaskResult:
     lower_bound: int = 0
     upper_bound: int | None = None
     resumed: bool = False
+    model: list[int] = field(default_factory=list)
+    warm_started: bool = False
+    fingerprint: dict | None = None
 
     @property
     def stats(self) -> dict:
@@ -86,12 +99,13 @@ class TaskResult:
         """JSON-safe view for the batch manifest.
 
         Drops :attr:`solution` (the decoded layout does not survive a
-        JSON round-trip); everything Table I needs is plain data, so a
-        restored result still renders its row and metrics.
+        JSON round-trip) and :attr:`model` (thousands of literals the
+        table does not need); everything Table I needs is plain data,
+        so a restored result still renders its row and metrics.
         """
         return {
             f.name: getattr(self, f.name) for f in fields(self)
-            if f.name != "solution"
+            if f.name not in ("solution", "model")
         }
 
     @classmethod

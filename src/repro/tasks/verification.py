@@ -11,9 +11,15 @@ from __future__ import annotations
 import time
 
 from repro.encoding.encoder import EncodingOptions
-from repro.encoding.lazy import DEFAULT_LAZY_STRATEGY, solve_lazy_verification
+from repro.encoding.lazy import (
+    DEFAULT_LAZY_STRATEGY,
+    LazyRefiner,
+    solve_lazy_verification,
+)
+from repro.logic.cnf import clauses_satisfied
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
+from repro.opt.checkpoint import descent_fingerprint, warm_compatible
 from repro.sat import (
     ProofLogger,
     Solver,
@@ -49,6 +55,8 @@ def verify_schedule(
     lazy: bool = True,
     lazy_strategy: str = DEFAULT_LAZY_STRATEGY,
     profile: bool = False,
+    warm_hints: list[int] | None = None,
+    warm_fingerprint: dict | None = None,
 ) -> TaskResult:
     """Verify ``schedule`` on ``layout`` (default: the pure TTD layout).
 
@@ -81,6 +89,18 @@ def verify_schedule(
     task creates (serial, portfolio members, lazy rounds); the
     attribution lands as ``profile.*`` metrics (see
     :mod:`repro.obs.profile`), with ≤5 % wall overhead.
+
+    ``warm_hints`` is a cached model from a delta-close instance (the
+    solve gateway's result cache): the task first tries *witness
+    replay* — re-certifying the hinted assignment against this
+    instance's clauses (plus one lazy-refinement round for deferred
+    families).  A hint that survives yields the SAT verdict with zero
+    solver calls (``warm_started=True``); a hint that fails any check
+    is discarded and the normal solve runs.  ``warm_fingerprint`` (the
+    cached result's :func:`repro.opt.checkpoint.descent_fingerprint`)
+    rejects hints from an incompatible variable space up front.  Proof
+    runs (``with_proof``) never replay — an audit-grade verdict must
+    come from the solver.
     """
     start = time.perf_counter()
     reg = MetricsRegistry()
@@ -108,9 +128,46 @@ def verify_schedule(
                 clauses, simplify_stats = simplify_clauses(clauses)
                 reg.absorb_simplify(simplify_stats)
 
+        fingerprint = descent_fingerprint(
+            encoding.cnf.num_vars, encoding.cnf.num_clauses, [], "verify"
+        )
         portfolio_summary = None
         solve_calls = 1
-        if use_lazy:
+        warm_used = False
+        if (
+            warm_hints
+            and not with_proof
+            and warm_compatible(warm_fingerprint, fingerprint)
+        ):
+            hint_vars = {lit for lit in warm_hints if lit > 0}
+            with trace.span("warm-replay") as replay_span:
+                clean = True
+                if use_lazy and encoding.deferred_families:
+                    # Deferred constraint families are not in the clause
+                    # list yet; one refinement round materialises exactly
+                    # the ones the hinted model would violate.  Clauses it
+                    # adds are valid constraints and stay for the fallback
+                    # solve.
+                    clean = (
+                        LazyRefiner(encoding, strategy=lazy_strategy)
+                        .refine(sorted(hint_vars)) == 0
+                    )
+                warm_used = clean and clauses_satisfied(
+                    encoding.cnf.clauses, hint_vars
+                )
+                replay_span.add(accepted=warm_used)
+        if warm_used:
+            # Witness replay: the cached model satisfies every clause of
+            # *this* instance, so SAT is certified without a solver call.
+            satisfiable = True
+            solve_calls = 0
+            proof_checked = None
+            solver_stats: dict = {}
+            reg.inc("task.warm_hits")
+            with trace.span("decode", satisfiable=True):
+                solution = checked_decode(encoding, hint_vars)
+            model_lits = sorted(hint_vars)
+        elif use_lazy:
             with trace.span("solve", lazy=True, processes=parallel):
                 outcome = solve_lazy_verification(
                     encoding, parallel=parallel, strategy=lazy_strategy,
@@ -133,6 +190,7 @@ def verify_schedule(
             solver_stats = outcome.solver_stats
             reg.absorb_lazy(outcome.refiner.stats())
             task_span.add(lazy_rounds=outcome.refiner.rounds)
+            model_lits = sorted(outcome.true_vars) if satisfiable else []
         elif parallel > 1:
             with trace.span("solve", processes=parallel):
                 race = solve_portfolio(
@@ -162,6 +220,7 @@ def verify_schedule(
                 portfolio_summary = race.stats.as_dict()
                 reg.absorb_portfolio(race.stats)
             reg.absorb_solver_stats(solver_stats)
+            model_lits = sorted(race.true_set()) if satisfiable else []
         else:
             logger = None
             solver = Solver(SolverConfig(profile=profile))
@@ -176,12 +235,14 @@ def verify_schedule(
                 verdict = solver.solve()
             satisfiable = bool(verdict)
             proof_checked = None
+            true_vars = (
+                {lit for lit in solver.model() if lit > 0}
+                if satisfiable
+                else set()
+            )
             with trace.span("decode", satisfiable=satisfiable):
                 solution = (
-                    checked_decode(
-                        encoding,
-                        {lit for lit in solver.model() if lit > 0},
-                    )
+                    checked_decode(encoding, true_vars)
                     if satisfiable
                     else None
                 )
@@ -193,7 +254,8 @@ def verify_schedule(
                     )
             record_solver(reg, solver)
             solver_stats = solver.stats.as_dict()
-        task_span.add(satisfiable=satisfiable)
+            model_lits = sorted(true_vars)
+        task_span.add(satisfiable=satisfiable, warm=warm_used)
     runtime = time.perf_counter() - start
     reg.set("task.runtime_s", runtime)
     return TaskResult(
@@ -213,4 +275,7 @@ def verify_schedule(
         proof_checked=proof_checked,
         portfolio=portfolio_summary,
         metrics=reg.as_dict(),
+        model=model_lits,
+        warm_started=warm_used,
+        fingerprint=fingerprint,
     )

@@ -1,0 +1,124 @@
+"""Descent fingerprints: stability, mismatch reporting, warm compat.
+
+The gateway's result cache and the checkpoint resume path both lean on
+:func:`repro.opt.checkpoint.descent_fingerprint` to decide whether a
+stored artefact (model, bounds) may be interpreted against a formula.
+These tests pin the contract: identical instances fingerprint
+identically regardless of dict ordering or a JSON round-trip, any
+semantic change is reported *by key name* in the
+:class:`~repro.opt.checkpoint.CheckpointError`, and the warm-start
+compatibility check ignores exactly the clause-count key.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.encoding.encoder import EtcsEncoding
+from repro.opt.checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    descent_fingerprint,
+    warm_compatible,
+)
+
+
+def _fingerprint(**overrides) -> dict:
+    base = {
+        "num_vars": 120, "num_clauses": 340,
+        "objective_lits": [5, 9, 14], "strategy": "linear",
+    }
+    base.update(overrides)
+    return descent_fingerprint(
+        base["num_vars"], base["num_clauses"],
+        base["objective_lits"], base["strategy"],
+    )
+
+
+class TestFingerprintStability:
+    def test_json_round_trip_and_key_order_are_identities(self):
+        fingerprint = _fingerprint()
+        round_tripped = json.loads(json.dumps(fingerprint))
+        reordered = {
+            key: round_tripped[key] for key in sorted(round_tripped)
+        }
+        CheckpointState(reordered).check(fingerprint)  # no raise
+
+    def test_same_instance_fingerprints_identically(self, micro_net,
+                                                    single_train_schedule):
+        def build() -> dict:
+            encoding = EtcsEncoding(
+                micro_net, single_train_schedule, 1.0
+            ).build()
+            objective = encoding.border_objective()
+            return descent_fingerprint(
+                encoding.cnf.num_vars, encoding.cnf.num_clauses,
+                objective, "linear",
+            )
+
+        assert build() == build()
+
+    def test_objective_digest_is_order_sensitive(self):
+        assert (
+            _fingerprint(objective_lits=[5, 9, 14])
+            != _fingerprint(objective_lits=[14, 9, 5])
+        )
+
+
+class TestMismatchReporting:
+    @pytest.mark.parametrize(
+        ("overrides", "expected_keys"),
+        [
+            ({"num_vars": 121}, ["num_vars"]),
+            ({"num_clauses": 341}, ["num_clauses"]),
+            ({"strategy": "binary"}, ["strategy"]),
+            (
+                {"objective_lits": [5, 9]},
+                ["objective_crc", "objective_len"],
+            ),
+        ],
+    )
+    def test_check_names_every_mismatched_key(self, overrides,
+                                              expected_keys):
+        state = CheckpointState(_fingerprint())
+        with pytest.raises(CheckpointError) as excinfo:
+            state.check(_fingerprint(**overrides))
+        message = str(excinfo.value)
+        for key in expected_keys:
+            assert key in message
+
+    def test_resolution_change_is_detected(self, micro_net,
+                                           single_train_schedule):
+        def fingerprint_at(r_t: float) -> dict:
+            encoding = EtcsEncoding(
+                micro_net, single_train_schedule, r_t
+            ).build()
+            return descent_fingerprint(
+                encoding.cnf.num_vars, encoding.cnf.num_clauses,
+                encoding.border_objective(), "linear",
+            )
+
+        coarse, fine = fingerprint_at(1.0), fingerprint_at(0.5)
+        with pytest.raises(CheckpointError) as excinfo:
+            CheckpointState(coarse).check(fine)
+        assert "num_vars" in str(excinfo.value)
+
+
+class TestWarmCompatible:
+    def test_clause_delta_stays_compatible(self):
+        # Delta-close instances differ in clauses but share a variable
+        # space; the model re-certification downstream is the real gate.
+        assert warm_compatible(
+            _fingerprint(num_clauses=340), _fingerprint(num_clauses=999)
+        )
+
+    def test_variable_space_change_is_incompatible(self):
+        assert not warm_compatible(
+            _fingerprint(num_vars=120), _fingerprint(num_vars=121)
+        )
+
+    def test_missing_cached_fingerprint_passes(self):
+        assert warm_compatible(None, _fingerprint())
+        assert warm_compatible({}, _fingerprint())
